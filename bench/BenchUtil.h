@@ -1,0 +1,102 @@
+//===- bench/BenchUtil.h - Shared benchmark helpers ------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the experiment binaries: dynamic-counter measurement
+/// across interpreter runs and a small fixed-width table printer for the
+/// paper-style comparison rows.  Every bench binary prints its
+/// figure-reproduction table first and then runs its google-benchmark
+/// timings, so `for b in build/bench/*; do $b; done` regenerates the whole
+/// evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_BENCH_BENCHUTIL_H
+#define AM_BENCH_BENCHUTIL_H
+
+#include "interp/Interpreter.h"
+#include "ir/FlowGraph.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace am::bench {
+
+/// Aggregated dynamic counters over a set of runs.
+struct Counters {
+  uint64_t ExprEvals = 0;
+  uint64_t Assigns = 0;
+  uint64_t TempAssigns = 0;
+  uint64_t Runs = 0;
+
+  void add(const ExecStats &S) {
+    ExprEvals += S.ExprEvaluations;
+    Assigns += S.AssignExecutions;
+    TempAssigns += S.TempAssignExecutions;
+    ++Runs;
+  }
+};
+
+/// Executes \p G for \p NumSeeds nondeterministic seeds on \p Inputs and
+/// accumulates the counters.
+inline Counters
+measure(const FlowGraph &G,
+        const std::unordered_map<std::string, int64_t> &Inputs,
+        unsigned NumSeeds = 8, uint64_t MaxSteps = 20000) {
+  Counters C;
+  Interpreter::Options Opts;
+  Opts.MaxSteps = MaxSteps;
+  for (uint64_t Seed = 0; Seed < NumSeeds; ++Seed) {
+    ExecResult R = Interpreter::execute(G, Inputs, Seed, Opts);
+    C.add(R.Stats);
+  }
+  return C;
+}
+
+/// One row of a comparison table.
+struct Row {
+  std::string Variant;
+  Counters C;
+};
+
+/// Prints the paper-style comparison table.
+inline void printTable(const std::string &Title,
+                       const std::vector<Row> &Rows) {
+  std::printf("\n== %s ==\n", Title.c_str());
+  std::printf("%-24s %14s %14s %14s\n", "variant", "expr-evals", "assigns",
+              "temp-assigns");
+  for (const Row &R : Rows)
+    std::printf("%-24s %14llu %14llu %14llu\n", R.Variant.c_str(),
+                (unsigned long long)R.C.ExprEvals,
+                (unsigned long long)R.C.Assigns,
+                (unsigned long long)R.C.TempAssigns);
+}
+
+/// Prints a claim line with its measured verdict.
+inline void printClaim(const std::string &Claim, bool Holds) {
+  std::printf("  claim: %-66s [%s]\n", Claim.c_str(),
+              Holds ? "holds" : "VIOLATED");
+}
+
+} // namespace am::bench
+
+/// Standard main: print the study (figure reproduction) first, then run
+/// the registered google-benchmark timings.
+#define AM_BENCH_MAIN(STUDY_FN)                                              \
+  int main(int argc, char **argv) {                                         \
+    STUDY_FN();                                                             \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))               \
+      return 1;                                                             \
+    ::benchmark::RunSpecifiedBenchmarks();                                  \
+    ::benchmark::Shutdown();                                                \
+    return 0;                                                               \
+  }
+
+#endif // AM_BENCH_BENCHUTIL_H

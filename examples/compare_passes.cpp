@@ -1,0 +1,83 @@
+//===- examples/compare_passes.cpp - Side-by-side pass comparison ---------===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs every pass of the library over the paper's figure programs and a
+// few random workloads, printing a compact scoreboard of dynamic costs.
+// This is the "which pass should I use" demo: uniform EM & AM always sits
+// in the best column for expression evaluations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "figures/PaperFigures.h"
+#include "gen/RandomProgram.h"
+#include "interp/Interpreter.h"
+#include "transform/CopyPropagation.h"
+#include "transform/LazyCodeMotion.h"
+#include "transform/RestrictedAssignmentMotion.h"
+#include "transform/UniformEmAm.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace am;
+
+namespace {
+
+struct Workload {
+  std::string Name;
+  FlowGraph Graph;
+};
+
+uint64_t totalEvals(const FlowGraph &G) {
+  uint64_t Total = 0;
+  Interpreter::Options Opts;
+  Opts.MaxSteps = 20000;
+  for (uint64_t Seed = 0; Seed < 8; ++Seed) {
+    std::unordered_map<std::string, int64_t> In = {
+        {"a", 2},  {"b", 3},  {"c", 5},  {"d", 7},  {"x", 20}, {"y", 1},
+        {"z", 4},  {"i", 0},  {"n", 6},  {"v0", 1}, {"v1", -2}, {"v2", 3}};
+    Total += Interpreter::execute(G, In, Seed, Opts).Stats.ExprEvaluations;
+  }
+  return Total;
+}
+
+} // namespace
+
+int main() {
+  std::vector<Workload> Workloads;
+  Workloads.push_back({"fig1 (EM motivation)", figure1a()});
+  Workloads.push_back({"fig2 (AM motivation)", figure2a()});
+  Workloads.push_back({"fig4 (running example)", figure4()});
+  Workloads.push_back({"fig8 (blocked motion)", figure8()});
+  Workloads.push_back({"fig16 (tradeoff)", figure16()});
+  Workloads.push_back({"fig18 (3-address loop)", figure18b()});
+  GenOptions Opts;
+  Opts.TargetStmts = 40;
+  for (uint64_t Seed = 0; Seed < 4; ++Seed)
+    Workloads.push_back({"random #" + std::to_string(Seed),
+                         generateStructuredProgram(Seed, Opts)});
+
+  std::printf("expression evaluations over 8 executions "
+              "(lower is better)\n\n");
+  std::printf("%-24s %10s %10s %10s %10s %10s\n", "workload", "orig", "lcm",
+              "am", "restr", "uniform");
+  for (Workload &W : Workloads) {
+    FlowGraph Lcm = runLazyCodeMotion(W.Graph);
+    FlowGraph Am = runAssignmentMotionOnly(W.Graph);
+    FlowGraph Restr = runRestrictedAssignmentMotion(W.Graph);
+    FlowGraph Uniform = runUniformEmAm(W.Graph);
+    std::printf("%-24s %10llu %10llu %10llu %10llu %10llu\n", W.Name.c_str(),
+                (unsigned long long)totalEvals(W.Graph),
+                (unsigned long long)totalEvals(Lcm),
+                (unsigned long long)totalEvals(Am),
+                (unsigned long long)totalEvals(Restr),
+                (unsigned long long)totalEvals(Uniform));
+  }
+  std::printf("\nAll passes preserve program semantics; see the test suite "
+              "for the machine-checked version of this table.\n");
+  return 0;
+}

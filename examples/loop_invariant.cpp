@@ -1,0 +1,83 @@
+//===- examples/loop_invariant.cpp - Loop-invariant assignment motion -----===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// A domain scenario from the paper's introduction: loop-invariant
+// computations that classic PRE cannot move because whole *assignments*
+// block each other.  We write the program in the structured front-end
+// language, optimize it, and measure the per-iteration cost drop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "parser/Parser.h"
+#include "transform/LazyCodeMotion.h"
+#include "transform/UniformEmAm.h"
+
+#include <cstdio>
+
+using namespace am;
+
+// A filter-like kernel: `scale * gain` and `bias + offset` are invariant,
+// but the assignments computing them are blocked by uses inside the loop,
+// so expression motion alone cannot clean everything up.
+static const char *Source = R"(
+program {
+  i := 0;
+  acc := 0;
+  if (n > 0) {
+    repeat {
+      k := scale * gain;
+      base := bias + offset;
+      acc := acc + k;
+      acc := acc + base;
+      i := i + 1;
+    } until (i >= n);
+  }
+  out(acc, i);
+}
+)";
+
+int main() {
+  ParseResult Parsed = parseStructured(Source);
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", Parsed.Error.c_str());
+    return 1;
+  }
+  FlowGraph Before = std::move(Parsed.Graph);
+  FlowGraph Em = runLazyCodeMotion(Before);
+  FlowGraph After = runUniformEmAm(Before);
+
+  std::printf("=== source program ===\n%s\n", Source);
+  std::printf("=== CFG before ===\n%s\n", printGraph(Before).c_str());
+  std::printf("=== after uniform EM & AM ===\n%s\n",
+              printGraph(After).c_str());
+
+  std::unordered_map<std::string, int64_t> Inputs = {
+      {"n", 1000}, {"scale", 3}, {"gain", 7}, {"bias", 11}, {"offset", 2}};
+  ExecResult RunBefore = Interpreter::execute(Before, Inputs);
+  ExecResult RunEm = Interpreter::execute(Em, Inputs);
+  ExecResult RunAfter = Interpreter::execute(After, Inputs);
+
+  if (RunBefore.Output != RunAfter.Output ||
+      RunBefore.Output != RunEm.Output) {
+    std::fprintf(stderr, "BUG: outputs diverged\n");
+    return 1;
+  }
+  std::printf("n = 1000 iterations, identical outputs; dynamic costs:\n");
+  std::printf("%-18s %12s %12s %12s\n", "", "expr-evals", "assigns",
+              "temp-assigns");
+  auto PrintRow = [](const char *Name, const ExecStats &S) {
+    std::printf("%-18s %12llu %12llu %12llu\n", Name,
+                (unsigned long long)S.ExprEvaluations,
+                (unsigned long long)S.AssignExecutions,
+                (unsigned long long)S.TempAssignExecutions);
+  };
+  PrintRow("original", RunBefore.Stats);
+  PrintRow("EM only (LCM)", RunEm.Stats);
+  PrintRow("uniform EM & AM", RunAfter.Stats);
+  return 0;
+}

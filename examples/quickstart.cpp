@@ -1,0 +1,61 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Parses the paper's running example (Figure 4), runs the uniform EM & AM
+// algorithm, and shows the before/after programs together with the dynamic
+// counters the paper's theorems speak about.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "figures/PaperFigures.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "transform/UniformEmAm.h"
+
+#include <cstdio>
+
+using namespace am;
+
+int main() {
+  // The running example of the paper (Figure 4).  You could equally parse
+  // your own program with am::parseProgram("program { ... }").
+  FlowGraph Before = figure4();
+
+  UniformStats Stats;
+  FlowGraph After = runUniformEmAm(Before, UniformOptions(), &Stats);
+
+  std::printf("=== before (Figure 4) ===\n%s\n",
+              printGraph(Before).c_str());
+  std::printf("=== after uniform EM & AM (expected: Figure 5) ===\n%s\n",
+              printGraph(After).c_str());
+  std::printf("pipeline: %u edges split, %u decompositions, "
+              "%u AM iterations, %u assignments eliminated\n\n",
+              Stats.EdgesSplit, Stats.Decompositions,
+              Stats.AmPhase.Iterations, Stats.AmPhase.Eliminated);
+
+  // Execute both on the same inputs and compare the dynamic counters.
+  std::unordered_map<std::string, int64_t> Inputs = {
+      {"c", 3}, {"d", 4}, {"i", 0}, {"x", 1}, {"z", 2}, {"y", 0}};
+  ExecResult RunBefore = Interpreter::execute(Before, Inputs);
+  ExecResult RunAfter = Interpreter::execute(After, Inputs);
+
+  std::printf("same output trace: %s\n",
+              RunBefore.Output == RunAfter.Output ? "yes" : "NO (bug!)");
+  std::printf("expression evaluations: %llu -> %llu\n",
+              (unsigned long long)RunBefore.Stats.ExprEvaluations,
+              (unsigned long long)RunAfter.Stats.ExprEvaluations);
+  std::printf("assignment executions:  %llu -> %llu\n",
+              (unsigned long long)RunBefore.Stats.AssignExecutions,
+              (unsigned long long)RunAfter.Stats.AssignExecutions);
+  std::printf("temporary assignments:  %llu -> %llu\n",
+              (unsigned long long)RunBefore.Stats.TempAssignExecutions,
+              (unsigned long long)RunAfter.Stats.TempAssignExecutions);
+  return 0;
+}

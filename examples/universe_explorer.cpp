@@ -1,0 +1,78 @@
+//===- examples/universe_explorer.cpp - Sampling the EM/AM universe -------===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Theorem 5.2 made tangible: sample random members of the universe of
+// EM/AM-transformed programs for the paper's running example and plot
+// where the uniform algorithm's result sits.  Every sampled member is
+// semantically equivalent; none evaluates fewer expressions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "figures/PaperFigures.h"
+#include "interp/Equivalence.h"
+#include "ir/Printer.h"
+#include "transform/UniformEmAm.h"
+#include "verify/AdversarialSearch.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+using namespace am;
+
+int main() {
+  FlowGraph G = figure4();
+  FlowGraph Uniform = runUniformEmAm(G);
+
+  const std::unordered_map<std::string, int64_t> Inputs = {
+      {"c", 1}, {"d", 2}, {"x", 40}, {"z", 10}, {"i", 1}};
+
+  auto Evals = [&](const FlowGraph &P) {
+    return Interpreter::execute(P, Inputs).Stats.ExprEvaluations;
+  };
+
+  uint64_t Original = Evals(G);
+  uint64_t Optimal = Evals(Uniform);
+
+  std::printf("sampling 400 random members of the EM/AM universe of the "
+              "running example...\n\n");
+  std::map<uint64_t, unsigned> Histogram;
+  unsigned Inequivalent = 0;
+  for (uint64_t Seed = 0; Seed < 400; ++Seed) {
+    FlowGraph Member = randomUniverseMember(G, Seed);
+    if (!checkEquivalent(G, Member, Inputs).Equivalent) {
+      ++Inequivalent; // would be a bug; counted for honesty
+      continue;
+    }
+    ++Histogram[Evals(Member)];
+  }
+
+  std::printf("expression evaluations on one execution "
+              "(loop iterates several times):\n");
+  for (const auto &[Count, Members] : Histogram) {
+    std::printf("  %3llu evals  %4u members ", (unsigned long long)Count,
+                Members);
+    for (unsigned Bar = 0; Bar < std::min(Members, 60u); ++Bar)
+      std::printf("#");
+    if (Count == Optimal)
+      std::printf("   <-- uniform EM & AM");
+    if (Count == Original)
+      std::printf("   <-- original program");
+    std::printf("\n");
+  }
+  std::printf("\noriginal: %llu evals; uniform EM & AM: %llu evals; "
+              "best sampled member: %llu evals\n",
+              (unsigned long long)Original, (unsigned long long)Optimal,
+              (unsigned long long)Histogram.begin()->first);
+  std::printf("inequivalent members: %u (must be 0)\n", Inequivalent);
+  std::printf("\nTheorem 5.2: no member of the universe beats the uniform "
+              "result — the histogram's\nleft edge is exactly the uniform "
+              "algorithm's count.\n");
+  return Inequivalent == 0 &&
+                 Histogram.begin()->first >= Optimal
+             ? 0
+             : 1;
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates the full evaluation: builds, runs the test suite and every
+# experiment binary, and leaves the transcripts in test_output.txt and
+# bench_output.txt (the files EXPERIMENTS.md is derived from).
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build < /dev/null 2>&1 | tee test_output.txt
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  echo "===== $b =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,42 @@
+//===- analysis/Annotate.h - Annotated analysis listings -------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a program with per-instruction analysis facts as comments —
+/// the debugging view of Tables 1-3.  Used by `amopt --annotate=...` and
+/// handy when studying why the algorithm did (or did not) move something.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_ANALYSIS_ANNOTATE_H
+#define AM_ANALYSIS_ANNOTATE_H
+
+#include "ir/FlowGraph.h"
+
+#include <string>
+
+namespace am {
+
+/// Which analysis to annotate with.
+enum class AnnotationKind {
+  Redundancy,   ///< Table 2: which patterns are redundant at each entry
+  Hoistability, ///< Table 1: hoistable patterns + candidate/insert marks
+  Flush,        ///< Table 3: delayable/usable temporaries
+  Liveness,     ///< live variables at each point
+};
+
+/// Returns the program listing with `;; fact` annotations interleaved.
+/// The graph must be valid; for Hoistability/Flush annotations it must
+/// also have no critical edges (callers typically split first).
+std::string annotate(const FlowGraph &G, AnnotationKind Kind);
+
+/// Parses an annotation kind name ("redundancy", "hoist", "flush",
+/// "live"); returns false on unknown names.
+bool parseAnnotationKind(const std::string &Name, AnnotationKind &Out);
+
+} // namespace am
+
+#endif // AM_ANALYSIS_ANNOTATE_H

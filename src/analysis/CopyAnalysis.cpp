@@ -1,0 +1,77 @@
+//===- analysis/CopyAnalysis.cpp - Reaching copies ---------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CopyAnalysis.h"
+
+using namespace am;
+
+void CopyUniverse::build(const FlowGraph &G) {
+  Copies.clear();
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    for (const Instr &I : G.block(B).Instrs) {
+      if (!I.isAssign() || I.Rhs.isNonTrivial() || !I.Rhs.A.isVar() ||
+          I.Rhs.A.Var == I.Lhs)
+        continue;
+      if (occurrence(I) == npos)
+        Copies.push_back({I.Lhs, I.Rhs.A.Var});
+    }
+  }
+}
+
+size_t CopyUniverse::occurrence(const Instr &I) const {
+  if (!I.isAssign() || I.Rhs.isNonTrivial() || !I.Rhs.A.isVar())
+    return npos;
+  for (size_t Idx = 0; Idx < Copies.size(); ++Idx)
+    if (Copies[Idx].Dst == I.Lhs && Copies[Idx].Src == I.Rhs.A.Var)
+      return Idx;
+  return npos;
+}
+
+void CopyUniverse::killedBy(const Instr &I, BitVector &Out) const {
+  Out = makeVector();
+  VarId Def = I.definedVar();
+  if (!isValid(Def))
+    return;
+  for (size_t Idx = 0; Idx < Copies.size(); ++Idx)
+    if (Copies[Idx].Dst == Def || Copies[Idx].Src == Def)
+      Out.set(Idx);
+}
+
+namespace {
+
+class ReachingCopiesProblem : public DataflowProblem {
+public:
+  explicit ReachingCopiesProblem(const CopyUniverse &U) : U(U) {}
+
+  Direction direction() const override { return Direction::Forward; }
+  Meet meet() const override { return Meet::All; }
+  size_t numBits() const override { return U.size(); }
+
+  void gen(BlockId, size_t, const Instr &I, BitVector &Out) const override {
+    Out = U.makeVector();
+    size_t Idx = U.occurrence(I);
+    if (Idx != CopyUniverse::npos)
+      Out.set(Idx);
+  }
+
+  void kill(BlockId, size_t, const Instr &I, BitVector &Out) const override {
+    U.killedBy(I, Out);
+  }
+
+private:
+  const CopyUniverse &U;
+};
+
+} // namespace
+
+CopyAnalysis CopyAnalysis::run(const FlowGraph &G) {
+  CopyAnalysis A;
+  A.U = std::make_unique<CopyUniverse>();
+  A.U->build(G);
+  A.Problem = std::make_unique<ReachingCopiesProblem>(*A.U);
+  A.Result = solve(G, *A.Problem);
+  return A;
+}

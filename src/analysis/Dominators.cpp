@@ -1,0 +1,126 @@
+//===- analysis/Dominators.cpp - Dominators and loops -----------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+
+using namespace am;
+
+DominatorTree DominatorTree::compute(const FlowGraph &G) {
+  DominatorTree T;
+  size_t N = G.numBlocks();
+  T.Idom.assign(N, InvalidBlock);
+
+  // Cooper/Harvey/Kennedy: iterate "intersect" over reverse postorder.
+  std::vector<BlockId> Rpo = G.reversePostorder();
+  std::vector<size_t> RpoIndex(N, SIZE_MAX);
+  for (size_t Idx = 0; Idx < Rpo.size(); ++Idx)
+    RpoIndex[Rpo[Idx]] = Idx;
+
+  auto Intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = T.Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = T.Idom[B];
+    }
+    return A;
+  };
+
+  T.Idom[G.start()] = G.start(); // sentinel during iteration
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Rpo) {
+      if (B == G.start())
+        continue;
+      BlockId NewIdom = InvalidBlock;
+      for (BlockId P : G.block(B).Preds) {
+        if (T.Idom[P] == InvalidBlock)
+          continue; // unprocessed predecessor
+        NewIdom = NewIdom == InvalidBlock ? P : Intersect(P, NewIdom);
+      }
+      if (NewIdom != InvalidBlock && T.Idom[B] != NewIdom) {
+        T.Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  T.Idom[G.start()] = InvalidBlock;
+  return T;
+}
+
+bool DominatorTree::dominates(BlockId A, BlockId B) const {
+  while (B != InvalidBlock) {
+    if (A == B)
+      return true;
+    B = Idom[B];
+  }
+  return false;
+}
+
+LoopInfo LoopInfo::compute(const FlowGraph &G) {
+  LoopInfo Info;
+  Info.InAnyLoop = BitVector(G.numBlocks());
+  DominatorTree Doms = DominatorTree::compute(G);
+
+  // Retreating edges: target already on the DFS stack.  The dominance
+  // test splits them into back edges (natural loops) and witnesses of
+  // irreducibility.
+  std::vector<BlockId> Rpo = G.reversePostorder();
+  std::vector<size_t> RpoIndex(G.numBlocks(), SIZE_MAX);
+  for (size_t Idx = 0; Idx < Rpo.size(); ++Idx)
+    RpoIndex[Rpo[Idx]] = Idx;
+
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    for (BlockId S : G.block(B).Succs) {
+      // Tree, forward and cross edges all have a larger target RPO index;
+      // only retreating (including self) edges point backwards.
+      if (RpoIndex[S] > RpoIndex[B])
+        continue;
+      if (!Doms.dominates(S, B)) {
+        Info.Irreducible = true;
+        continue;
+      }
+      // Natural loop of back edge B -> S: everything reaching B without
+      // passing S.
+      NaturalLoop Loop;
+      Loop.Header = S;
+      Loop.Latch = B;
+      Loop.Blocks = BitVector(G.numBlocks());
+      Loop.Blocks.set(S);
+      std::vector<BlockId> Work;
+      if (!Loop.Blocks.test(B)) {
+        Loop.Blocks.set(B);
+        Work.push_back(B);
+      }
+      while (!Work.empty()) {
+        BlockId Cur = Work.back();
+        Work.pop_back();
+        for (BlockId P : G.block(Cur).Preds)
+          if (!Loop.Blocks.test(P)) {
+            Loop.Blocks.set(P);
+            Work.push_back(P);
+          }
+      }
+      Info.InAnyLoop |= Loop.Blocks;
+      Info.Loops.push_back(std::move(Loop));
+    }
+  }
+  return Info;
+}
+
+unsigned LoopInfo::assignmentsInLoops(const FlowGraph &G) const {
+  unsigned N = 0;
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    if (!InAnyLoop.test(B))
+      continue;
+    for (const Instr &I : G.block(B).Instrs)
+      N += I.isAssign();
+  }
+  return N;
+}

@@ -1,0 +1,69 @@
+//===- analysis/Dominators.h - Dominator tree and natural loops -*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator computation (Cooper/Harvey/Kennedy's "engineered" iterative
+/// algorithm) and natural-loop detection from dominance back edges.  Used
+/// by the benches to report "assignments moved out of loops" and by the
+/// generator statistics; loop detection also classifies reducibility,
+/// which the paper's complexity discussion distinguishes (structured vs
+/// unrestricted control flow).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_ANALYSIS_DOMINATORS_H
+#define AM_ANALYSIS_DOMINATORS_H
+
+#include "ir/FlowGraph.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace am {
+
+/// Immediate-dominator tree of a flow graph.
+class DominatorTree {
+public:
+  /// Builds the tree; the graph must be valid (every node reachable).
+  static DominatorTree compute(const FlowGraph &G);
+
+  /// Immediate dominator of \p B (InvalidBlock for the start node).
+  BlockId idom(BlockId B) const { return Idom[B]; }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(BlockId A, BlockId B) const;
+
+private:
+  std::vector<BlockId> Idom;
+};
+
+/// One natural loop: a dominance back edge Latch -> Header plus the set of
+/// blocks that can reach the latch without passing the header.
+struct NaturalLoop {
+  BlockId Header = InvalidBlock;
+  BlockId Latch = InvalidBlock;
+  BitVector Blocks; // indexed by block id
+};
+
+/// Loop structure of a graph.
+struct LoopInfo {
+  std::vector<NaturalLoop> Loops;
+  /// Blocks contained in at least one natural loop.
+  BitVector InAnyLoop;
+  /// A retreating edge whose target does not dominate its source was
+  /// found: the graph is irreducible (Figure 7's construct).
+  bool Irreducible = false;
+
+  /// Computes loops from the dominator tree.
+  static LoopInfo compute(const FlowGraph &G);
+
+  /// Number of assignment instructions inside some natural loop.
+  unsigned assignmentsInLoops(const FlowGraph &G) const;
+};
+
+} // namespace am
+
+#endif // AM_ANALYSIS_DOMINATORS_H

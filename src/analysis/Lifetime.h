@@ -1,0 +1,43 @@
+//===- analysis/Lifetime.h - Live-range length metrics ---------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static live-range metrics.  Theorem 5.4 (relative temporary-optimality)
+/// speaks about "the number of assignments to temporaries or the length of
+/// temporary lifetimes"; this module measures both so the benches and
+/// tests can quantify them: a lifetime is counted as the number of program
+/// points (instruction boundaries) at which a variable is live.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_ANALYSIS_LIFETIME_H
+#define AM_ANALYSIS_LIFETIME_H
+
+#include "ir/FlowGraph.h"
+
+#include <cstdint>
+
+namespace am {
+
+/// Aggregated live-range metrics of one program.
+struct LifetimeStats {
+  /// Σ over all program points of the number of live *temporaries*.
+  uint64_t TempLifetimePoints = 0;
+  /// Σ over all program points of the number of live variables.
+  uint64_t TotalLifetimePoints = 0;
+  /// Maximum number of simultaneously live temporaries ("register
+  /// pressure" contributed by the transformation).
+  uint32_t MaxLiveTemps = 0;
+  /// Static number of assignments whose left-hand side is a temporary.
+  uint32_t TempAssignments = 0;
+};
+
+/// Computes the metrics via a liveness analysis over \p G.
+LifetimeStats computeLifetimeStats(const FlowGraph &G);
+
+} // namespace am
+
+#endif // AM_ANALYSIS_LIFETIME_H

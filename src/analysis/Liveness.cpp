@@ -1,0 +1,44 @@
+//===- analysis/Liveness.cpp - Variable liveness implementation -*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+using namespace am;
+
+namespace {
+
+class LivenessProblem : public DataflowProblem {
+public:
+  explicit LivenessProblem(size_t NumVars) : NumVars(NumVars) {}
+
+  Direction direction() const override { return Direction::Backward; }
+  Meet meet() const override { return Meet::Any; }
+  size_t numBits() const override { return NumVars; }
+
+  void gen(BlockId, size_t, const Instr &I, BitVector &Out) const override {
+    Out = BitVector(NumVars);
+    I.forEachUsedVar([&](VarId V) { Out.set(index(V)); });
+  }
+
+  void kill(BlockId, size_t, const Instr &I, BitVector &Out) const override {
+    Out = BitVector(NumVars);
+    VarId Def = I.definedVar();
+    if (isValid(Def))
+      Out.set(index(Def));
+  }
+
+private:
+  size_t NumVars;
+};
+
+} // namespace
+
+LivenessAnalysis LivenessAnalysis::run(const FlowGraph &G) {
+  LivenessAnalysis A;
+  A.Problem = std::make_unique<LivenessProblem>(G.Vars.size());
+  A.Result = solve(G, *A.Problem);
+  return A;
+}

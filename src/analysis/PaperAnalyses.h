@@ -1,0 +1,181 @@
+//===- analysis/PaperAnalyses.h - Tables 1-3 of the paper ------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three dataflow analyses of Knoop/Rüthing/Steffen, "The Power of
+/// Assignment Motion" (PLDI'95):
+///
+///  * Table 2 — redundant assignment analysis (forward, all-path):
+///      N-REDUNDANT = false at s's first instruction, else ∧ preds
+///      X-REDUNDANT = EXECUTED + ASS-TRANSP · N-REDUNDANT
+///  * Table 1 — hoistability analysis (backward, all-path) plus the
+///    N-INSERT / X-INSERT insertion predicates;
+///  * Table 3 — final-flush analyses over temporary initializations:
+///    delayability (forward, all-path, greatest), usability (backward,
+///    any-path, least), latestness, and the N-INIT / X-INIT / RECONSTRUCT
+///    placement predicates.
+///
+/// All results are computed against a frozen snapshot of the graph: callers
+/// must not mutate the graph while reading facts, and the referenced
+/// pattern tables must outlive the analysis object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_ANALYSIS_PAPERANALYSES_H
+#define AM_ANALYSIS_PAPERANALYSES_H
+
+#include "dfa/Dataflow.h"
+#include "ir/Patterns.h"
+
+#include <memory>
+
+namespace am {
+
+//===----------------------------------------------------------------------===//
+// Table 2: redundancy
+//===----------------------------------------------------------------------===//
+
+/// Redundant-assignment facts.  A bit (for pattern a at a point p) means:
+/// every path from s to p contains an occurrence of a with no modification
+/// of a's left-hand side or operands in between — i.e. an occurrence of a
+/// at p would be redundant (Definition 3.4).
+class RedundancyAnalysis {
+public:
+  /// Runs the analysis.  \p Pats must outlive the returned object.
+  static RedundancyAnalysis run(const FlowGraph &G,
+                                const AssignPatternTable &Pats);
+
+  /// N-/X-REDUNDANT at every instruction boundary of \p B.
+  DataflowResult::InstrFacts facts(BlockId B) const {
+    return Result.instrFacts(B);
+  }
+
+  const BitVector &entry(BlockId B) const { return Result.entry(B); }
+  const BitVector &exit(BlockId B) const { return Result.exit(B); }
+
+private:
+  std::unique_ptr<DataflowProblem> Problem;
+  DataflowResult Result;
+};
+
+//===----------------------------------------------------------------------===//
+// Table 1: hoistability
+//===----------------------------------------------------------------------===//
+
+/// Hoistability facts and insertion points.  A bit at a block boundary
+/// means some hoisting candidate of the pattern can be moved (backwards,
+/// against control flow) to that boundary while preserving semantics.
+class HoistabilityAnalysis {
+public:
+  /// Runs the analysis.  \p Pats must outlive the returned object.
+  static HoistabilityAnalysis run(const FlowGraph &G,
+                                  const AssignPatternTable &Pats);
+
+  /// N-HOISTABLE* / X-HOISTABLE* (greatest solution).
+  const BitVector &entryHoistable(BlockId B) const { return Result.entry(B); }
+  const BitVector &exitHoistable(BlockId B) const { return Result.exit(B); }
+
+  /// LOC-BLOCKED: patterns blocked by some instruction of the block.
+  const BitVector &locBlocked(BlockId B) const { return LocBlocked[B]; }
+
+  /// LOC-HOISTABLE: patterns with a hoisting candidate in the block.
+  const BitVector &locHoistable(BlockId B) const { return LocHoistable[B]; }
+
+  /// N-INSERT: patterns to insert at the entry of \p B.  The start node's
+  /// entry is the hoisting frontier when hoistability reaches it.
+  BitVector entryInsert(BlockId B) const;
+
+  /// X-INSERT: patterns to insert at the exit of \p B.
+  BitVector exitInsert(BlockId B) const;
+
+private:
+  const FlowGraph *G = nullptr;
+  std::unique_ptr<DataflowProblem> Problem;
+  DataflowResult Result;
+  std::vector<BitVector> LocBlocked;
+  std::vector<BitVector> LocHoistable;
+};
+
+//===----------------------------------------------------------------------===//
+// Table 3: final flush
+//===----------------------------------------------------------------------===//
+
+/// The universe the flush analyses range over: the temporaries h_e whose
+/// initialization `h_e := e` occurs in the program.
+class FlushUniverse {
+public:
+  void build(const FlowGraph &G);
+
+  size_t size() const { return Temps.size(); }
+  VarId temp(size_t Idx) const { return Temps[Idx].Var; }
+  const Term &expr(size_t Idx) const { return Temps[Idx].Expr; }
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t indexOfTemp(VarId V) const;
+
+  /// IS-INST: the temporaries whose initialization \p I is an instance of.
+  void isInst(const Instr &I, BitVector &Out) const;
+
+  /// USED: the temporaries \p I reads.
+  void used(const Instr &I, BitVector &Out) const;
+
+  /// BLOCKED: the temporaries h_e whose initialization cannot be moved
+  /// (sunk) across \p I: an operand of e or h_e itself is modified.
+  void blocked(const Instr &I, BitVector &Out) const;
+
+  BitVector makeVector() const { return BitVector(Temps.size()); }
+
+private:
+  struct TempInfo {
+    VarId Var;
+    Term Expr;
+  };
+  std::vector<TempInfo> Temps;
+  std::vector<size_t> VarToIdx; // dense var index -> temp index or npos
+};
+
+/// Delayability + usability facts (Table 3) with the derived latestness
+/// and placement predicates, at instruction granularity.
+class FlushAnalysis {
+public:
+  static FlushAnalysis run(const FlowGraph &G);
+
+  const FlushUniverse &universe() const { return *UniversePtr; }
+
+  /// Placement decisions for one block, index-aligned with its
+  /// instructions at the time of analysis.
+  struct BlockPlan {
+    /// For instruction i, temps whose init goes immediately before i
+    /// (N-INIT).
+    std::vector<BitVector> InitBefore;
+    /// Temps whose use in instruction i is reconstructed to the original
+    /// expression (RECONSTRUCT).
+    std::vector<BitVector> Reconstruct;
+    /// Temps whose init goes at the block's exit (X-INIT).
+    BitVector InitAtExit;
+  };
+
+  /// Computes the full placement plan for block \p B.
+  BlockPlan plan(BlockId B) const;
+
+  /// Raw delayability facts (greatest solution), for tests.
+  const DataflowResult &delayability() const { return Delay; }
+
+  /// Raw usability facts (least solution), for tests.
+  const DataflowResult &usability() const { return Usable; }
+
+private:
+  const FlowGraph *G = nullptr;
+  std::unique_ptr<FlushUniverse> UniversePtr;
+  std::unique_ptr<DataflowProblem> DelayProblem;
+  std::unique_ptr<DataflowProblem> UsableProblem;
+  DataflowResult Delay;
+  DataflowResult Usable;
+};
+
+} // namespace am
+
+#endif // AM_ANALYSIS_PAPERANALYSES_H

@@ -1,0 +1,215 @@
+//===- dfa/Dataflow.cpp - Dataflow solver implementation --------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfa/Dataflow.h"
+
+#include <cassert>
+#include <queue>
+
+using namespace am;
+
+namespace {
+
+/// One basic block's composed transfer: f(v) = Gen | (v & ~Kill).
+struct BlockTransfer {
+  BitVector Gen;
+  BitVector Kill;
+
+  void apply(const BitVector &In, BitVector &Out) const {
+    Out = In;
+    Out.andNot(Kill);
+    Out |= Gen;
+  }
+};
+
+/// Composes the per-instruction transfers of \p B in execution order
+/// (forward) or reverse execution order (backward).
+BlockTransfer composeBlock(const FlowGraph &G, const DataflowProblem &P,
+                           BlockId B) {
+  size_t Bits = P.numBits();
+  BlockTransfer T{BitVector(Bits), BitVector(Bits)};
+  BitVector Gen(Bits), Kill(Bits);
+  const auto &Instrs = G.block(B).Instrs;
+
+  auto Step = [&](size_t Idx) {
+    const Instr &I = Instrs[Idx];
+    P.gen(B, Idx, I, Gen);
+    P.kill(B, Idx, I, Kill);
+    // Apply "later" transfer g to composed f: gen' = g.gen | (gen & ~g.kill),
+    // kill' = kill | g.kill.
+    T.Gen.andNot(Kill);
+    T.Gen |= Gen;
+    T.Kill |= Kill;
+  };
+
+  if (P.direction() == Direction::Forward) {
+    for (size_t Idx = 0; Idx < Instrs.size(); ++Idx)
+      Step(Idx);
+  } else {
+    for (size_t Idx = Instrs.size(); Idx-- > 0;)
+      Step(Idx);
+  }
+  return T;
+}
+
+} // namespace
+
+DataflowResult am::solve(const FlowGraph &G, const DataflowProblem &P,
+                         SolverKind Kind) {
+  size_t Bits = P.numBits();
+  size_t NumBlocks = G.numBlocks();
+  bool Forward = P.direction() == Direction::Forward;
+  bool MeetAll = P.meet() == Meet::All;
+
+  std::vector<BlockTransfer> Transfers;
+  Transfers.reserve(NumBlocks);
+  for (BlockId B = 0; B < NumBlocks; ++B)
+    Transfers.push_back(composeBlock(G, P, B));
+
+  DataflowResult R;
+  R.G = &G;
+  R.Problem = &P;
+
+  // "In" is the meet side (block entry for forward, block exit for
+  // backward); "Out" the transferred side.
+  std::vector<BitVector> In(NumBlocks), Out(NumBlocks);
+  BitVector Init(Bits, MeetAll); // optimistic interior initialization
+  for (BlockId B = 0; B < NumBlocks; ++B) {
+    In[B] = Init;
+    Out[B] = Init;
+  }
+
+  BitVector Boundary;
+  P.boundary(Boundary);
+  assert(Boundary.size() == Bits && "boundary width mismatch");
+
+  BlockId BoundaryBlock = Forward ? G.start() : G.end();
+  std::vector<BlockId> Order =
+      Forward ? G.reversePostorder() : G.reverseGraphReversePostorder();
+
+  BitVector NewIn(Bits), NewOut(Bits);
+  // Recomputes block \p B; returns true if its Out side changed.
+  auto Process = [&](BlockId B) {
+    ++R.BlocksProcessed;
+    // Meet over the incoming edges.
+    if (B == BoundaryBlock) {
+      NewIn = Boundary;
+    } else {
+      const auto &Edges = Forward ? G.block(B).Preds : G.block(B).Succs;
+      if (Edges.empty()) {
+        // Only the boundary block may lack incoming edges in a valid
+        // graph; be conservative for invalid inputs.
+        NewIn = BitVector(Bits, MeetAll);
+      } else {
+        // The meet input is always the neighbor's *transferred* side:
+        // its exit value for forward problems, its entry value for
+        // backward ones — both live in Out.
+        NewIn = Out[Edges[0]];
+        for (size_t EdgeIdx = 1; EdgeIdx < Edges.size(); ++EdgeIdx) {
+          if (MeetAll)
+            NewIn &= Out[Edges[EdgeIdx]];
+          else
+            NewIn |= Out[Edges[EdgeIdx]];
+        }
+      }
+    }
+    Transfers[B].apply(NewIn, NewOut);
+    bool OutChanged = NewOut != Out[B];
+    bool AnyChanged = OutChanged || NewIn != In[B];
+    if (AnyChanged) {
+      In[B] = NewIn;
+      Out[B] = NewOut;
+    }
+    return OutChanged;
+  };
+
+  if (Kind == SolverKind::RoundRobin) {
+    // Stop after a sweep in which no transferred side changed: every meet
+    // side was recomputed from final neighbor values during that sweep, so
+    // the whole solution is consistent.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      ++R.Sweeps;
+      for (BlockId B : Order)
+        Changed |= Process(B);
+    }
+  } else {
+    // Worklist ordered by (reverse-graph) reverse postorder: seed every
+    // block once, then only revisit the dependents of blocks whose
+    // transferred side changed, always picking the earliest pending block
+    // in iteration order — the classic near-optimal schedule for
+    // iterative bit-vector analyses (the paper's refs [13, 14]).
+    std::vector<size_t> OrderIndex(NumBlocks, SIZE_MAX);
+    for (size_t Idx = 0; Idx < Order.size(); ++Idx)
+      OrderIndex[Order[Idx]] = Idx;
+    std::priority_queue<std::pair<size_t, BlockId>,
+                        std::vector<std::pair<size_t, BlockId>>,
+                        std::greater<>>
+        Work;
+    std::vector<bool> Queued(NumBlocks, true);
+    for (BlockId B : Order)
+      Work.emplace(OrderIndex[B], B);
+    while (!Work.empty()) {
+      BlockId B = Work.top().second;
+      Work.pop();
+      Queued[B] = false;
+      if (!Process(B))
+        continue;
+      const auto &Dependents = Forward ? G.block(B).Succs : G.block(B).Preds;
+      for (BlockId D : Dependents) {
+        if (!Queued[D]) {
+          Queued[D] = true;
+          Work.emplace(OrderIndex[D], D);
+        }
+      }
+    }
+  }
+
+  R.Entry.resize(NumBlocks);
+  R.Exit.resize(NumBlocks);
+  for (BlockId B = 0; B < NumBlocks; ++B) {
+    R.Entry[B] = Forward ? In[B] : Out[B];
+    R.Exit[B] = Forward ? Out[B] : In[B];
+  }
+  return R;
+}
+
+DataflowResult::InstrFacts DataflowResult::instrFacts(BlockId B) const {
+  assert(G && Problem && "result not produced by solve()");
+  const auto &Instrs = G->block(B).Instrs;
+  size_t N = Instrs.size();
+  size_t Bits = Problem->numBits();
+  InstrFacts F;
+  F.Before.resize(N);
+  F.After.resize(N);
+  BitVector Gen(Bits), Kill(Bits);
+
+  if (Problem->direction() == Direction::Forward) {
+    BitVector Cur = Entry[B];
+    for (size_t Idx = 0; Idx < N; ++Idx) {
+      F.Before[Idx] = Cur;
+      Problem->gen(B, Idx, Instrs[Idx], Gen);
+      Problem->kill(B, Idx, Instrs[Idx], Kill);
+      Cur.andNot(Kill);
+      Cur |= Gen;
+      F.After[Idx] = Cur;
+    }
+    assert(N == 0 || F.After[N - 1] == Exit[B]);
+  } else {
+    BitVector Cur = Exit[B];
+    for (size_t Idx = N; Idx-- > 0;) {
+      F.After[Idx] = Cur;
+      Problem->gen(B, Idx, Instrs[Idx], Gen);
+      Problem->kill(B, Idx, Instrs[Idx], Kill);
+      Cur.andNot(Kill);
+      Cur |= Gen;
+      F.Before[Idx] = Cur;
+    }
+    assert(N == 0 || F.Before[0] == Entry[B]);
+  }
+  return F;
+}

@@ -1,0 +1,335 @@
+//===- figures/PaperFigures.cpp - Figure program builders ------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "figures/PaperFigures.h"
+#include "parser/Parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace am;
+
+namespace {
+
+/// Parses a figure program; figure sources are compiled-in and must parse.
+FlowGraph mustParse(const char *Src) {
+  ParseResult R = parseCfg(Src);
+  if (!R.ok()) {
+    std::fprintf(stderr, "internal figure program failed to parse: %s\n",
+                 R.Error.c_str());
+    std::abort();
+  }
+  return std::move(R.Graph);
+}
+
+} // namespace
+
+FlowGraph am::figure1a() {
+  return mustParse(R"(
+graph {
+b1:
+  br b2 b3
+b2:
+  z := a + b
+  x := a + b
+  goto b4
+b3:
+  x := a + b
+  y := x + y
+  br b3 b4
+b4:
+  out(x, y, z)
+  halt
+}
+)");
+}
+
+FlowGraph am::figure2a() {
+  return mustParse(R"(
+graph {
+b1:
+  br b2 b3
+b2:
+  z := a + b
+  x := a + b
+  goto b4
+b3:
+  x := a + b
+  y := x + y
+  br b3 b4
+b4:
+  out(x, y)
+  halt
+}
+)");
+}
+
+FlowGraph am::figure2b() {
+  return mustParse(R"(
+graph {
+b1:
+  x := a + b
+  br b2 b3
+b2:
+  z := a + b
+  goto b4
+b3:
+  y := x + y
+  br b3 b4
+b4:
+  out(x, y)
+  halt
+}
+)");
+}
+
+FlowGraph am::figure4() {
+  return mustParse(R"(
+graph {
+b1:
+  y := c + d
+  goto b2
+b2:
+  if x + z > y + i then b3 else b4
+b3:
+  y := c + d
+  x := y + z
+  i := i + x
+  goto b2
+b4:
+  x := y + z
+  x := c + d
+  out(i, x, y)
+  halt
+}
+)");
+}
+
+FlowGraph am::figure5() {
+  return mustParse(R"(
+graph {
+temp h1, h2
+b1:
+  h1 := c + d
+  y := h1
+  h2 := x + z
+  x := y + z
+  goto b2
+b2:
+  if h2 > y + i then b3 else b4
+b3:
+  i := i + x
+  h2 := x + z
+  goto b2
+b4:
+  x := h1
+  out(i, x, y)
+  halt
+}
+)");
+}
+
+FlowGraph am::figure7() {
+  // Reconstructed 10-node topology exhibiting the Figure 7 claims: a first
+  // loop (b2/b3) whose body kills x, an up-front occurrence in b1, and
+  // occurrences in b5 / b8 / b9 below the irreducible two-entry loop
+  // {b7, b8}.
+  return mustParse(R"(
+graph {
+b1:
+  x := y + z
+  br b2 b4
+b2:
+  br b3 b4
+b3:
+  x := 1
+  goto b2
+b4:
+  br b5 b6
+b5:
+  x := y + z
+  goto b9
+b6:
+  br b7 b8
+b7:
+  br b8 b9
+b8:
+  x := y + z
+  br b7 b9
+b9:
+  x := y + z
+  goto b10
+b10:
+  out(x)
+  halt
+}
+)");
+}
+
+FlowGraph am::figure8() {
+  return mustParse(R"(
+graph {
+b1:
+  br b2 b3
+b2:
+  x := y + z
+  goto b4
+b3:
+  goto b4
+b4:
+  a := x + y
+  x := y + z
+  out(a, x)
+  halt
+}
+)");
+}
+
+FlowGraph am::figure9b() {
+  return mustParse(R"(
+graph {
+b1:
+  br b2 b3
+b2:
+  x := y + z
+  a := x + y
+  goto b4
+b3:
+  a := x + y
+  x := y + z
+  goto b4
+b4:
+  out(a, x)
+  halt
+}
+)");
+}
+
+FlowGraph am::figure10a() {
+  return mustParse(R"(
+graph {
+b0:
+  br b1 b2
+b1:
+  x := a + b
+  goto b3
+b2:
+  br b3 b5
+b3:
+  x := a + b
+  goto b6
+b5:
+  goto b6
+b6:
+  out(x)
+  halt
+}
+)");
+}
+
+FlowGraph am::figure16() {
+  return mustParse(R"(
+graph {
+b0:
+  br b1 b2
+b1:
+  a := c + d
+  goto b3
+b2:
+  b := c + d
+  goto b3
+b3:
+  br b4 b5
+b4:
+  goto b6
+b5:
+  x := 7
+  goto b6
+b6:
+  x := a + b
+  a := c + d
+  out(a, b, x)
+  halt
+}
+)");
+}
+
+FlowGraph am::figure17a() {
+  return mustParse(R"(
+graph {
+temp h
+b0:
+  br b1 b2
+b1:
+  h := c + d
+  a := h
+  goto b3
+b2:
+  h := c + d
+  b := h
+  goto b3
+b3:
+  br b4 b5
+b4:
+  goto b6
+b5:
+  x := 7
+  goto b6
+b6:
+  x := a + b
+  a := h
+  out(a, b, x)
+  halt
+}
+)");
+}
+
+FlowGraph am::figure17b() {
+  return mustParse(R"(
+graph {
+temp h, h2
+b0:
+  br b1 b2
+b1:
+  a := c + d
+  h := a + b
+  goto b3
+b2:
+  h2 := c + d
+  b := h2
+  h := a + b
+  a := h2
+  goto b3
+b3:
+  br b4 b5
+b4:
+  goto b6
+b5:
+  x := 7
+  goto b6
+b6:
+  x := h
+  out(a, b, x)
+  halt
+}
+)");
+}
+
+FlowGraph am::figure18b() {
+  return mustParse(R"(
+graph {
+b1:
+  goto b2
+b2:
+  t := a + b
+  x := t + c
+  br b2 b3
+b3:
+  out(x)
+  halt
+}
+)");
+}

@@ -1,0 +1,86 @@
+//===- figures/PaperFigures.h - The paper's example programs ---*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every example program from the paper's figures, as FlowGraph builders.
+/// These drive the per-figure tests and the figure benches (the paper's
+/// "evaluation" is its worked examples).  Where a figure's topology is
+/// only partially recoverable from the text (Figure 7's 12-node drawing),
+/// the builder constructs a topology that exhibits exactly the claims the
+/// paper makes about it; the doc comment on each builder states what must
+/// hold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_FIGURES_PAPERFIGURES_H
+#define AM_FIGURES_PAPERFIGURES_H
+
+#include "ir/FlowGraph.h"
+
+namespace am {
+
+/// Figure 1(a)/2(a) topology: start branches to a straight block
+/// (`z := a+b; x := a+b`) and to a self-loop block (`x := a+b; y := x+y`),
+/// joining at `out(...)`.  Figure 1 motivates EM (a+b evaluated once per
+/// path via a temporary), Figure 2 motivates AM (x := a+b hoisted to the
+/// start, the loop copy eliminated).
+FlowGraph figure1a();
+
+/// Same graph with `out(x, y)` (Figure 2's variant).
+FlowGraph figure2a();
+
+/// Expected AM result for Figure 2(b): `x := a+b` in node 1 only.
+FlowGraph figure2b();
+
+/// Figure 4, the running example.
+FlowGraph figure4();
+
+/// Figure 5 = Figure 15: the expected result of the full uniform
+/// algorithm on Figure 4.
+FlowGraph figure5();
+
+/// Figure 7-style program: a first loop containing a definition of x, a
+/// partially redundant `x := y+z` before it, and occurrences below an
+/// irreducible two-entry loop.  The claims to reproduce: the occurrences
+/// below are hoisted across the irreducible loop to the first loop's exit
+/// edge; the hoisted copy remains partially redundant; nothing is moved
+/// into the first loop.
+FlowGraph figure7();
+
+/// Figure 8: `x := y+z` at the join is partially redundant but blocked by
+/// `a := x+y`; restricted (profitable-only) AM cannot touch it.
+FlowGraph figure8();
+
+/// Figure 9(b): the expected unrestricted-AM result for Figure 8.
+FlowGraph figure9b();
+
+/// Figure 10(a): the critical-edge example (two entries into the join,
+/// one of them from a branch).
+FlowGraph figure10a();
+
+/// Figure 16: the example showing full assignment- and temporary-
+/// optimality are unattainable (two incomparable expression-optimal
+/// solutions, Figure 17(a)/(b)).
+FlowGraph figure16();
+
+/// Figure 17(a)-style expression-optimal variant of Figure 16 (temporary
+/// for c+d initialized in both branches; assignment counts 4/4 on the two
+/// paths).
+FlowGraph figure17a();
+
+/// Figure 17(b)-style expression-optimal variant (copy in one branch;
+/// assignment counts 3/5-style, incomparable with 17(a)).
+FlowGraph figure17b();
+
+/// Figure 18(b): the 3-address decomposition of the loop-invariant
+/// `x := a+b+c` (`t := a+b; x := t+c` inside a loop).  EM alone gets
+/// stuck (Figure 19), EM+CP reaches Figure 20(a), uniform EM&AM empties
+/// the loop entirely (Figure 20(b)).
+FlowGraph figure18b();
+
+} // namespace am
+
+#endif // AM_FIGURES_PAPERFIGURES_H

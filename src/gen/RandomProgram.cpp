@@ -1,0 +1,242 @@
+//===- gen/RandomProgram.cpp - Workload generator implementation -*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/RandomProgram.h"
+#include "support/Rng.h"
+
+using namespace am;
+
+namespace {
+
+/// Shared machinery for both generators.
+class GenState {
+public:
+  GenState(uint64_t Seed, const GenOptions &Opts) : R(Seed), Opts(Opts) {
+    for (unsigned Idx = 0; Idx < std::max(1u, Opts.NumVars); ++Idx)
+      Pool.push_back(G.Vars.getOrCreate("v" + std::to_string(Idx)));
+    for (unsigned Idx = 0; Idx < Opts.PatternPoolSize; ++Idx)
+      PatternPool.emplace_back(pickVar(), randomTerm());
+  }
+
+  VarId pickVar() { return Pool[R.index(Pool.size())]; }
+
+  Operand randomOperand() {
+    if (R.chance(0.8))
+      return Operand::var(pickVar());
+    return Operand::imm(R.range(-4, 9));
+  }
+
+  Term randomTerm() {
+    Operand A = randomOperand();
+    if (R.chance(0.85)) {
+      static const OpCode Ops[] = {OpCode::Add, OpCode::Sub, OpCode::Mul};
+      return Term::binary(Ops[R.index(3)], A, randomOperand());
+    }
+    return Term::atom(A);
+  }
+
+  Instr randomAssign() {
+    // Draw mostly from the shared pattern pool so partial redundancies are
+    // common.
+    if (!PatternPool.empty() && R.chance(0.75)) {
+      const auto &[Lhs, Rhs] = PatternPool[R.index(PatternPool.size())];
+      return Instr::assign(Lhs, Rhs);
+    }
+    return Instr::assign(pickVar(), randomTerm());
+  }
+
+  Instr randomOut() {
+    std::vector<VarId> Vars;
+    size_t Count = 1 + R.index(3);
+    for (size_t Idx = 0; Idx < Count; ++Idx)
+      Vars.push_back(pickVar());
+    return Instr::out(std::move(Vars));
+  }
+
+  RelOp randomRel() {
+    static const RelOp Rels[] = {RelOp::Lt, RelOp::Le, RelOp::Gt,
+                                 RelOp::Ge, RelOp::Eq, RelOp::Ne};
+    return Rels[R.index(6)];
+  }
+
+  FlowGraph G;
+  Rng R;
+  GenOptions Opts;
+  std::vector<VarId> Pool;
+  std::vector<std::pair<VarId, Term>> PatternPool;
+};
+
+/// Builder for reducible, always-terminating programs.
+class StructuredBuilder : public GenState {
+public:
+  StructuredBuilder(uint64_t Seed, const GenOptions &Opts)
+      : GenState(Seed, Opts), Remaining(Opts.TargetStmts) {}
+
+  FlowGraph build() {
+    BlockId Start = G.addBlock();
+    G.setStart(Start);
+    BlockId Tail = Start;
+    // Top level: keep emitting statement runs until the budget is spent,
+    // so TargetStmts really controls the program size.
+    while (Remaining > 0)
+      Tail = emitStmts(Tail, 0);
+    G.block(Tail).Instrs.push_back(Instr::out(Pool));
+    G.setEnd(Tail);
+    assert(G.validate().empty() && "generator produced an invalid graph");
+    return std::move(G);
+  }
+
+private:
+  /// Emits a run of statements starting in \p Cur; returns the fall-out
+  /// block.
+  BlockId emitStmts(BlockId Cur, unsigned Depth) {
+    unsigned RunLength = 1 + static_cast<unsigned>(R.index(8));
+    for (unsigned Idx = 0; Idx < RunLength && Remaining > 0; ++Idx) {
+      --Remaining;
+      double Roll = static_cast<double>(R.index(1000)) / 1000.0;
+      bool CanNest = Depth < Opts.MaxDepth;
+      if (CanNest && Roll < Opts.LoopProb) {
+        // Split loop emissions between while-style (may run zero times)
+        // and repeat-style (runs at least once, enabling invariant
+        // motion out of the body).
+        Cur = R.chance(0.5) ? emitLoop(Cur, Depth) : emitRepeat(Cur, Depth);
+      } else if (CanNest && Roll < Opts.LoopProb + Opts.IfProb) {
+        Cur = emitIf(Cur, Depth);
+      } else if (CanNest &&
+                 Roll < Opts.LoopProb + Opts.IfProb + Opts.ChooseProb) {
+        Cur = emitChoose(Cur, Depth);
+      } else if (Roll <
+                 Opts.LoopProb + Opts.IfProb + Opts.ChooseProb + Opts.OutProb) {
+        G.block(Cur).Instrs.push_back(randomOut());
+      } else {
+        G.block(Cur).Instrs.push_back(randomAssign());
+      }
+    }
+    return Cur;
+  }
+
+  BlockId emitLoop(BlockId Cur, unsigned Depth) {
+    // Dedicated counter variable outside the assignment pool guarantees
+    // termination: lc := 0; while (lc < K) { body; lc := lc + 1; }.
+    VarId Counter = G.Vars.getOrCreate("lc" + std::to_string(NumLoops++));
+    G.block(Cur).Instrs.push_back(Instr::assign(Counter, Term::imm(0)));
+    int64_t Bound = 1 + static_cast<int64_t>(R.index(Opts.MaxLoopIters));
+
+    BlockId Header = G.addBlock();
+    G.addEdge(Cur, Header);
+    G.block(Header).Instrs.push_back(Instr::branch(
+        Term::var(Counter), RelOp::Lt, Term::imm(Bound)));
+
+    BlockId Body = G.addBlock();
+    BlockId Exit = G.addBlock();
+    G.addEdge(Header, Body);
+    G.addEdge(Header, Exit);
+    BlockId BodyTail = emitStmts(Body, Depth + 1);
+    G.block(BodyTail).Instrs.push_back(Instr::assign(
+        Counter,
+        Term::binary(OpCode::Add, Operand::var(Counter), Operand::imm(1))));
+    G.addEdge(BodyTail, Header);
+    return Exit;
+  }
+
+  BlockId emitRepeat(BlockId Cur, unsigned Depth) {
+    // lc := 0; repeat { body; lc := lc + 1 } until (lc >= K);
+    VarId Counter = G.Vars.getOrCreate("lc" + std::to_string(NumLoops++));
+    G.block(Cur).Instrs.push_back(Instr::assign(Counter, Term::imm(0)));
+    int64_t Bound = 1 + static_cast<int64_t>(R.index(Opts.MaxLoopIters));
+
+    BlockId Body = G.addBlock();
+    G.addEdge(Cur, Body);
+    BlockId Tail = emitStmts(Body, Depth + 1);
+    G.block(Tail).Instrs.push_back(Instr::assign(
+        Counter,
+        Term::binary(OpCode::Add, Operand::var(Counter), Operand::imm(1))));
+    G.block(Tail).Instrs.push_back(Instr::branch(
+        Term::var(Counter), RelOp::Ge, Term::imm(Bound)));
+    BlockId Exit = G.addBlock();
+    G.addEdge(Tail, Exit);
+    G.addEdge(Tail, Body);
+    return Exit;
+  }
+
+  BlockId emitIf(BlockId Cur, unsigned Depth) {
+    G.block(Cur).Instrs.push_back(
+        Instr::branch(randomTerm(), randomRel(), randomTerm()));
+    BlockId Then = G.addBlock();
+    BlockId Else = G.addBlock();
+    BlockId Join = G.addBlock();
+    G.addEdge(Cur, Then);
+    G.addEdge(Cur, Else);
+    G.addEdge(emitStmts(Then, Depth + 1), Join);
+    G.addEdge(emitStmts(Else, Depth + 1), Join);
+    return Join;
+  }
+
+  BlockId emitChoose(BlockId Cur, unsigned Depth) {
+    BlockId AltA = G.addBlock();
+    BlockId AltB = G.addBlock();
+    BlockId Join = G.addBlock();
+    G.addEdge(Cur, AltA);
+    G.addEdge(Cur, AltB);
+    G.addEdge(emitStmts(AltA, Depth + 1), Join);
+    G.addEdge(emitStmts(AltB, Depth + 1), Join);
+    return Join;
+  }
+
+  unsigned Remaining;
+  unsigned NumLoops = 0;
+};
+
+} // namespace
+
+FlowGraph am::generateStructuredProgram(uint64_t Seed,
+                                        const GenOptions &Opts) {
+  return StructuredBuilder(Seed, Opts).build();
+}
+
+FlowGraph am::generateIrreducibleCfg(uint64_t Seed, const GenOptions &Opts) {
+  GenState S(Seed, Opts);
+  FlowGraph &G = S.G;
+  unsigned N = std::max(3u, Opts.NumBlocks);
+  for (unsigned Idx = 0; Idx < N; ++Idx)
+    G.addBlock();
+  G.setStart(0);
+  G.setEnd(N - 1);
+
+  // Straight-line instructions.
+  for (BlockId B = 0; B + 1 < N; ++B) {
+    size_t Count = S.R.index(4);
+    for (size_t Idx = 0; Idx < Count; ++Idx)
+      G.block(B).Instrs.push_back(S.randomAssign());
+    if (S.R.chance(Opts.OutProb))
+      G.block(B).Instrs.push_back(S.randomOut());
+  }
+  G.block(N - 1).Instrs.push_back(Instr::out(S.Pool));
+
+  // Spine guarantees start-reachability and end-reachability.
+  for (BlockId B = 0; B + 1 < N; ++B)
+    G.addEdge(B, B + 1);
+
+  // Extra edges create joins, backedges and irreducible regions.  Never
+  // into the start node, never out of the end node.
+  for (unsigned Idx = 0; Idx < Opts.ExtraEdges; ++Idx) {
+    BlockId From = static_cast<BlockId>(S.R.index(N - 1));
+    BlockId To = 1 + static_cast<BlockId>(S.R.index(N - 1));
+    if (From == To)
+      continue;
+    G.addEdge(From, To);
+  }
+
+  // Some two-way branches get explicit conditions; the rest stay
+  // nondeterministic (the paper's default branching model).
+  for (BlockId B = 0; B + 1 < N; ++B)
+    if (G.block(B).Succs.size() == 2 && S.R.chance(0.5))
+      G.block(B).Instrs.push_back(
+          Instr::branch(S.randomTerm(), S.randomRel(), S.randomTerm()));
+
+  assert(G.validate().empty() && "generator produced an invalid graph");
+  return std::move(G);
+}

@@ -1,0 +1,71 @@
+//===- gen/RandomProgram.h - Seeded workload generators --------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random program generators — the workload substrate for the
+/// property tests and the complexity/dynamic benchmarks (the paper has no
+/// public benchmark suite; Section 4.5's claims are about "realistic
+/// structured programs" and the unrestricted worst case, which these
+/// generators parameterize).
+///
+///  * generateStructuredProgram: reducible programs from nested
+///    assignments, bounded `while` loops, `if`/`else` and nondeterministic
+///    `choose`; always terminates, so output traces are exact.
+///  * generateIrreducibleCfg: arbitrary (including irreducible) graphs in
+///    the style of the paper's Figure 7; may loop, so equivalence checks
+///    use truncated-trace comparison.
+///
+/// A small shared pool of assignment patterns makes partial redundancies
+/// frequent, which is what the transformations feed on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_GEN_RANDOMPROGRAM_H
+#define AM_GEN_RANDOMPROGRAM_H
+
+#include "ir/FlowGraph.h"
+
+#include <cstdint>
+
+namespace am {
+
+/// Generator knobs.  Defaults give small, redundancy-rich programs.
+struct GenOptions {
+  /// Rough number of statements to emit.
+  unsigned TargetStmts = 40;
+  /// Size of the ordinary variable pool (named v0, v1, ...).
+  unsigned NumVars = 6;
+  /// Number of distinct assignment patterns in the shared pool.
+  unsigned PatternPoolSize = 10;
+  /// Maximum structured nesting depth.
+  unsigned MaxDepth = 3;
+  /// Upper bound for every `while` loop's iteration count.
+  unsigned MaxLoopIters = 4;
+  /// Probability weights for compound statements.
+  double LoopProb = 0.15;
+  double IfProb = 0.20;
+  double ChooseProb = 0.08;
+  /// Probability that an `out` statement is emitted at a given position.
+  double OutProb = 0.10;
+  /// Number of blocks for the irreducible generator.
+  unsigned NumBlocks = 12;
+  /// Extra non-tree edges for the irreducible generator.
+  unsigned ExtraEdges = 6;
+};
+
+/// Generates a terminating, reducible program.  Identical seeds yield
+/// identical programs.  The result is always a valid FlowGraph ending in
+/// `out(<all pool variables>)`.
+FlowGraph generateStructuredProgram(uint64_t Seed, const GenOptions &Opts = {});
+
+/// Generates an arbitrary — frequently irreducible — control-flow graph
+/// whose blocks draw from the same pattern pool.  May not terminate;
+/// consumers bound execution.
+FlowGraph generateIrreducibleCfg(uint64_t Seed, const GenOptions &Opts = {});
+
+} // namespace am
+
+#endif // AM_GEN_RANDOMPROGRAM_H

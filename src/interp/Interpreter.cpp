@@ -1,0 +1,149 @@
+//===- interp/Interpreter.cpp - Interpreter implementation -----*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <random>
+
+using namespace am;
+
+namespace {
+
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+} // namespace
+
+ExecResult Interpreter::execute(
+    const FlowGraph &G, const std::unordered_map<std::string, int64_t> &Inputs,
+    uint64_t NondetSeed, Options Opts) {
+  ExecResult R;
+  std::vector<int64_t> Env(G.Vars.size(), 0);
+  for (uint32_t V = 0; V < G.Vars.size(); ++V) {
+    auto It = Inputs.find(G.Vars.name(makeVarId(V)));
+    if (It != Inputs.end())
+      Env[V] = It->second;
+  }
+  std::mt19937_64 Nondet(NondetSeed);
+
+  auto ReadOperand = [&](const Operand &O) {
+    return O.isVar() ? Env[index(O.Var)] : O.Const;
+  };
+
+  bool Trapped = false;
+  auto EvalTerm = [&](const Term &T) -> int64_t {
+    if (!T.isNonTrivial())
+      return ReadOperand(T.A);
+    ++R.Stats.ExprEvaluations;
+    int64_t A = ReadOperand(T.A);
+    int64_t B = ReadOperand(T.B);
+    switch (T.Op) {
+    case OpCode::Add:
+      return wrapAdd(A, B);
+    case OpCode::Sub:
+      return wrapSub(A, B);
+    case OpCode::Mul:
+      return wrapMul(A, B);
+    case OpCode::Div:
+      if (B == 0) {
+        Trapped = true;
+        R.TrapMessage = "division by zero";
+        return 0;
+      }
+      if (A == INT64_MIN && B == -1)
+        return INT64_MIN; // wrap instead of UB
+      return A / B;
+    case OpCode::None:
+      break;
+    }
+    return 0;
+  };
+
+  auto Compare = [](int64_t A, RelOp Rel, int64_t B) {
+    switch (Rel) {
+    case RelOp::Lt:
+      return A < B;
+    case RelOp::Le:
+      return A <= B;
+    case RelOp::Gt:
+      return A > B;
+    case RelOp::Ge:
+      return A >= B;
+    case RelOp::Eq:
+      return A == B;
+    case RelOp::Ne:
+      return A != B;
+    }
+    return false;
+  };
+
+  BlockId Cur = G.start();
+  while (true) {
+    ++R.Stats.BlocksEntered;
+    const BasicBlock &BB = G.block(Cur);
+    // Default transfer; a branch instruction overrides it.
+    size_t TakenSucc = 0;
+
+    for (const Instr &I : BB.Instrs) {
+      if (++R.Stats.Steps > Opts.MaxSteps) {
+        R.St = ExecResult::Status::StepLimit;
+        return R;
+      }
+      switch (I.K) {
+      case Instr::Kind::Skip:
+        break;
+      case Instr::Kind::Assign: {
+        int64_t V = EvalTerm(I.Rhs);
+        if (Trapped) {
+          R.St = ExecResult::Status::Trapped;
+          return R;
+        }
+        Env[index(I.Lhs)] = V;
+        ++R.Stats.AssignExecutions;
+        if (G.Vars.isTemp(I.Lhs))
+          ++R.Stats.TempAssignExecutions;
+        break;
+      }
+      case Instr::Kind::Out:
+        for (VarId V : I.OutVars)
+          R.Output.push_back(Env[index(V)]);
+        break;
+      case Instr::Kind::Branch: {
+        int64_t L = EvalTerm(I.CondL);
+        int64_t Rv = Trapped ? 0 : EvalTerm(I.CondR);
+        if (Trapped) {
+          R.St = ExecResult::Status::Trapped;
+          return R;
+        }
+        ++R.Stats.BranchesExecuted;
+        TakenSucc = Compare(L, I.Rel, Rv) ? 0 : 1;
+        break;
+      }
+      }
+    }
+
+    if (BB.Succs.empty()) {
+      R.St = Cur == G.end() ? ExecResult::Status::Finished
+                            : ExecResult::Status::Trapped;
+      if (Cur != G.end())
+        R.TrapMessage = "fell off a block with no successors";
+      return R;
+    }
+    if (!BB.branchInstr() && BB.Succs.size() > 1)
+      TakenSucc = Nondet() % BB.Succs.size();
+    Cur = BB.Succs[TakenSucc];
+  }
+}

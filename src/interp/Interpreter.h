@@ -1,0 +1,89 @@
+//===- interp/Interpreter.h - Reference interpreter ------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic reference interpreter for flow graphs.  It is the
+/// measurement substrate for the paper's dynamic claims: it counts
+/// expression evaluations (the quantity Theorem 5.2 minimizes), assignment
+/// executions (Theorem 5.3) and assignments to temporaries (Theorem 5.4),
+/// and captures the `out` trace used to check semantic preservation of
+/// every transformation.
+///
+/// Arithmetic is 64-bit two's-complement wrapping; division by zero traps.
+/// Blocks with several successors and no branch condition (the paper's
+/// nondeterministic branching) are resolved by a seeded RNG keyed on the
+/// order of nondeterministic choices, so the same seed drives corresponding
+/// executions of a program and its transformed version through the same
+/// paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_INTERP_INTERPRETER_H
+#define AM_INTERP_INTERPRETER_H
+
+#include "ir/FlowGraph.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace am {
+
+/// Execution counters.
+struct ExecStats {
+  /// Non-trivial term evaluations (assignment right-hand sides and branch
+  /// condition operands with an operator).
+  uint64_t ExprEvaluations = 0;
+  /// Executed assignments (including temporaries, excluding skip).
+  uint64_t AssignExecutions = 0;
+  /// Executed assignments whose left-hand side is a compiler temporary.
+  uint64_t TempAssignExecutions = 0;
+  /// Executed instructions.
+  uint64_t Steps = 0;
+  /// Executed conditional branches.
+  uint64_t BranchesExecuted = 0;
+  /// Block-to-block transfers taken.
+  uint64_t BlocksEntered = 0;
+};
+
+/// Outcome of one execution.
+struct ExecResult {
+  enum class Status { Finished, Trapped, StepLimit };
+
+  Status St = Status::Finished;
+  /// Values written by `out`, in order.
+  std::vector<int64_t> Output;
+  ExecStats Stats;
+  std::string TrapMessage;
+
+  bool finished() const { return St == Status::Finished; }
+};
+
+/// Interpreter entry point.
+struct Interpreter {
+  struct Options {
+    uint64_t MaxSteps = 1u << 22;
+  };
+
+  /// Executes \p G with the given named initial values (missing names
+  /// default to 0) and a seed for nondeterministic branches.
+  static ExecResult
+  execute(const FlowGraph &G,
+          const std::unordered_map<std::string, int64_t> &Inputs,
+          uint64_t NondetSeed, Options Opts);
+
+  static ExecResult
+  execute(const FlowGraph &G,
+          const std::unordered_map<std::string, int64_t> &Inputs,
+          uint64_t NondetSeed = 0) {
+    return execute(G, Inputs, NondetSeed, Options());
+  }
+};
+
+} // namespace am
+
+#endif // AM_INTERP_INTERPRETER_H

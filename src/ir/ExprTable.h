@@ -1,0 +1,91 @@
+//===- ir/ExprTable.h - Expression-pattern interning -----------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns non-trivial terms as *expression patterns* (the paper's EP) and
+/// tracks the unique temporary h_e associated with each pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_IR_EXPRTABLE_H
+#define AM_IR_EXPRTABLE_H
+
+#include "ir/Term.h"
+#include "ir/VarTable.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+namespace am {
+
+/// Per-graph interner for expression patterns.  Ids are dense and stable;
+/// the same syntactic term always interns to the same id.
+class ExprTable {
+public:
+  /// Interns the non-trivial term \p T, returning its pattern id.
+  ExprId intern(const Term &T) {
+    assert(T.isNonTrivial() && "expression patterns contain one operator");
+    size_t H = hashTerm(T);
+    auto [It, End] = Index.equal_range(H);
+    for (; It != End; ++It)
+      if (Exprs[index(It->second)].T == T)
+        return It->second;
+    ExprId Id = makeExprId(static_cast<uint32_t>(Exprs.size()));
+    Exprs.push_back({T, VarId::Invalid});
+    Index.emplace(H, Id);
+    return Id;
+  }
+
+  /// Looks up \p T without interning; returns Invalid if unknown.
+  ExprId lookup(const Term &T) const {
+    if (!T.isNonTrivial())
+      return ExprId::Invalid;
+    size_t H = hashTerm(T);
+    auto [It, End] = Index.equal_range(H);
+    for (; It != End; ++It)
+      if (Exprs[index(It->second)].T == T)
+        return It->second;
+    return ExprId::Invalid;
+  }
+
+  const Term &term(ExprId E) const {
+    assert(index(E) < Exprs.size() && "expression id out of range");
+    return Exprs[index(E)].T;
+  }
+
+  /// Returns the unique temporary for pattern \p E, creating it in \p Vars
+  /// on first request (named h1, h2, ... in interning order).
+  VarId temporary(ExprId E, VarTable &Vars) {
+    Entry &Ent = Exprs[index(E)];
+    if (!isValid(Ent.Temp))
+      Ent.Temp = Vars.createTemp(E, index(E) + 1);
+    return Ent.Temp;
+  }
+
+  /// Returns the temporary for \p E if one was already created, else
+  /// Invalid.
+  VarId temporaryIfPresent(ExprId E) const { return Exprs[index(E)].Temp; }
+
+  /// Registers \p Temp as the temporary of \p E (used by the parser when it
+  /// re-reads a printed optimized program).
+  void setTemporary(ExprId E, VarId Temp) { Exprs[index(E)].Temp = Temp; }
+
+  size_t size() const { return Exprs.size(); }
+
+private:
+  struct Entry {
+    Term T;
+    VarId Temp;
+  };
+
+  std::vector<Entry> Exprs;
+  std::unordered_multimap<size_t, ExprId> Index;
+};
+
+} // namespace am
+
+#endif // AM_IR_EXPRTABLE_H

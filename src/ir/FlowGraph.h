@@ -1,0 +1,133 @@
+//===- ir/FlowGraph.h - Control-flow graphs ---------------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Directed flow graphs G = (N, E, s, e) per Section 2 of the paper: nodes
+/// are basic blocks of instructions, edges the (possibly nondeterministic)
+/// branching structure, with a unique start node s (no predecessors) and a
+/// unique end node e (no successors).  Every node is assumed to lie on a
+/// path from s to e; validate() checks this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_IR_FLOWGRAPH_H
+#define AM_IR_FLOWGRAPH_H
+
+#include "ir/ExprTable.h"
+#include "ir/Instr.h"
+#include "ir/VarTable.h"
+
+#include <string>
+#include <vector>
+
+namespace am {
+
+/// A basic block: a straight-line instruction sequence plus its CFG edges.
+struct BasicBlock {
+  std::vector<Instr> Instrs;
+  std::vector<BlockId> Succs;
+  std::vector<BlockId> Preds;
+
+  /// True for nodes inserted by critical-edge splitting (Section 2.1);
+  /// simplify() may splice them back out when they stay empty.
+  bool Synthetic = false;
+
+  /// Returns the branch condition instruction if the block ends in one.
+  const Instr *branchInstr() const {
+    if (!Instrs.empty() && Instrs.back().isBranch())
+      return &Instrs.back();
+    return nullptr;
+  }
+};
+
+/// A whole program: blocks, edges, variables and expression patterns.
+/// Copyable by value; transformations mutate in place.
+class FlowGraph {
+public:
+  VarTable Vars;
+  ExprTable Exprs;
+
+  /// Appends an empty block and returns its id.
+  BlockId addBlock() {
+    Blocks.emplace_back();
+    return static_cast<BlockId>(Blocks.size() - 1);
+  }
+
+  /// Adds the edge From -> To, maintaining both adjacency lists.  For
+  /// blocks ending in a branch condition, the order of successors is
+  /// significant: Succs[0] is the true target, Succs[1] the false target.
+  void addEdge(BlockId From, BlockId To) {
+    block(From).Succs.push_back(To);
+    block(To).Preds.push_back(From);
+  }
+
+  BasicBlock &block(BlockId Id) {
+    assert(Id < Blocks.size() && "block id out of range");
+    return Blocks[Id];
+  }
+  const BasicBlock &block(BlockId Id) const {
+    assert(Id < Blocks.size() && "block id out of range");
+    return Blocks[Id];
+  }
+
+  size_t numBlocks() const { return Blocks.size(); }
+
+  /// Total number of instructions over all blocks.
+  size_t numInstrs() const;
+
+  BlockId start() const { return Start; }
+  BlockId end() const { return End; }
+  void setStart(BlockId Id) { Start = Id; }
+  void setEnd(BlockId Id) { End = Id; }
+
+  /// Checks the structural invariants (unique start/end, consistent
+  /// adjacency, every node on an s-to-e path, branch conditions only at
+  /// block ends of multi-successor blocks).  Returns human-readable
+  /// problems; empty means valid.
+  std::vector<std::string> validate() const;
+
+  /// Reverse postorder over forward edges from the start node.  Unreachable
+  /// blocks are appended at the end in index order so analyses still see
+  /// every block.
+  std::vector<BlockId> reversePostorder() const;
+
+  /// Reverse postorder of the *reverse* graph from the end node (the
+  /// canonical iteration order for backward analyses).
+  std::vector<BlockId> reverseGraphReversePostorder() const;
+
+  /// Splits every critical edge (from a node with >1 successors to a node
+  /// with >1 predecessors) by inserting a synthetic node, per Section 2.1.
+  /// Returns the number of edges split.
+  unsigned splitCriticalEdges();
+
+  /// True if some edge is critical.
+  bool hasCriticalEdges() const;
+
+private:
+  std::vector<BasicBlock> Blocks;
+  BlockId Start = InvalidBlock;
+  BlockId End = InvalidBlock;
+};
+
+/// Normalizes a graph for comparison and final output: rewrites `x := x`
+/// to skip, deletes skip instructions, splices out empty synthetic
+/// pass-through blocks, and compacts block ids (preserving relative
+/// order).  Returns the normalized copy.
+FlowGraph simplified(const FlowGraph &G);
+
+/// Structural equality that treats compiler temporaries up to a bijective
+/// renaming: block structure, edges and instructions must match exactly,
+/// ordinary variables must have equal names, and temporaries must map
+/// one-to-one.  Used to compare transformation results against the paper's
+/// figures regardless of temp numbering.
+bool equivalentModuloTemps(const FlowGraph &A, const FlowGraph &B);
+
+/// Exact structural equality including variable names.
+bool structurallyEqual(const FlowGraph &A, const FlowGraph &B);
+
+} // namespace am
+
+#endif // AM_IR_FLOWGRAPH_H

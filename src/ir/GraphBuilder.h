@@ -1,0 +1,147 @@
+//===- ir/GraphBuilder.h - Fluent programmatic graph construction -*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fluent API for building FlowGraphs programmatically — the
+/// in-process alternative to the textual front-ends:
+///
+///   GraphBuilder B;
+///   auto Entry = B.block();
+///   auto Loop = B.block();
+///   auto Exit = B.block();
+///   B.at(Entry).assign("x", B.add("a", "b")).jump(Loop);
+///   B.at(Loop).assign("y", B.mul("x", 2)).branch(B.lt("i", "n"), Loop, Exit);
+///   B.at(Exit).out({"x", "y"}).halt();
+///   FlowGraph G = B.take();
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_IR_GRAPHBUILDER_H
+#define AM_IR_GRAPHBUILDER_H
+
+#include "ir/FlowGraph.h"
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace am {
+
+/// Builds a FlowGraph block by block.  The first created block is the
+/// start node; the block that calls halt() is the end node.  take()
+/// finalizes and asserts validity.
+class GraphBuilder {
+public:
+  GraphBuilder() = default;
+
+  /// Creates a new empty block.
+  BlockId block() {
+    BlockId Id = G.addBlock();
+    if (G.start() == InvalidBlock)
+      G.setStart(Id);
+    return Id;
+  }
+
+  /// Operand helpers: a name makes a variable, an integer a constant.
+  Operand op(std::string_view Name) {
+    return Operand::var(G.Vars.getOrCreate(Name));
+  }
+  Operand op(int64_t Value) { return Operand::imm(Value); }
+
+  /// Term helpers.
+  template <typename A, typename B> Term add(A Lhs, B Rhs) {
+    return Term::binary(OpCode::Add, op(Lhs), op(Rhs));
+  }
+  template <typename A, typename B> Term sub(A Lhs, B Rhs) {
+    return Term::binary(OpCode::Sub, op(Lhs), op(Rhs));
+  }
+  template <typename A, typename B> Term mul(A Lhs, B Rhs) {
+    return Term::binary(OpCode::Mul, op(Lhs), op(Rhs));
+  }
+  template <typename A, typename B> Term div(A Lhs, B Rhs) {
+    return Term::binary(OpCode::Div, op(Lhs), op(Rhs));
+  }
+  template <typename A> Term atom(A Value) { return Term::atom(op(Value)); }
+
+  /// Condition helper for branch(); holds both sides and the relation.
+  struct Cond {
+    Term L;
+    RelOp Rel;
+    Term R;
+  };
+  template <typename A, typename B> Cond lt(A Lhs, B Rhs) {
+    return {Term::atom(op(Lhs)), RelOp::Lt, Term::atom(op(Rhs))};
+  }
+  template <typename A, typename B> Cond ge(A Lhs, B Rhs) {
+    return {Term::atom(op(Lhs)), RelOp::Ge, Term::atom(op(Rhs))};
+  }
+  Cond cond(Term L, RelOp Rel, Term R) { return {L, Rel, R}; }
+
+  /// Cursor for appending instructions and terminating one block.
+  class BlockRef {
+  public:
+    BlockRef &assign(std::string_view Var, Term Rhs) {
+      Builder.G.block(Id).Instrs.push_back(
+          Instr::assign(Builder.G.Vars.getOrCreate(Var), Rhs));
+      return *this;
+    }
+
+    BlockRef &skip() {
+      Builder.G.block(Id).Instrs.push_back(Instr::skip());
+      return *this;
+    }
+
+    BlockRef &out(std::initializer_list<std::string_view> Vars) {
+      std::vector<VarId> Ids;
+      for (std::string_view Name : Vars)
+        Ids.push_back(Builder.G.Vars.getOrCreate(Name));
+      Builder.G.block(Id).Instrs.push_back(Instr::out(std::move(Ids)));
+      return *this;
+    }
+
+    /// Terminators (end the fluent chain).
+    void jump(BlockId Target) { Builder.G.addEdge(Id, Target); }
+
+    void branch(Cond C, BlockId Then, BlockId Else) {
+      Builder.G.block(Id).Instrs.push_back(Instr::branch(C.L, C.Rel, C.R));
+      Builder.G.addEdge(Id, Then);
+      Builder.G.addEdge(Id, Else);
+    }
+
+    void choose(std::initializer_list<BlockId> Targets) {
+      for (BlockId Target : Targets)
+        Builder.G.addEdge(Id, Target);
+    }
+
+    void halt() { Builder.G.setEnd(Id); }
+
+  private:
+    friend class GraphBuilder;
+    BlockRef(GraphBuilder &Builder, BlockId Id) : Builder(Builder), Id(Id) {}
+    GraphBuilder &Builder;
+    BlockId Id;
+  };
+
+  /// Returns a cursor for \p Id.
+  BlockRef at(BlockId Id) { return BlockRef(*this, Id); }
+
+  /// Finalizes the graph.  Asserts validity in debug builds; use
+  /// FlowGraph::validate() for recoverable checking.
+  FlowGraph take() {
+    assert(G.validate().empty() && "GraphBuilder produced an invalid graph");
+    return std::move(G);
+  }
+
+  /// Access to the graph under construction (e.g. for validate()).
+  FlowGraph &graph() { return G; }
+
+private:
+  FlowGraph G;
+};
+
+} // namespace am
+
+#endif // AM_IR_GRAPHBUILDER_H

@@ -1,0 +1,56 @@
+//===- ir/Ids.h - Strongly-typed dense identifiers ---------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense identifier types used throughout the IR.  Variables and expression
+/// patterns use strong enum ids so they cannot be confused; basic blocks use
+/// a plain index type because they are used pervasively as array indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_IR_IDS_H
+#define AM_IR_IDS_H
+
+#include <cstdint>
+#include <functional>
+
+namespace am {
+
+/// Identifies a program variable (including compiler temporaries) within one
+/// FlowGraph's VarTable.
+enum class VarId : uint32_t { Invalid = 0xFFFFFFFFu };
+
+/// Identifies an interned non-trivial expression pattern within one
+/// FlowGraph's ExprTable.
+enum class ExprId : uint32_t { Invalid = 0xFFFFFFFFu };
+
+/// Identifies a basic block by its index in FlowGraph::blocks().
+using BlockId = uint32_t;
+
+constexpr BlockId InvalidBlock = 0xFFFFFFFFu;
+
+inline constexpr uint32_t index(VarId V) { return static_cast<uint32_t>(V); }
+inline constexpr uint32_t index(ExprId E) { return static_cast<uint32_t>(E); }
+inline constexpr bool isValid(VarId V) { return V != VarId::Invalid; }
+inline constexpr bool isValid(ExprId E) { return E != ExprId::Invalid; }
+inline constexpr VarId makeVarId(uint32_t I) { return static_cast<VarId>(I); }
+inline constexpr ExprId makeExprId(uint32_t I) { return static_cast<ExprId>(I); }
+
+} // namespace am
+
+template <> struct std::hash<am::VarId> {
+  size_t operator()(am::VarId V) const noexcept {
+    return std::hash<uint32_t>()(am::index(V));
+  }
+};
+
+template <> struct std::hash<am::ExprId> {
+  size_t operator()(am::ExprId E) const noexcept {
+    return std::hash<uint32_t>()(am::index(E));
+  }
+};
+
+#endif // AM_IR_IDS_H

@@ -1,0 +1,137 @@
+//===- ir/Instr.h - Instructions -------------------------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instructions per Section 2 of the paper: assignment statements `v := t`
+/// (including the empty statement `skip`), write statements `out(...)`, and
+/// boolean branch conditions.  A branch condition may only appear as the
+/// last instruction of a block with more than one successor; blocks with
+/// more than one successor and no condition branch nondeterministically
+/// (the paper's default model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_IR_INSTR_H
+#define AM_IR_INSTR_H
+
+#include "ir/Term.h"
+
+#include <vector>
+
+namespace am {
+
+/// One IR instruction.  A tagged flat struct: only the fields for the active
+/// kind are meaningful.
+struct Instr {
+  enum class Kind : uint8_t { Assign, Skip, Out, Branch };
+
+  Kind K = Kind::Skip;
+
+  /// Assign: destination variable and three-address right-hand side.
+  VarId Lhs = VarId::Invalid;
+  Term Rhs;
+
+  /// Out: written variables, in order.
+  std::vector<VarId> OutVars;
+
+  /// Branch: `CondL Rel CondR`, each side a (possibly trivial) term.
+  RelOp Rel = RelOp::Lt;
+  Term CondL;
+  Term CondR;
+
+  static Instr assign(VarId Lhs, Term Rhs) {
+    Instr I;
+    I.K = Kind::Assign;
+    I.Lhs = Lhs;
+    I.Rhs = Rhs;
+    return I;
+  }
+
+  static Instr skip() {
+    Instr I;
+    I.K = Kind::Skip;
+    return I;
+  }
+
+  static Instr out(std::vector<VarId> Vars) {
+    Instr I;
+    I.K = Kind::Out;
+    I.OutVars = std::move(Vars);
+    return I;
+  }
+
+  static Instr branch(Term L, RelOp Rel, Term R) {
+    Instr I;
+    I.K = Kind::Branch;
+    I.CondL = std::move(L);
+    I.Rel = Rel;
+    I.CondR = std::move(R);
+    return I;
+  }
+
+  bool isAssign() const { return K == Kind::Assign; }
+  bool isSkip() const { return K == Kind::Skip; }
+  bool isOut() const { return K == Kind::Out; }
+  bool isBranch() const { return K == Kind::Branch; }
+
+  /// The variable this instruction modifies, or Invalid.  Note that an
+  /// assignment `x := x` is identified with skip (Section 2) and modifies
+  /// nothing; callers should normalize such assignments away, but we guard
+  /// here as well.
+  VarId definedVar() const {
+    if (K == Kind::Assign && !Rhs.isVarAtom(Lhs))
+      return Lhs;
+    return VarId::Invalid;
+  }
+
+  /// Invokes \p Fn for every variable this instruction *uses* (reads).
+  template <typename FnT> void forEachUsedVar(FnT Fn) const {
+    switch (K) {
+    case Kind::Assign:
+      Rhs.forEachVar(Fn);
+      break;
+    case Kind::Out:
+      for (VarId V : OutVars)
+        Fn(V);
+      break;
+    case Kind::Branch:
+      CondL.forEachVar(Fn);
+      CondR.forEachVar(Fn);
+      break;
+    case Kind::Skip:
+      break;
+    }
+    return;
+  }
+
+  /// True if this instruction reads variable \p V.
+  bool usesVar(VarId V) const {
+    bool Found = false;
+    forEachUsedVar([&](VarId U) { Found |= (U == V); });
+    return Found;
+  }
+
+  friend bool operator==(const Instr &A, const Instr &B) {
+    if (A.K != B.K)
+      return false;
+    switch (A.K) {
+    case Kind::Assign:
+      return A.Lhs == B.Lhs && A.Rhs == B.Rhs;
+    case Kind::Skip:
+      return true;
+    case Kind::Out:
+      return A.OutVars == B.OutVars;
+    case Kind::Branch:
+      return A.Rel == B.Rel && A.CondL == B.CondL && A.CondR == B.CondR;
+    }
+    return false;
+  }
+  friend bool operator!=(const Instr &A, const Instr &B) { return !(A == B); }
+};
+
+} // namespace am
+
+#endif // AM_IR_INSTR_H

@@ -1,0 +1,140 @@
+//===- ir/Patterns.h - Assignment and expression pattern universes -*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pattern universes of Section 2: the set EP of expression patterns
+/// and the set AP of assignment patterns occurring in a program, indexed
+/// densely so dataflow facts are bit vectors.  Also provides the
+/// per-instruction relations every analysis needs:
+///
+///  * an instruction *blocks* the hoisting of `x := t` if it modifies an
+///    operand of t, or uses or modifies x (Definition 3.2);
+///  * an instruction *kills* (is not ASS-TRANSP for) `v := t` if it
+///    modifies v or an operand of t (Table 2);
+///  * an instruction *kills* an expression pattern e if it modifies an
+///    operand of e (classic availability/anticipability).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_IR_PATTERNS_H
+#define AM_IR_PATTERNS_H
+
+#include "ir/FlowGraph.h"
+#include "support/BitVector.h"
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace am {
+
+/// An assignment pattern `Lhs := Rhs` (a string pattern, not an occurrence).
+struct AssignPat {
+  VarId Lhs = VarId::Invalid;
+  Term Rhs;
+
+  friend bool operator==(const AssignPat &A, const AssignPat &B) {
+    return A.Lhs == B.Lhs && A.Rhs == B.Rhs;
+  }
+};
+
+/// Dense index over the assignment patterns AP of one program snapshot.
+/// Rebuild after every transformation step; indices are only meaningful for
+/// the snapshot the table was built from.
+class AssignPatternTable {
+public:
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  /// Collects every assignment pattern occurring in \p G, in deterministic
+  /// (block-index, instruction-index) first-occurrence order.
+  void build(const FlowGraph &G);
+
+  size_t size() const { return Pats.size(); }
+
+  const AssignPat &pattern(size_t Idx) const {
+    assert(Idx < Pats.size() && "pattern index out of range");
+    return Pats[Idx];
+  }
+
+  /// Index of pattern `Lhs := Rhs`, or npos.
+  size_t indexOf(VarId Lhs, const Term &Rhs) const;
+
+  /// Index of the pattern instruction \p I is an occurrence of, or npos if
+  /// \p I is not an assignment (or is an `x := x` pseudo-skip).
+  size_t occurrence(const Instr &I) const;
+
+  /// Sets \p Out to the patterns whose *hoisting* \p I blocks.
+  void blockedBy(const Instr &I, BitVector &Out) const;
+
+  /// Sets \p Out to the patterns for which \p I is not ASS-TRANSP.
+  void killedBy(const Instr &I, BitVector &Out) const;
+
+  /// Patterns `v := t` with v not an operand of t — the only patterns the
+  /// redundancy analysis of Table 2 ranges over.
+  const BitVector &redundancyEligible() const { return RedundancyOk; }
+
+  /// True if pattern \p Idx has the form `h_e := e` for the temporary
+  /// associated with expression pattern e (an *initialization*).
+  bool isTempInit(size_t Idx) const { return TempInit[Idx]; }
+
+  /// Returns a fresh all-false fact vector of the right width.
+  BitVector makeVector() const { return BitVector(Pats.size()); }
+
+private:
+  void notePatternVars(size_t Idx, const AssignPat &P);
+  const BitVector &lhsPats(VarId V) const;
+  const BitVector &rhsUsePats(VarId V) const;
+
+  std::vector<AssignPat> Pats;
+  std::unordered_multimap<size_t, size_t> Index; // hash -> pattern idx
+  std::vector<BitVector> PatsWithLhs;            // var -> patterns with lhs var
+  std::vector<BitVector> PatsUsingInRhs;         // var -> patterns using var in rhs
+  BitVector RedundancyOk;
+  std::vector<bool> TempInit;
+  BitVector Empty;
+};
+
+/// Dense index over the expression patterns EP of one program snapshot
+/// (assignment right-hand sides and branch-condition operands with exactly
+/// one operator).  Used by the LCM baseline and by statistics.
+class ExprPatternTable {
+public:
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  void build(const FlowGraph &G);
+
+  size_t size() const { return Terms.size(); }
+
+  const Term &term(size_t Idx) const {
+    assert(Idx < Terms.size() && "expression index out of range");
+    return Terms[Idx];
+  }
+
+  size_t indexOf(const Term &T) const;
+
+  /// Sets \p Out to the expression patterns computed by \p I (in its
+  /// right-hand side or one of its condition operands).
+  void computedBy(const Instr &I, BitVector &Out) const;
+
+  /// Sets \p Out to the expression patterns killed by \p I (an operand is
+  /// modified).
+  void killedBy(const Instr &I, BitVector &Out) const;
+
+  BitVector makeVector() const { return BitVector(Terms.size()); }
+
+private:
+  void noteTerm(const Term &T);
+  const BitVector &usePats(VarId V) const;
+
+  std::vector<Term> Terms;
+  std::unordered_multimap<size_t, size_t> Index;
+  std::vector<BitVector> PatsUsingVar; // var -> patterns with var operand
+  BitVector Empty;
+};
+
+} // namespace am
+
+#endif // AM_IR_PATTERNS_H

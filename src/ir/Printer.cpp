@@ -1,0 +1,156 @@
+//===- ir/Printer.cpp - Textual and DOT rendering ---------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "support/BitVector.h"
+
+#include <sstream>
+
+using namespace am;
+
+static std::string printOperand(const Operand &O, const VarTable &Vars) {
+  if (O.isVar())
+    return Vars.name(O.Var);
+  return std::to_string(O.Const);
+}
+
+std::string am::printTerm(const Term &T, const VarTable &Vars) {
+  std::string S = printOperand(T.A, Vars);
+  if (T.isNonTrivial()) {
+    S += ' ';
+    S += spelling(T.Op);
+    S += ' ';
+    S += printOperand(T.B, Vars);
+  }
+  return S;
+}
+
+std::string am::printInstr(const Instr &I, const VarTable &Vars) {
+  switch (I.K) {
+  case Instr::Kind::Skip:
+    return "skip";
+  case Instr::Kind::Assign:
+    return Vars.name(I.Lhs) + " := " + printTerm(I.Rhs, Vars);
+  case Instr::Kind::Out: {
+    std::string S = "out(";
+    for (size_t Idx = 0; Idx < I.OutVars.size(); ++Idx) {
+      if (Idx)
+        S += ", ";
+      S += Vars.name(I.OutVars[Idx]);
+    }
+    return S + ")";
+  }
+  case Instr::Kind::Branch:
+    return "if " + printTerm(I.CondL, Vars) + " " + spelling(I.Rel) + " " +
+           printTerm(I.CondR, Vars);
+  }
+  return "<invalid>";
+}
+
+std::string am::printGraph(const FlowGraph &G) {
+  std::ostringstream OS;
+  OS << "graph {\n";
+
+  // Declare temporaries so a re-parse can restore their temp-ness.  Only
+  // temporaries that still occur are declared (the flush may have removed
+  // every trace of some), in first-occurrence order — the order in which
+  // a re-parse interns them — so print -> parse round-trips exactly.
+  BitVector Seen(G.Vars.size());
+  std::string Temps;
+  auto NoteVar = [&](VarId V) {
+    if (Seen.test(index(V)))
+      return;
+    Seen.set(index(V));
+    if (!G.Vars.isTemp(V))
+      return;
+    if (!Temps.empty())
+      Temps += ", ";
+    Temps += G.Vars.name(V);
+  };
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    for (const Instr &I : G.block(B).Instrs) {
+      if (I.isAssign())
+        NoteVar(I.Lhs);
+      I.forEachUsedVar(NoteVar);
+    }
+  }
+  if (!Temps.empty())
+    OS << "temp " << Temps << "\n";
+
+  auto BlockName = [](BlockId B) { return "b" + std::to_string(B); };
+
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    const BasicBlock &BB = G.block(B);
+    OS << BlockName(B) << ":";
+    if (B == G.start() && B == G.end())
+      OS << "    # start, end";
+    else if (B == G.start())
+      OS << "    # start";
+    else if (B == G.end())
+      OS << "    # end";
+    OS << "\n";
+    if (BB.Synthetic)
+      OS << "  synthetic\n";
+
+    const Instr *Br = BB.branchInstr();
+    for (const Instr &I : BB.Instrs) {
+      if (&I == Br)
+        continue;
+      OS << "  " << printInstr(I, G.Vars) << "\n";
+    }
+
+    if (Br != nullptr) {
+      assert(BB.Succs.size() == 2 && "branch blocks have two successors");
+      OS << "  " << printInstr(*Br, G.Vars) << " then "
+         << BlockName(BB.Succs[0]) << " else " << BlockName(BB.Succs[1])
+         << "\n";
+    } else if (BB.Succs.empty()) {
+      OS << "  halt\n";
+    } else if (BB.Succs.size() == 1) {
+      OS << "  goto " << BlockName(BB.Succs[0]) << "\n";
+    } else {
+      OS << "  br";
+      for (BlockId S : BB.Succs)
+        OS << " " << BlockName(S);
+      OS << "\n";
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string am::printDot(const FlowGraph &G, const std::string &Title) {
+  std::ostringstream OS;
+  OS << "digraph \"" << Title << "\" {\n";
+  OS << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    const BasicBlock &BB = G.block(B);
+    OS << "  b" << B << " [label=\"b" << B;
+    if (B == G.start())
+      OS << " (start)";
+    if (B == G.end())
+      OS << " (end)";
+    OS << "\\l";
+    for (const Instr &I : BB.Instrs) {
+      std::string Line = printInstr(I, G.Vars);
+      // Escape double quotes for DOT.
+      std::string Escaped;
+      for (char C : Line) {
+        if (C == '"')
+          Escaped += "\\\"";
+        else
+          Escaped += C;
+      }
+      OS << Escaped << "\\l";
+    }
+    OS << "\"];\n";
+  }
+  for (BlockId B = 0; B < G.numBlocks(); ++B)
+    for (BlockId S : G.block(B).Succs)
+      OS << "  b" << B << " -> b" << S << ";\n";
+  OS << "}\n";
+  return OS.str();
+}

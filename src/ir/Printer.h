@@ -1,0 +1,54 @@
+//===- ir/Printer.h - Textual and DOT rendering of graphs ------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders flow graphs in the explicit CFG syntax understood by the parser
+/// (so print -> parse round-trips) and as Graphviz DOT for visual
+/// inspection of the paper's figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_IR_PRINTER_H
+#define AM_IR_PRINTER_H
+
+#include "ir/FlowGraph.h"
+
+#include <string>
+
+namespace am {
+
+/// Renders a single term, e.g. "a + b" or "7".
+std::string printTerm(const Term &T, const VarTable &Vars);
+
+/// Renders a single instruction, e.g. "x := a + b" or "out(i, x)".
+/// Branch conditions render as "if a + b > c" (targets are block syntax).
+std::string printInstr(const Instr &I, const VarTable &Vars);
+
+/// Renders the whole graph in the parser's CFG syntax:
+///
+///   graph {
+///   temp h1, h2
+///   b0:
+///     y := c + d
+///     goto b1
+///   b1:
+///     if x + z > y + i then b2 else b3
+///   ...
+///   b3:
+///     out(i, x, y)
+///     halt
+///   }
+///
+/// Blocks are named b<index>.  Multi-successor blocks without a condition
+/// print as "br b2 b3" (nondeterministic branch).
+std::string printGraph(const FlowGraph &G);
+
+/// Renders Graphviz DOT with one record node per block.
+std::string printDot(const FlowGraph &G, const std::string &Title = "G");
+
+} // namespace am
+
+#endif // AM_IR_PRINTER_H

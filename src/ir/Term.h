@@ -1,0 +1,178 @@
+//===- ir/Term.h - Operands, three-address terms, conditions ----*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Terms in the paper's sense: right-hand sides of assignments and operands
+/// of branch conditions, restricted to three-address form (at most one
+/// operator symbol, Section 2).  A trivial term is a single variable or
+/// constant; a non-trivial term applies one binary operator to two atomic
+/// operands and is what the paper calls an *expression pattern*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_IR_TERM_H
+#define AM_IR_TERM_H
+
+#include "ir/Ids.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+namespace am {
+
+/// An atomic operand: a variable or an integer constant.
+struct Operand {
+  enum class Kind : uint8_t { Var, Const };
+
+  Kind K = Kind::Const;
+  VarId Var = VarId::Invalid;
+  int64_t Const = 0;
+
+  static Operand var(VarId V) {
+    Operand O;
+    O.K = Kind::Var;
+    O.Var = V;
+    return O;
+  }
+
+  static Operand imm(int64_t C) {
+    Operand O;
+    O.K = Kind::Const;
+    O.Const = C;
+    return O;
+  }
+
+  bool isVar() const { return K == Kind::Var; }
+  bool isConst() const { return K == Kind::Const; }
+
+  friend bool operator==(const Operand &A, const Operand &B) {
+    if (A.K != B.K)
+      return false;
+    return A.isVar() ? A.Var == B.Var : A.Const == B.Const;
+  }
+  friend bool operator!=(const Operand &A, const Operand &B) {
+    return !(A == B);
+  }
+};
+
+/// Binary operators permitted in a non-trivial term.
+enum class OpCode : uint8_t { None, Add, Sub, Mul, Div };
+
+/// Relational operators used in branch conditions.
+enum class RelOp : uint8_t { Lt, Le, Gt, Ge, Eq, Ne };
+
+/// A three-address term: either a single atom (Op == None, atom in A) or a
+/// binary application `A Op B`.
+struct Term {
+  OpCode Op = OpCode::None;
+  Operand A;
+  Operand B;
+
+  static Term atom(Operand O) {
+    Term T;
+    T.Op = OpCode::None;
+    T.A = O;
+    return T;
+  }
+
+  static Term var(VarId V) { return atom(Operand::var(V)); }
+  static Term imm(int64_t C) { return atom(Operand::imm(C)); }
+
+  static Term binary(OpCode Op, Operand A, Operand B) {
+    assert(Op != OpCode::None && "binary term requires an operator");
+    Term T;
+    T.Op = Op;
+    T.A = A;
+    T.B = B;
+    return T;
+  }
+
+  /// True if the term contains an operator symbol (an expression pattern in
+  /// the paper's sense).
+  bool isNonTrivial() const { return Op != OpCode::None; }
+
+  /// True if the term is exactly the single variable \p V.
+  bool isVarAtom(VarId V) const {
+    return Op == OpCode::None && A.isVar() && A.Var == V;
+  }
+
+  /// True if \p V occurs as an operand.
+  bool usesVar(VarId V) const {
+    if (A.isVar() && A.Var == V)
+      return true;
+    return Op != OpCode::None && B.isVar() && B.Var == V;
+  }
+
+  /// Invokes \p Fn for every variable operand (at most twice).
+  template <typename FnT> void forEachVar(FnT Fn) const {
+    if (A.isVar())
+      Fn(A.Var);
+    if (Op != OpCode::None && B.isVar())
+      Fn(B.Var);
+  }
+
+  friend bool operator==(const Term &X, const Term &Y) {
+    if (X.Op != Y.Op || X.A != Y.A)
+      return false;
+    return X.Op == OpCode::None || X.B == Y.B;
+  }
+  friend bool operator!=(const Term &X, const Term &Y) { return !(X == Y); }
+};
+
+/// Hash of a term, suitable for interning tables.
+inline size_t hashTerm(const Term &T) {
+  auto HashOperand = [](const Operand &O) -> size_t {
+    size_t H = O.isVar() ? (size_t(index(O.Var)) * 2 + 1)
+                         : (std::hash<int64_t>()(O.Const) * 2);
+    return H;
+  };
+  size_t H = static_cast<size_t>(T.Op);
+  H = H * 1000003u + HashOperand(T.A);
+  if (T.Op != OpCode::None)
+    H = H * 1000003u + HashOperand(T.B);
+  return H;
+}
+
+/// Spelled operator, e.g. "+" for Add.
+inline const char *spelling(OpCode Op) {
+  switch (Op) {
+  case OpCode::None:
+    return "";
+  case OpCode::Add:
+    return "+";
+  case OpCode::Sub:
+    return "-";
+  case OpCode::Mul:
+    return "*";
+  case OpCode::Div:
+    return "/";
+  }
+  return "";
+}
+
+/// Spelled relation, e.g. ">" for Gt.
+inline const char *spelling(RelOp R) {
+  switch (R) {
+  case RelOp::Lt:
+    return "<";
+  case RelOp::Le:
+    return "<=";
+  case RelOp::Gt:
+    return ">";
+  case RelOp::Ge:
+    return ">=";
+  case RelOp::Eq:
+    return "==";
+  case RelOp::Ne:
+    return "!=";
+  }
+  return "";
+}
+
+} // namespace am
+
+#endif // AM_IR_TERM_H

@@ -1,0 +1,215 @@
+//===- parser/Lexer.cpp - Tokenizer implementation --------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+
+using namespace am;
+
+namespace {
+
+class LexerImpl {
+public:
+  explicit LexerImpl(std::string_view Src) : Src(Src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Out;
+    while (true) {
+      skipTrivia();
+      Token T = next();
+      Out.push_back(T);
+      if (T.K == TokKind::Eof || T.K == TokKind::Error)
+        break;
+    }
+    return Out;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek() const { return atEnd() ? '\0' : Src[Pos]; }
+  char peek2() const { return Pos + 1 < Src.size() ? Src[Pos + 1] : '\0'; }
+
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (C == '#') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token make(TokKind K, std::string Text = {}) {
+    Token T;
+    T.K = K;
+    T.Text = std::move(Text);
+    T.Line = TokLine;
+    T.Col = TokCol;
+    return T;
+  }
+
+  Token next() {
+    TokLine = Line;
+    TokCol = Col;
+    if (atEnd())
+      return make(TokKind::Eof);
+    char C = advance();
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text(1, C);
+      while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_'))
+        Text.push_back(advance());
+      return make(TokKind::Ident, std::move(Text));
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Digits(1, C);
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Digits.push_back(advance());
+      Token T = make(TokKind::Number, Digits);
+      T.Value = std::stoll(Digits);
+      return T;
+    }
+
+    switch (C) {
+    case '+':
+      return make(TokKind::Plus);
+    case '-':
+      return make(TokKind::Minus);
+    case '*':
+      return make(TokKind::Star);
+    case '/':
+      return make(TokKind::Slash);
+    case '(':
+      return make(TokKind::LParen);
+    case ')':
+      return make(TokKind::RParen);
+    case '{':
+      return make(TokKind::LBrace);
+    case '}':
+      return make(TokKind::RBrace);
+    case ',':
+      return make(TokKind::Comma);
+    case ';':
+      return make(TokKind::Semi);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::EqEq);
+      }
+      return make(TokKind::Assign);
+    case ':':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Assign);
+      }
+      return make(TokKind::Colon);
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Le);
+      }
+      return make(TokKind::Lt);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Ge);
+      }
+      return make(TokKind::Gt);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Ne);
+      }
+      return make(TokKind::Error, "stray '!'");
+    default:
+      return make(TokKind::Error,
+                  std::string("unexpected character '") + C + "'");
+    }
+  }
+
+  std::string_view Src;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+  unsigned TokLine = 1;
+  unsigned TokCol = 1;
+};
+
+} // namespace
+
+std::vector<Token> am::tokenize(std::string_view Src) {
+  return LexerImpl(Src).run();
+}
+
+const char *am::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Number:
+    return "number";
+  case TokKind::Assign:
+    return "':='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::Ne:
+    return "'!='";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Error:
+    return "lexical error";
+  }
+  return "?";
+}

@@ -1,0 +1,68 @@
+//===- parser/Lexer.h - Tokenizer for the program syntaxes -----*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer shared by the structured-language and CFG-syntax parsers.
+/// `#` starts a comment running to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_PARSER_LEXER_H
+#define AM_PARSER_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace am {
+
+/// Token kinds.  Keywords are recognized by the parsers from Ident tokens
+/// so that identifiers like "out" can still be diagnosed helpfully.
+enum class TokKind : uint8_t {
+  Ident,
+  Number,
+  Assign,   // := or =
+  Plus,     // +
+  Minus,    // -
+  Star,     // *
+  Slash,    // /
+  Lt,       // <
+  Le,       // <=
+  Gt,       // >
+  Ge,       // >=
+  EqEq,     // ==
+  Ne,       // !=
+  LParen,   // (
+  RParen,   // )
+  LBrace,   // {
+  RBrace,   // }
+  Comma,    // ,
+  Semi,     // ;
+  Colon,    // :
+  Eof,
+  Error,
+};
+
+/// One token with its source location (1-based line/column).
+struct Token {
+  TokKind K = TokKind::Eof;
+  std::string Text;   // identifier spelling or number digits
+  int64_t Value = 0;  // numeric value for Number
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Tokenizes \p Src completely.  On a lexical error the final token has
+/// kind Error and Text holds the message; otherwise the list ends in Eof.
+std::vector<Token> tokenize(std::string_view Src);
+
+/// Human-readable token-kind name for diagnostics.
+const char *tokKindName(TokKind K);
+
+} // namespace am
+
+#endif // AM_PARSER_LEXER_H

@@ -1,0 +1,694 @@
+//===- parser/Parser.cpp - Program parser implementation --------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "parser/Lexer.h"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace am;
+
+namespace {
+
+bool isKeyword(const std::string &S) {
+  static const char *Keywords[] = {"graph",  "program", "temp",   "goto",
+                                   "halt",   "br",      "if",     "then",
+                                   "else",   "while",   "out",    "skip",
+                                   "choose", "or",      "repeat", "until",
+                                   "synthetic"};
+  for (const char *K : Keywords)
+    if (S == K)
+      return true;
+  return false;
+}
+
+/// Shared token-stream machinery for both parsers.
+class ParserBase {
+public:
+  explicit ParserBase(std::string_view Src) : Toks(tokenize(Src)) {
+    if (!Toks.empty() && Toks.back().K == TokKind::Error)
+      fail(Toks.back(), Toks.back().Text);
+  }
+
+  bool failed() const { return !Error.empty(); }
+  const std::string &error() const { return Error; }
+
+protected:
+  const Token &peek() const { return Toks[std::min(Pos, Toks.size() - 1)]; }
+
+  const Token &peekAhead(size_t N) const {
+    return Toks[std::min(Pos + N, Toks.size() - 1)];
+  }
+
+  const Token &advance() {
+    const Token &T = peek();
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+    return T;
+  }
+
+  bool check(TokKind K) const { return peek().K == K; }
+
+  bool checkIdent(const char *Text) const {
+    return peek().K == TokKind::Ident && peek().Text == Text;
+  }
+
+  bool accept(TokKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool acceptIdent(const char *Text) {
+    if (!checkIdent(Text))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool expect(TokKind K, const char *What) {
+    if (accept(K))
+      return true;
+    fail(peek(), std::string("expected ") + What + ", found " +
+                     tokKindName(peek().K));
+    return false;
+  }
+
+  bool expectIdent(const char *Text) {
+    if (acceptIdent(Text))
+      return true;
+    fail(peek(), std::string("expected '") + Text + "', found " +
+                     describe(peek()));
+    return false;
+  }
+
+  std::string describe(const Token &T) const {
+    if (T.K == TokKind::Ident)
+      return "'" + T.Text + "'";
+    return tokKindName(T.K);
+  }
+
+  void fail(const Token &At, std::string Msg) {
+    if (!Error.empty())
+      return;
+    Error = "line " + std::to_string(At.Line) + ":" + std::to_string(At.Col) +
+            ": " + std::move(Msg);
+  }
+
+  /// Parses an identifier that is a variable name (not a keyword).
+  std::optional<std::string> parseVarName() {
+    if (!check(TokKind::Ident)) {
+      fail(peek(), "expected variable name, found " + describe(peek()));
+      return std::nullopt;
+    }
+    if (isKeyword(peek().Text)) {
+      fail(peek(), "keyword '" + peek().Text + "' cannot name a variable");
+      return std::nullopt;
+    }
+    return advance().Text;
+  }
+
+  /// operand := ident | number | '-' number
+  std::optional<Operand> parseOperand(FlowGraph &G) {
+    if (accept(TokKind::Minus)) {
+      if (!check(TokKind::Number)) {
+        fail(peek(), "expected number after unary '-'");
+        return std::nullopt;
+      }
+      return Operand::imm(-advance().Value);
+    }
+    if (check(TokKind::Number))
+      return Operand::imm(advance().Value);
+    auto Name = parseVarName();
+    if (!Name)
+      return std::nullopt;
+    return Operand::var(G.Vars.getOrCreate(*Name));
+  }
+
+  std::optional<OpCode> acceptBinOp() {
+    if (accept(TokKind::Plus))
+      return OpCode::Add;
+    if (accept(TokKind::Minus))
+      return OpCode::Sub;
+    if (accept(TokKind::Star))
+      return OpCode::Mul;
+    if (accept(TokKind::Slash))
+      return OpCode::Div;
+    return std::nullopt;
+  }
+
+  /// term := operand (binop operand)?
+  std::optional<Term> parseTerm(FlowGraph &G) {
+    auto A = parseOperand(G);
+    if (!A)
+      return std::nullopt;
+    // Unary-minus lookahead conflict: `a - 5` lexes Minus Number, which
+    // parseOperand would not consume here; the binop path below handles it.
+    if (auto Op = acceptBinOp()) {
+      auto B = parseOperand(G);
+      if (!B)
+        return std::nullopt;
+      return Term::binary(*Op, *A, *B);
+    }
+    return Term::atom(*A);
+  }
+
+  std::optional<RelOp> parseRelOp() {
+    if (accept(TokKind::Lt))
+      return RelOp::Lt;
+    if (accept(TokKind::Le))
+      return RelOp::Le;
+    if (accept(TokKind::Gt))
+      return RelOp::Gt;
+    if (accept(TokKind::Ge))
+      return RelOp::Ge;
+    if (accept(TokKind::EqEq))
+      return RelOp::Eq;
+    if (accept(TokKind::Ne))
+      return RelOp::Ne;
+    fail(peek(), "expected relational operator, found " + describe(peek()));
+    return std::nullopt;
+  }
+
+  /// out-args := '(' (var (',' var)*)? ')'
+  std::optional<std::vector<VarId>> parseOutArgs(FlowGraph &G) {
+    if (!expect(TokKind::LParen, "'('"))
+      return std::nullopt;
+    std::vector<VarId> Vars;
+    if (!check(TokKind::RParen)) {
+      do {
+        auto Name = parseVarName();
+        if (!Name)
+          return std::nullopt;
+        Vars.push_back(G.Vars.getOrCreate(*Name));
+      } while (accept(TokKind::Comma));
+    }
+    if (!expect(TokKind::RParen, "')'"))
+      return std::nullopt;
+    return Vars;
+  }
+
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+//===----------------------------------------------------------------------===//
+// CFG syntax
+//===----------------------------------------------------------------------===//
+
+class CfgParser : ParserBase {
+public:
+  explicit CfgParser(std::string_view Src) : ParserBase(Src) {}
+
+  ParseResult run() {
+    ParseResult R;
+    if (!failed())
+      parseGraph(R.Graph);
+    if (!failed())
+      finalize(R.Graph);
+    R.Error = Error;
+    return R;
+  }
+
+private:
+  /// Returns the id of the *defined* block \p Name, creating it on its
+  /// definition.  Block ids follow definition order so print -> parse
+  /// round-trips preserve the numbering; forward references are kept by
+  /// name and resolved in finalize().
+  BlockId defineBlock(FlowGraph &G, const std::string &Name) {
+    BlockId Id = G.addBlock();
+    BlockIds.emplace(Name, Id);
+    return Id;
+  }
+
+  void parseGraph(FlowGraph &G) {
+    if (!expectIdent("graph") || !expect(TokKind::LBrace, "'{'"))
+      return;
+    if (acceptIdent("temp")) {
+      do {
+        auto Name = parseVarName();
+        if (!Name)
+          return;
+        TempNames.push_back(*Name);
+      } while (accept(TokKind::Comma));
+    }
+    bool First = true;
+    while (!check(TokKind::RBrace)) {
+      if (check(TokKind::Eof)) {
+        fail(peek(), "unterminated graph: expected '}'");
+        return;
+      }
+      if (!parseBlock(G, First))
+        return;
+      First = false;
+    }
+    advance(); // consume '}'
+  }
+
+  /// blockdef := name ':' instr* terminator
+  bool parseBlock(FlowGraph &G, bool IsFirst) {
+    if (!check(TokKind::Ident) || isKeyword(peek().Text)) {
+      fail(peek(), "expected block label, found " + describe(peek()));
+      return false;
+    }
+    std::string Name = advance().Text;
+    if (!expect(TokKind::Colon, "':' after block label"))
+      return false;
+    if (BlockIds.count(Name)) {
+      fail(peek(), "block '" + Name + "' defined twice");
+      return false;
+    }
+    BlockId B = defineBlock(G, Name);
+    if (IsFirst)
+      G.setStart(B);
+    // Optional marker re-establishing edge-splitting provenance.
+    if (acceptIdent("synthetic"))
+      G.block(B).Synthetic = true;
+
+    while (true) {
+      if (acceptIdent("goto")) {
+        auto Target = parseBlockRef();
+        if (!Target)
+          return false;
+        PendingEdges.push_back({B, {*Target}});
+        return true;
+      }
+      if (acceptIdent("halt")) {
+        if (G.end() != InvalidBlock) {
+          fail(peek(), "multiple 'halt' blocks; the end node must be unique");
+          return false;
+        }
+        G.setEnd(B);
+        return true;
+      }
+      if (acceptIdent("br")) {
+        std::vector<std::string> Targets;
+        // An identifier followed by ':' starts the next block's label, not
+        // another branch target.
+        while (check(TokKind::Ident) && !isKeyword(peek().Text) &&
+               peekAhead(1).K != TokKind::Colon) {
+          auto Target = parseBlockRef();
+          if (!Target)
+            return false;
+          Targets.push_back(std::move(*Target));
+        }
+        if (Targets.size() < 2) {
+          fail(peek(), "'br' needs at least two targets");
+          return false;
+        }
+        PendingEdges.push_back({B, std::move(Targets)});
+        return true;
+      }
+      if (acceptIdent("if")) {
+        auto L = parseTerm(G);
+        if (!L)
+          return false;
+        auto Rel = parseRelOp();
+        if (!Rel)
+          return false;
+        auto Rhs = parseTerm(G);
+        if (!Rhs)
+          return false;
+        if (!expectIdent("then"))
+          return false;
+        auto Then = parseBlockRef();
+        if (!Then)
+          return false;
+        if (!expectIdent("else"))
+          return false;
+        auto Else = parseBlockRef();
+        if (!Else)
+          return false;
+        G.block(B).Instrs.push_back(Instr::branch(*L, *Rel, *Rhs));
+        PendingEdges.push_back({B, {*Then, *Else}});
+        return true;
+      }
+      if (acceptIdent("skip")) {
+        G.block(B).Instrs.push_back(Instr::skip());
+        continue;
+      }
+      if (acceptIdent("out")) {
+        auto Args = parseOutArgs(G);
+        if (!Args)
+          return false;
+        G.block(B).Instrs.push_back(Instr::out(std::move(*Args)));
+        continue;
+      }
+      // Assignment: var ':=' term.
+      auto Name2 = parseVarName();
+      if (!Name2) {
+        fail(peek(), "expected instruction or terminator");
+        return false;
+      }
+      if (!expect(TokKind::Assign, "':='"))
+        return false;
+      auto Rhs = parseTerm(G);
+      if (!Rhs)
+        return false;
+      G.block(B).Instrs.push_back(
+          Instr::assign(G.Vars.getOrCreate(*Name2), *Rhs));
+    }
+  }
+
+  std::optional<std::string> parseBlockRef() {
+    if (!check(TokKind::Ident) || isKeyword(peek().Text)) {
+      fail(peek(), "expected block name, found " + describe(peek()));
+      return std::nullopt;
+    }
+    return advance().Text;
+  }
+
+  void finalize(FlowGraph &G) {
+    for (const auto &[From, Targets] : PendingEdges) {
+      for (const std::string &Target : Targets) {
+        auto It = BlockIds.find(Target);
+        if (It == BlockIds.end()) {
+          fail(peek(), "block '" + Target + "' referenced but never defined");
+          return;
+        }
+        G.addEdge(From, It->second);
+      }
+    }
+    if (G.end() == InvalidBlock) {
+      fail(peek(), "no 'halt' block: the graph needs a unique end node");
+      return;
+    }
+    // Restore temp-ness for declared temporaries, inferring the associated
+    // expression pattern from the first initialization `h := <expr>`.
+    for (const std::string &Name : TempNames) {
+      VarId V = G.Vars.lookup(Name);
+      if (!isValid(V)) {
+        fail(peek(), "declared temp '" + Name + "' never occurs");
+        return;
+      }
+      ExprId E = ExprId::Invalid;
+      for (BlockId B = 0; B < G.numBlocks() && !isValid(E); ++B)
+        for (const Instr &I : G.block(B).Instrs)
+          if (I.isAssign() && I.Lhs == V && I.Rhs.isNonTrivial()) {
+            E = G.Exprs.intern(I.Rhs);
+            break;
+          }
+      G.Vars.markTemp(V, E);
+      if (isValid(E) && !isValid(G.Exprs.temporaryIfPresent(E)))
+        G.Exprs.setTemporary(E, V);
+    }
+    for (const std::string &Problem : G.validate()) {
+      fail(peek(), "invalid graph: " + Problem);
+      return;
+    }
+  }
+
+  std::unordered_map<std::string, BlockId> BlockIds;
+  std::vector<std::pair<BlockId, std::vector<std::string>>> PendingEdges;
+  std::vector<std::string> TempNames;
+};
+
+//===----------------------------------------------------------------------===//
+// Structured language
+//===----------------------------------------------------------------------===//
+
+class StructuredParser : ParserBase {
+public:
+  explicit StructuredParser(std::string_view Src) : ParserBase(Src) {}
+
+private:
+  /// Fresh decomposition variable (the `t` of the paper's Section 6
+  /// 3-address decomposition).  Ordinary variables — subject to motion
+  /// like any other assignment, which is exactly the Figure 18 story.
+  VarId freshDecompVar(FlowGraph &G) {
+    std::string Name;
+    do {
+      Name = "t$" + std::to_string(NumDecompVars++);
+    } while (isValid(G.Vars.lookup(Name)));
+    return G.Vars.getOrCreate(Name);
+  }
+
+  /// Emits `Dst := T` into \p Cur and returns Dst as an operand.
+  Operand spill(FlowGraph &G, BlockId Cur, const Term &T) {
+    VarId Dst = freshDecompVar(G);
+    G.block(Cur).Instrs.push_back(Instr::assign(Dst, T));
+    return Operand::var(Dst);
+  }
+
+  /// atom := operand | '(' expr ')'.  Nested expressions are decomposed
+  /// into fresh assignments appended to \p Cur.
+  std::optional<Operand> parseAtom(FlowGraph &G, BlockId Cur) {
+    if (accept(TokKind::LParen)) {
+      auto T = parseExpr(G, Cur);
+      if (!T || !expect(TokKind::RParen, "')'"))
+        return std::nullopt;
+      if (!T->isNonTrivial())
+        return T->A;
+      return spill(G, Cur, *T);
+    }
+    return parseOperand(G);
+  }
+
+  /// mulexpr := atom (('*' | '/') atom)*
+  std::optional<Term> parseMulExpr(FlowGraph &G, BlockId Cur) {
+    auto Lhs = parseAtom(G, Cur);
+    if (!Lhs)
+      return std::nullopt;
+    Term Result = Term::atom(*Lhs);
+    while (check(TokKind::Star) || check(TokKind::Slash)) {
+      OpCode Op = accept(TokKind::Star) ? OpCode::Mul
+                                        : (advance(), OpCode::Div);
+      auto Rhs = parseAtom(G, Cur);
+      if (!Rhs)
+        return std::nullopt;
+      Operand A = Result.isNonTrivial() ? spill(G, Cur, Result) : Result.A;
+      Result = Term::binary(Op, A, *Rhs);
+    }
+    return Result;
+  }
+
+  /// expr := mulexpr (('+' | '-') mulexpr)*  — left-associative, three-
+  /// address decomposed on the fly (`a + b + c` emits `t$0 := a + b` and
+  /// yields `t$0 + c`, the paper's Figure 18(b) shape).
+  std::optional<Term> parseExpr(FlowGraph &G, BlockId Cur) {
+    auto Lhs = parseMulExpr(G, Cur);
+    if (!Lhs)
+      return std::nullopt;
+    Term Result = *Lhs;
+    while (check(TokKind::Plus) || check(TokKind::Minus)) {
+      OpCode Op = accept(TokKind::Plus) ? OpCode::Add
+                                        : (advance(), OpCode::Sub);
+      auto RhsTerm = parseMulExpr(G, Cur);
+      if (!RhsTerm)
+        return std::nullopt;
+      Operand A = Result.isNonTrivial() ? spill(G, Cur, Result) : Result.A;
+      Operand B = RhsTerm->isNonTrivial() ? spill(G, Cur, *RhsTerm)
+                                          : RhsTerm->A;
+      Result = Term::binary(Op, A, B);
+    }
+    return Result;
+  }
+
+  unsigned NumDecompVars = 0;
+
+public:
+
+  ParseResult run() {
+    ParseResult R;
+    FlowGraph &G = R.Graph;
+    if (!failed()) {
+      if (expectIdent("program") && expect(TokKind::LBrace, "'{'")) {
+        BlockId Start = G.addBlock();
+        G.setStart(Start);
+        BlockId Tail = parseStmtList(G, Start, TokKind::RBrace);
+        if (!failed()) {
+          expect(TokKind::RBrace, "'}'");
+          G.setEnd(Tail);
+        }
+      }
+    }
+    if (!failed())
+      for (const std::string &Problem : G.validate()) {
+        fail(peek(), "invalid graph: " + Problem);
+        break;
+      }
+    R.Error = Error;
+    return R;
+  }
+
+private:
+  /// Parses statements, appending to \p Cur, until \p Stop; returns the
+  /// block control flow falls out of.
+  BlockId parseStmtList(FlowGraph &G, BlockId Cur, TokKind Stop) {
+    while (!check(Stop)) {
+      if (check(TokKind::Eof)) {
+        fail(peek(), "unexpected end of input in statement list");
+        return Cur;
+      }
+      Cur = parseStmt(G, Cur);
+      if (failed())
+        return Cur;
+    }
+    return Cur;
+  }
+
+  BlockId parseStmt(FlowGraph &G, BlockId Cur) {
+    if (acceptIdent("skip")) {
+      expect(TokKind::Semi, "';'");
+      G.block(Cur).Instrs.push_back(Instr::skip());
+      return Cur;
+    }
+    if (acceptIdent("out")) {
+      auto Args = parseOutArgs(G);
+      if (!Args)
+        return Cur;
+      expect(TokKind::Semi, "';'");
+      G.block(Cur).Instrs.push_back(Instr::out(std::move(*Args)));
+      return Cur;
+    }
+    if (acceptIdent("if"))
+      return parseIf(G, Cur);
+    if (acceptIdent("while"))
+      return parseWhile(G, Cur);
+    if (acceptIdent("repeat"))
+      return parseRepeat(G, Cur);
+    if (acceptIdent("choose"))
+      return parseChoose(G, Cur);
+
+    // Assignment; nested right-hand sides are decomposed into 3-address
+    // form on the fly.
+    auto Name = parseVarName();
+    if (!Name)
+      return Cur;
+    if (!expect(TokKind::Assign, "':='"))
+      return Cur;
+    auto Rhs = parseExpr(G, Cur);
+    if (!Rhs)
+      return Cur;
+    expect(TokKind::Semi, "';'");
+    G.block(Cur).Instrs.push_back(
+        Instr::assign(G.Vars.getOrCreate(*Name), *Rhs));
+    return Cur;
+  }
+
+  /// cond := '(' expr relop expr ')', appended to \p Cur as a branch.
+  bool parseCondInto(FlowGraph &G, BlockId Cur) {
+    if (!expect(TokKind::LParen, "'('"))
+      return false;
+    auto L = parseExpr(G, Cur);
+    if (!L)
+      return false;
+    auto Rel = parseRelOp();
+    if (!Rel)
+      return false;
+    auto R = parseExpr(G, Cur);
+    if (!R)
+      return false;
+    if (!expect(TokKind::RParen, "')'"))
+      return false;
+    G.block(Cur).Instrs.push_back(Instr::branch(*L, *Rel, *R));
+    return true;
+  }
+
+  /// Parses '{' stmt* '}' into a fresh block; returns (entry, fallout).
+  std::optional<std::pair<BlockId, BlockId>> parseBracedBody(FlowGraph &G) {
+    if (!expect(TokKind::LBrace, "'{'"))
+      return std::nullopt;
+    BlockId Entry = G.addBlock();
+    BlockId Tail = parseStmtList(G, Entry, TokKind::RBrace);
+    if (failed())
+      return std::nullopt;
+    expect(TokKind::RBrace, "'}'");
+    return std::make_pair(Entry, Tail);
+  }
+
+  BlockId parseIf(FlowGraph &G, BlockId Cur) {
+    if (!parseCondInto(G, Cur))
+      return Cur;
+    auto Then = parseBracedBody(G);
+    if (!Then)
+      return Cur;
+    BlockId Join = G.addBlock();
+    G.addEdge(Cur, Then->first);
+    G.addEdge(Then->second, Join);
+    if (acceptIdent("else")) {
+      auto Else = parseBracedBody(G);
+      if (!Else)
+        return Cur;
+      G.addEdge(Cur, Else->first);
+      G.addEdge(Else->second, Join);
+    } else {
+      // No else: the false edge is Cur -> Join, which is critical whenever
+      // Join has another predecessor; transformations split it later.
+      G.addEdge(Cur, Join);
+    }
+    return Join;
+  }
+
+  BlockId parseWhile(FlowGraph &G, BlockId Cur) {
+    BlockId Header = G.addBlock();
+    G.addEdge(Cur, Header);
+    if (!parseCondInto(G, Header))
+      return Cur;
+    auto Body = parseBracedBody(G);
+    if (!Body)
+      return Cur;
+    BlockId Exit = G.addBlock();
+    G.addEdge(Header, Body->first);
+    G.addEdge(Header, Exit);
+    G.addEdge(Body->second, Header);
+    return Exit;
+  }
+
+  /// repeat { body } until (cond);  — the body runs at least once, which
+  /// makes loop-invariant motion out of the body admissible (down-safe).
+  BlockId parseRepeat(FlowGraph &G, BlockId Cur) {
+    auto Body = parseBracedBody(G);
+    if (!Body)
+      return Cur;
+    G.addEdge(Cur, Body->first);
+    if (!expectIdent("until"))
+      return Cur;
+    if (!parseCondInto(G, Body->second))
+      return Cur;
+    expect(TokKind::Semi, "';'");
+    BlockId Exit = G.addBlock();
+    G.addEdge(Body->second, Exit);        // condition true: leave the loop
+    G.addEdge(Body->second, Body->first); // condition false: iterate again
+    return Exit;
+  }
+
+  BlockId parseChoose(FlowGraph &G, BlockId Cur) {
+    BlockId Join = G.addBlock();
+    unsigned NumAlts = 0;
+    do {
+      auto Alt = parseBracedBody(G);
+      if (!Alt)
+        return Cur;
+      G.addEdge(Cur, Alt->first);
+      G.addEdge(Alt->second, Join);
+      ++NumAlts;
+    } while (acceptIdent("or"));
+    if (NumAlts < 2)
+      fail(peek(), "'choose' needs at least two alternatives ('or { ... }')");
+    return Join;
+  }
+};
+
+} // namespace
+
+ParseResult am::parseCfg(std::string_view Src) { return CfgParser(Src).run(); }
+
+ParseResult am::parseStructured(std::string_view Src) {
+  return StructuredParser(Src).run();
+}
+
+ParseResult am::parseProgram(std::string_view Src) {
+  std::vector<Token> Toks = tokenize(Src);
+  if (!Toks.empty() && Toks.front().K == TokKind::Ident &&
+      Toks.front().Text == "program")
+    return parseStructured(Src);
+  return parseCfg(Src);
+}

@@ -1,0 +1,83 @@
+//===- parser/Parser.h - Program parsers -----------------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two front-ends producing FlowGraphs:
+///
+///  * the *CFG syntax* (`graph { ... }`), a direct textual form of basic
+///    blocks and edges that can express arbitrary — including irreducible —
+///    control flow and round-trips with printGraph();
+///  * the *structured language* (`program { ... }`) with assignments,
+///    `if`/`else`, `while`, `repeat`/`until`, nondeterministic
+///    `choose`/`or`, `out` and `skip`, lowered to a reducible FlowGraph.
+///
+/// Both front-ends validate the resulting graph (unique start/end, every
+/// node on a start-to-end path) and report violations as parse errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_PARSER_PARSER_H
+#define AM_PARSER_PARSER_H
+
+#include "ir/FlowGraph.h"
+
+#include <string>
+#include <string_view>
+
+namespace am {
+
+/// Outcome of a parse: a graph on success, a located message on failure.
+struct ParseResult {
+  FlowGraph Graph;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses the CFG syntax, e.g.:
+///
+///   graph {
+///   temp h1
+///   b0:
+///     x := a + b
+///     goto b1
+///   b1:
+///     if x > 0 then b2 else b3
+///   b2:
+///     out(x)
+///     br b1 b3        # nondeterministic branch
+///   b3:
+///     halt
+///   }
+///
+/// The first block is the start node; the unique block ending in `halt` is
+/// the end node.  `temp` declares compiler temporaries so re-parsed
+/// optimized programs keep their temp/expression association.
+ParseResult parseCfg(std::string_view Src);
+
+/// Parses the structured language, e.g.:
+///
+///   program {
+///     x := (a + b) * c + d;     # decomposed into 3-address form
+///     while (i < n) { i := i + 1; out(i); }
+///     repeat { s := s + i; i := i - 1; } until (i <= 0);
+///     if (x > 0) { y := x + 1; } else { y := 2; }
+///     choose { z := 1; } or { z := 2; }
+///     out(x, y, z);
+///   }
+///
+/// Right-hand sides and condition operands may be arbitrarily nested
+/// (+ - * /, parentheses, standard precedence); the parser decomposes
+/// them into fresh `t$N` assignments per the paper's Section 6, so the
+/// motion passes see plain 3-address code.
+ParseResult parseStructured(std::string_view Src);
+
+/// Dispatches on the leading keyword (`graph` or `program`).
+ParseResult parseProgram(std::string_view Src);
+
+} // namespace am
+
+#endif // AM_PARSER_PARSER_H

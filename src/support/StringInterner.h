@@ -1,0 +1,63 @@
+//===- support/StringInterner.h - Stable string-to-id mapping --*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings to dense, stable indices.  Variable names and similar
+/// identifiers are interned once so the rest of the library can work with
+/// small integer ids and index bit vectors directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_SUPPORT_STRINGINTERNER_H
+#define AM_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace am {
+
+/// Maps strings to dense indices [0, size()) and back.  Indices are stable
+/// for the lifetime of the interner; interning the same string twice yields
+/// the same index.
+class StringInterner {
+public:
+  /// Interns \p S, returning its dense index.
+  uint32_t intern(std::string_view S) {
+    auto It = Index.find(std::string(S));
+    if (It != Index.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Strings.size());
+    Strings.emplace_back(S);
+    Index.emplace(Strings.back(), Id);
+    return Id;
+  }
+
+  /// Returns the index of \p S, or UINT32_MAX if it was never interned.
+  uint32_t lookup(std::string_view S) const {
+    auto It = Index.find(std::string(S));
+    return It == Index.end() ? UINT32_MAX : It->second;
+  }
+
+  /// Returns the string for index \p Id.
+  const std::string &str(uint32_t Id) const {
+    assert(Id < Strings.size() && "interner index out of range");
+    return Strings[Id];
+  }
+
+  size_t size() const { return Strings.size(); }
+
+private:
+  std::vector<std::string> Strings;
+  std::unordered_map<std::string, uint32_t> Index;
+};
+
+} // namespace am
+
+#endif // AM_SUPPORT_STRINGINTERNER_H

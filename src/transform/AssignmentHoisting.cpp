@@ -1,0 +1,126 @@
+//===- transform/AssignmentHoisting.cpp - aht implementation ---*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/AssignmentHoisting.h"
+#include "analysis/PaperAnalyses.h"
+
+using namespace am;
+
+bool am::runAssignmentHoisting(FlowGraph &G, const HoistFilter &Filter) {
+  assert(!G.hasCriticalEdges() &&
+         "assignment hoisting requires split critical edges");
+  AssignPatternTable Pats;
+  Pats.build(G);
+  if (Pats.size() == 0)
+    return false;
+  HoistabilityAnalysis Hoist = HoistabilityAnalysis::run(G, Pats);
+
+  BitVector Allowed(Pats.size(), true);
+  if (Filter)
+    Allowed = Filter(Pats);
+
+  // Phase 1: record all decisions against the frozen graph.
+  struct BlockDecision {
+    std::vector<size_t> FromPreds;    // exit-inserts of a branching pred
+    std::vector<size_t> AtEntry;      // N-INSERT
+    std::vector<bool> RemoveInstr;    // hoisting candidates
+    std::vector<size_t> BeforeBranch; // X-INSERT, branch does not block
+    std::vector<size_t> AtEnd;        // X-INSERT, no branch instruction
+  };
+  std::vector<BlockDecision> Decisions(G.numBlocks());
+
+  BitVector Tmp = Pats.makeVector();
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    const BasicBlock &BB = G.block(B);
+    BlockDecision &D = Decisions[B];
+
+    BitVector EntryIns = Hoist.entryInsert(B);
+    EntryIns &= Allowed;
+    // Footnote 6: after edge splitting there are never entry insertions at
+    // join nodes.
+    assert((EntryIns.none() || BB.Preds.size() <= 1 || B == G.start()) &&
+           "unexpected entry insertion at a join node");
+    D.AtEntry = EntryIns.setBits();
+
+    // Hoisting candidates: occurrences not preceded by a blocker within
+    // their block.
+    D.RemoveInstr.assign(BB.Instrs.size(), false);
+    BitVector BlockedSoFar = Pats.makeVector();
+    for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
+      size_t Pat = Pats.occurrence(BB.Instrs[Idx]);
+      if (Pat != AssignPatternTable::npos && Allowed.test(Pat) &&
+          !BlockedSoFar.test(Pat))
+        D.RemoveInstr[Idx] = true;
+      Pats.blockedBy(BB.Instrs[Idx], Tmp);
+      BlockedSoFar |= Tmp;
+    }
+
+    // Exit insertions.
+    BitVector ExitIns = Hoist.exitInsert(B);
+    ExitIns &= Allowed;
+    if (ExitIns.none())
+      continue;
+    const Instr *Br = BB.branchInstr();
+    if (!Br) {
+      D.AtEnd = ExitIns.setBits();
+      continue;
+    }
+    BitVector BranchBlocks = Pats.makeVector();
+    Pats.blockedBy(*Br, BranchBlocks);
+    for (size_t Pat : ExitIns.setBits()) {
+      if (!BranchBlocks.test(Pat)) {
+        D.BeforeBranch.push_back(Pat);
+        continue;
+      }
+      // The branch condition itself blocks the pattern: place the
+      // insertion after the condition, i.e. at the entry of every
+      // successor (each has a single predecessor after edge splitting).
+      for (BlockId S : BB.Succs) {
+        assert(G.block(S).Preds.size() == 1 &&
+               "successor of a branching block must have a unique pred");
+        Decisions[S].FromPreds.push_back(Pat);
+      }
+    }
+  }
+
+  // Phase 2: rebuild the instruction lists.
+  bool Changed = false;
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    BasicBlock &BB = G.block(B);
+    const BlockDecision &D = Decisions[B];
+
+    std::vector<Instr> NewInstrs;
+    NewInstrs.reserve(BB.Instrs.size() + D.AtEntry.size() +
+                      D.FromPreds.size() + D.AtEnd.size() +
+                      D.BeforeBranch.size());
+    auto Emit = [&](size_t Pat) {
+      NewInstrs.push_back(
+          Instr::assign(Pats.pattern(Pat).Lhs, Pats.pattern(Pat).Rhs));
+    };
+    // Predecessor-exit insertions precede this block's own entry point.
+    for (size_t Pat : D.FromPreds)
+      Emit(Pat);
+    for (size_t Pat : D.AtEntry)
+      Emit(Pat);
+    const Instr *Br = BB.branchInstr();
+    for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
+      if (D.RemoveInstr[Idx])
+        continue;
+      if (Br && &BB.Instrs[Idx] == Br)
+        for (size_t Pat : D.BeforeBranch)
+          Emit(Pat);
+      NewInstrs.push_back(BB.Instrs[Idx]);
+    }
+    for (size_t Pat : D.AtEnd)
+      Emit(Pat);
+
+    if (NewInstrs != BB.Instrs) {
+      BB.Instrs = std::move(NewInstrs);
+      Changed = true;
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,43 @@
+//===- transform/AssignmentHoisting.h - aht procedure ----------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The aht procedure (Section 4.3.2): moves assignments as far as possible
+/// against the control flow to their earliest safe program points.  The
+/// insertion step processes every basic block, inserting instances of
+/// every pattern whose N-INSERT (entry) or X-INSERT (exit) predicate holds
+/// and simultaneously removing all hoisting candidates.
+///
+/// Exit insertions at a block whose branch condition blocks the pattern
+/// are realized at the entries of its successors — equivalent placement,
+/// since after critical-edge splitting every successor of a multi-successor
+/// block has exactly one predecessor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_TRANSFORM_ASSIGNMENTHOISTING_H
+#define AM_TRANSFORM_ASSIGNMENTHOISTING_H
+
+#include "ir/FlowGraph.h"
+#include "support/BitVector.h"
+
+#include <functional>
+
+namespace am {
+
+/// Filters the patterns a hoisting pass may move; used by the restricted
+/// (Dhamdhere-style) baseline.  Receives the pattern index universe size;
+/// returns a mask of allowed patterns.
+using HoistFilter = std::function<BitVector(const class AssignPatternTable &)>;
+
+/// One aht pass over \p G.  The graph must have no critical edges.
+/// Returns true if the program changed.  If \p Filter is provided, only
+/// patterns in the returned mask are hoisted.
+bool runAssignmentHoisting(FlowGraph &G, const HoistFilter &Filter = nullptr);
+
+} // namespace am
+
+#endif // AM_TRANSFORM_ASSIGNMENTHOISTING_H

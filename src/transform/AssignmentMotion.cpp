@@ -1,0 +1,33 @@
+//===- transform/AssignmentMotion.cpp - AM phase driver ---------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/AssignmentMotion.h"
+#include "transform/AssignmentHoisting.h"
+#include "transform/RedundantAssignElim.h"
+
+using namespace am;
+
+AmPhaseStats am::runAssignmentMotionPhase(FlowGraph &G,
+                                          unsigned MaxIterations) {
+  AmPhaseStats Stats;
+  // The phase provably terminates (Section 4.5); the hard cap below is a
+  // defensive backstop far above the quadratic worst case.
+  unsigned Cap = MaxIterations
+                     ? MaxIterations
+                     : static_cast<unsigned>(G.numInstrs() * G.numInstrs() +
+                                             G.numBlocks() + 16);
+  while (Stats.Iterations < Cap) {
+    ++Stats.Iterations;
+    unsigned Eliminated = runRedundantAssignmentElimination(G);
+    Stats.Eliminated += Eliminated;
+    bool Hoisted = runAssignmentHoisting(G);
+    if (Hoisted)
+      ++Stats.HoistRounds;
+    if (Eliminated == 0 && !Hoisted)
+      break;
+  }
+  return Stats;
+}

@@ -1,0 +1,43 @@
+//===- transform/AssignmentMotion.h - AM phase fixpoint driver -*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The assignment motion phase (Section 4.3): exhaustive interleaving of
+/// redundant assignment elimination (rae) and assignment hoisting (aht)
+/// until the program stabilizes.  This captures all second-order effects:
+/// hoisting-elimination, hoisting-hoisting, elimination-hoisting and
+/// elimination-elimination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_TRANSFORM_ASSIGNMENTMOTION_H
+#define AM_TRANSFORM_ASSIGNMENTMOTION_H
+
+#include "ir/FlowGraph.h"
+
+namespace am {
+
+/// Statistics from one run of the AM phase, used by the complexity
+/// experiments (Section 4.5 claims the number of iterations is at most
+/// quadratic in the program size but linear for realistic programs).
+struct AmPhaseStats {
+  /// Number of rae+aht rounds until stabilization (including the final
+  /// no-change round).
+  unsigned Iterations = 0;
+  /// Total assignments removed by rae across all rounds.
+  unsigned Eliminated = 0;
+  /// Number of rounds in which aht changed the program.
+  unsigned HoistRounds = 0;
+};
+
+/// Runs rae and aht to a fixpoint on \p G (critical edges must be split).
+/// \p MaxIterations of 0 means unbounded (the phase always terminates).
+AmPhaseStats runAssignmentMotionPhase(FlowGraph &G,
+                                      unsigned MaxIterations = 0);
+
+} // namespace am
+
+#endif // AM_TRANSFORM_ASSIGNMENTMOTION_H

@@ -1,0 +1,31 @@
+//===- transform/BusyCodeMotion.h - BCM baseline ---------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Busy code motion — the *earliest*-placement variant of expression
+/// motion from the paper's refs [15, 16].  Computationally equivalent to
+/// lazy code motion (same number of expression evaluations on every
+/// path), but it moves initializations as early as safely possible, which
+/// maximizes temporary lifetimes.  It exists here as the classic contrast
+/// to LCM: the lifetime metrics of analysis/Lifetime.h quantify exactly
+/// what laziness buys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_TRANSFORM_BUSYCODEMOTION_H
+#define AM_TRANSFORM_BUSYCODEMOTION_H
+
+#include "ir/FlowGraph.h"
+
+namespace am {
+
+/// Runs busy code motion on a copy of \p G (critical edges are split
+/// internally) and returns the transformed program.
+FlowGraph runBusyCodeMotion(const FlowGraph &G);
+
+} // namespace am
+
+#endif // AM_TRANSFORM_BUSYCODEMOTION_H

@@ -1,0 +1,30 @@
+//===- transform/CopyPropagation.h - CP baseline ---------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic copy propagation, the standard companion of expression motion
+/// (Section 6: EM is usually interleaved with CP to mitigate the 3-address
+/// decomposition problem; the paper's Figure 20 compares EM+CP against the
+/// uniform algorithm).  Uses of x for which a copy `x := y` reaches on
+/// every path are rewritten to y.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_TRANSFORM_COPYPROPAGATION_H
+#define AM_TRANSFORM_COPYPROPAGATION_H
+
+#include "ir/FlowGraph.h"
+
+namespace am {
+
+/// Runs copy propagation in place until no more uses can be rewritten.
+/// Uses in `out` statements are left untouched (they observe variables by
+/// name).  Returns the number of rewritten uses.
+unsigned runCopyPropagation(FlowGraph &G);
+
+} // namespace am
+
+#endif // AM_TRANSFORM_COPYPROPAGATION_H

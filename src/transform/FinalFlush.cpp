@@ -1,0 +1,123 @@
+//===- transform/FinalFlush.cpp - Final flush implementation ---*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/FinalFlush.h"
+#include "analysis/PaperAnalyses.h"
+
+using namespace am;
+
+namespace {
+
+/// True if the single use of temp \p H in \p I sits in a position where the
+/// original expression can be reconstructed in place.
+bool reconstructUse(Instr &I, VarId H, const Term &Expr) {
+  if (I.isAssign() && I.Rhs.isVarAtom(H)) {
+    I.Rhs = Expr;
+    return true;
+  }
+  if (I.isBranch()) {
+    if (I.CondL.isVarAtom(H)) {
+      I.CondL = Expr;
+      return true;
+    }
+    if (I.CondR.isVarAtom(H)) {
+      I.CondR = Expr;
+      return true;
+    }
+  }
+  return false;
+}
+
+unsigned countUses(const Instr &I, VarId H) {
+  unsigned N = 0;
+  I.forEachUsedVar([&](VarId V) { N += (V == H); });
+  return N;
+}
+
+} // namespace
+
+bool am::runFinalFlush(FlowGraph &G) {
+  assert(!G.hasCriticalEdges() &&
+         "the final flush requires split critical edges");
+  FlushAnalysis Analysis = FlushAnalysis::run(G);
+  const FlushUniverse &U = Analysis.universe();
+  if (U.size() == 0)
+    return false;
+
+  // Phase 1: record every decision against the frozen graph.
+  struct BlockDecision {
+    FlushAnalysis::BlockPlan Plan;
+    std::vector<size_t> FromPreds; // exit inits realized at succ entries
+  };
+  std::vector<BlockDecision> Decisions(G.numBlocks());
+  for (BlockId B = 0; B < G.numBlocks(); ++B)
+    Decisions[B].Plan = Analysis.plan(B);
+
+  // Distribute exit initializations of branching blocks to their
+  // successors' entries.  (With split critical edges this cannot actually
+  // occur — a successor of a multi-successor block has a unique
+  // predecessor, so delayability never stops at such an exit — but the
+  // fallback keeps the transformation total.)
+  BitVector Tmp = U.makeVector();
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    BlockDecision &D = Decisions[B];
+    const Instr *Br = G.block(B).branchInstr();
+    if (!Br || D.Plan.InitAtExit.none())
+      continue;
+    assert(false && "exit initialization at a branching block");
+    for (size_t Idx : D.Plan.InitAtExit.setBits())
+      for (BlockId S : G.block(B).Succs)
+        Decisions[S].FromPreds.push_back(Idx);
+    D.Plan.InitAtExit.resetAll();
+  }
+
+  // Phase 2: rebuild instruction lists.
+  bool Changed = false;
+  BitVector IsInst = U.makeVector();
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    BasicBlock &BB = G.block(B);
+    BlockDecision &D = Decisions[B];
+
+    std::vector<Instr> NewInstrs;
+    NewInstrs.reserve(BB.Instrs.size() + 4);
+    auto EmitInit = [&](size_t Idx) {
+      NewInstrs.push_back(Instr::assign(U.temp(Idx), U.expr(Idx)));
+    };
+
+    for (size_t Idx : D.FromPreds)
+      EmitInit(Idx);
+
+    for (size_t InstrIdx = 0; InstrIdx < BB.Instrs.size(); ++InstrIdx) {
+      const Instr &I = BB.Instrs[InstrIdx];
+      for (size_t TempIdx : D.Plan.InitBefore[InstrIdx].setBits())
+        EmitInit(TempIdx);
+      // Delete every original initialization instance; the latest points
+      // re-materialize exactly the ones that are justified.
+      U.isInst(I, IsInst);
+      if (IsInst.any())
+        continue;
+      Instr NewI = I;
+      for (size_t TempIdx : D.Plan.Reconstruct[InstrIdx].setBits()) {
+        VarId H = U.temp(TempIdx);
+        if (countUses(NewI, H) == 1 && reconstructUse(NewI, H, U.expr(TempIdx)))
+          continue;
+        // Multiple or non-replaceable uses: keep the temporary and
+        // initialize it here instead.
+        EmitInit(TempIdx);
+      }
+      NewInstrs.push_back(std::move(NewI));
+    }
+
+    for (size_t TempIdx : D.Plan.InitAtExit.setBits())
+      EmitInit(TempIdx);
+
+    if (NewInstrs != BB.Instrs) {
+      BB.Instrs = std::move(NewInstrs);
+      Changed = true;
+    }
+  }
+  return Changed;
+}

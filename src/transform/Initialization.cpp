@@ -1,0 +1,52 @@
+//===- transform/Initialization.cpp - Phase 1 implementation ---*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Initialization.h"
+
+using namespace am;
+
+unsigned am::runInitializationPhase(FlowGraph &G) {
+  unsigned NumDecomposed = 0;
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    std::vector<Instr> NewInstrs;
+    auto &Instrs = G.block(B).Instrs;
+    NewInstrs.reserve(Instrs.size() * 2);
+    for (Instr &I : Instrs) {
+      if (I.isAssign() && I.Rhs.isNonTrivial()) {
+        ExprId E = G.Exprs.intern(I.Rhs);
+        VarId H = G.Exprs.temporary(E, G.Vars);
+        if (I.Lhs == H) {
+          // Already an initialization h_t := t.
+          NewInstrs.push_back(I);
+          continue;
+        }
+        NewInstrs.push_back(Instr::assign(H, I.Rhs));
+        NewInstrs.push_back(Instr::assign(I.Lhs, Term::var(H)));
+        ++NumDecomposed;
+        continue;
+      }
+      if (I.isBranch()) {
+        auto DecomposeSide = [&](Term &Side) {
+          if (!Side.isNonTrivial())
+            return;
+          ExprId E = G.Exprs.intern(Side);
+          VarId H = G.Exprs.temporary(E, G.Vars);
+          NewInstrs.push_back(Instr::assign(H, Side));
+          Side = Term::var(H);
+          ++NumDecomposed;
+        };
+        Instr Branch = I;
+        DecomposeSide(Branch.CondL);
+        DecomposeSide(Branch.CondR);
+        NewInstrs.push_back(std::move(Branch));
+        continue;
+      }
+      NewInstrs.push_back(I);
+    }
+    Instrs = std::move(NewInstrs);
+  }
+  return NumDecomposed;
+}

@@ -1,0 +1,31 @@
+//===- transform/Initialization.h - Phase 1 of the algorithm ---*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The initialization phase (Section 4.2): every assignment `x := t` with a
+/// non-trivial right-hand side is decomposed into `h_t := t; x := h_t`,
+/// where h_t is the unique temporary associated with t; every non-trivial
+/// branch-condition operand e is likewise replaced by h_e after prepending
+/// `h_e := e`.  This simple transformation is an admissible expression
+/// motion and makes assignment motion subsume expression motion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_TRANSFORM_INITIALIZATION_H
+#define AM_TRANSFORM_INITIALIZATION_H
+
+#include "ir/FlowGraph.h"
+
+namespace am {
+
+/// Runs the initialization phase in place.  Idempotent: assignments that
+/// are already initializations `h_t := t` are left alone.  Returns the
+/// number of decomposed computations.
+unsigned runInitializationPhase(FlowGraph &G);
+
+} // namespace am
+
+#endif // AM_TRANSFORM_INITIALIZATION_H

@@ -1,0 +1,66 @@
+//===- transform/LocalValueNumbering.cpp - Local CSE ------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/LocalValueNumbering.h"
+#include "transform/Normalize.h"
+
+#include <unordered_map>
+
+using namespace am;
+
+unsigned am::runLocalValueNumbering(FlowGraph &G) {
+  unsigned Rewritten = 0;
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    // Available values: term hash -> (term, holder variable).
+    struct Available {
+      Term T;
+      VarId Holder;
+    };
+    std::unordered_multimap<size_t, Available> Values;
+
+    auto Invalidate = [&](VarId Def) {
+      for (auto It = Values.begin(); It != Values.end();) {
+        if (It->second.Holder == Def || It->second.T.usesVar(Def))
+          It = Values.erase(It);
+        else
+          ++It;
+      }
+    };
+
+    for (Instr &I : G.block(B).Instrs) {
+      if (I.isAssign() && I.Rhs.isNonTrivial()) {
+        // Look up the value.
+        VarId Holder = VarId::Invalid;
+        auto [It, End] = Values.equal_range(hashTerm(I.Rhs));
+        for (; It != End; ++It)
+          if (It->second.T == I.Rhs) {
+            Holder = It->second.Holder;
+            break;
+          }
+        if (isValid(Holder)) {
+          // Reuse: x := <holder> (a plain copy; x := x normalizes away).
+          I.Rhs = Term::var(Holder);
+          ++Rewritten;
+        }
+        VarId Def = I.definedVar();
+        if (isValid(Def))
+          Invalidate(Def);
+        // Record the new value — unless the assignment consumed its own
+        // left-hand side (x := x+1: the recorded term would refer to the
+        // *old* x).
+        if (!isValid(Holder) && I.Rhs.isNonTrivial() &&
+            !I.Rhs.usesVar(I.Lhs))
+          Values.emplace(hashTerm(I.Rhs), Available{I.Rhs, I.Lhs});
+        continue;
+      }
+      VarId Def = I.definedVar();
+      if (isValid(Def))
+        Invalidate(Def);
+    }
+  }
+  removeSkips(G);
+  return Rewritten;
+}

@@ -1,0 +1,32 @@
+//===- transform/LocalValueNumbering.h - Local CSE --------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Local value numbering: within one basic block, a recomputation of a
+/// syntactically identical right-hand side whose operands are unchanged
+/// is rewritten into a copy from the earlier result.  The classic
+/// companion of PRE (the paper's ref [2], Briggs/Cooper "Effective
+/// partial redundancy elimination" pairs exactly this kind of local
+/// canonicalization with expression motion); EM formulations generally
+/// assume blocks are locally clean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_TRANSFORM_LOCALVALUENUMBERING_H
+#define AM_TRANSFORM_LOCALVALUENUMBERING_H
+
+#include "ir/FlowGraph.h"
+
+namespace am {
+
+/// Runs local value numbering in place.  Returns the number of rewritten
+/// computations.  Only assignment right-hand sides are rewritten (branch
+/// operands stay put — they have no destination to copy from).
+unsigned runLocalValueNumbering(FlowGraph &G);
+
+} // namespace am
+
+#endif // AM_TRANSFORM_LOCALVALUENUMBERING_H

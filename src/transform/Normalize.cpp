@@ -1,0 +1,22 @@
+//===- transform/Normalize.cpp - Skip and self-assign cleanup ---*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Normalize.h"
+
+using namespace am;
+
+unsigned am::removeSkips(FlowGraph &G) {
+  unsigned Removed = 0;
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    auto &Instrs = G.block(B).Instrs;
+    size_t Before = Instrs.size();
+    std::erase_if(Instrs, [](const Instr &I) {
+      return I.isSkip() || (I.isAssign() && I.Rhs.isVarAtom(I.Lhs));
+    });
+    Removed += static_cast<unsigned>(Before - Instrs.size());
+  }
+  return Removed;
+}

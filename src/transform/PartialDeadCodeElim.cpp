@@ -1,0 +1,149 @@
+//===- transform/PartialDeadCodeElim.cpp - PDE implementation --*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/PartialDeadCodeElim.h"
+#include "analysis/Liveness.h"
+#include "dfa/Dataflow.h"
+#include "ir/Patterns.h"
+
+using namespace am;
+
+namespace {
+
+/// Sinking delayability: a pattern occurrence can be delayed (sunk) past
+/// an instruction unless the instruction blocks it — uses or modifies the
+/// left-hand side, or modifies an operand (the blocking relation is the
+/// same in both motion directions).  Forward, all-path, greatest fixpoint:
+/// X-DELAY = OCCURRENCE + N-DELAY · ¬BLOCKED.
+class SinkDelayProblem : public DataflowProblem {
+public:
+  explicit SinkDelayProblem(const AssignPatternTable &Pats) : Pats(Pats) {}
+
+  Direction direction() const override { return Direction::Forward; }
+  Meet meet() const override { return Meet::All; }
+  size_t numBits() const override { return Pats.size(); }
+
+  void gen(BlockId, size_t, const Instr &I, BitVector &Out) const override {
+    Out = Pats.makeVector();
+    size_t Idx = Pats.occurrence(I);
+    if (Idx != AssignPatternTable::npos)
+      Out.set(Idx);
+  }
+
+  void kill(BlockId, size_t, const Instr &I, BitVector &Out) const override {
+    Pats.blockedBy(I, Out);
+  }
+
+private:
+  const AssignPatternTable &Pats;
+};
+
+} // namespace
+
+bool am::runAssignmentSinking(FlowGraph &G) {
+  assert(!G.hasCriticalEdges() &&
+         "assignment sinking requires split critical edges");
+  AssignPatternTable Pats;
+  Pats.build(G);
+  if (Pats.size() == 0)
+    return false;
+  SinkDelayProblem Problem(Pats);
+  DataflowResult Delay = solve(G, Problem);
+  LivenessAnalysis Live = LivenessAnalysis::run(G);
+
+  // Phase 1: record decisions against the frozen graph.
+  struct BlockDecision {
+    std::vector<BitVector> InsertBefore; // per instruction
+    BitVector InsertAtExit;
+    std::vector<bool> RemoveInstr;
+  };
+  std::vector<BlockDecision> Decisions(G.numBlocks());
+  BitVector Blocked = Pats.makeVector();
+
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    const auto &Instrs = G.block(B).Instrs;
+    BlockDecision &D = Decisions[B];
+    D.InsertBefore.resize(Instrs.size());
+    D.RemoveInstr.assign(Instrs.size(), false);
+    DataflowResult::InstrFacts DelayFacts = Delay.instrFacts(B);
+    DataflowResult::InstrFacts LiveFacts = Live.facts(B);
+
+    for (size_t Idx = 0; Idx < Instrs.size(); ++Idx) {
+      // Every occurrence is deleted; the latest points re-materialize the
+      // ones that are still needed.
+      if (Pats.occurrence(Instrs[Idx]) != AssignPatternTable::npos)
+        D.RemoveInstr[Idx] = true;
+      // N-LATEST = N-DELAY* · BLOCKED, guarded by liveness of the
+      // left-hand side immediately before the blocking instruction.
+      Pats.blockedBy(Instrs[Idx], Blocked);
+      BitVector Latest = DelayFacts.Before[Idx];
+      Latest &= Blocked;
+      D.InsertBefore[Idx] = Pats.makeVector();
+      for (size_t Pat : Latest.setBits())
+        if (LiveFacts.Before[Idx].test(index(Pats.pattern(Pat).Lhs)))
+          D.InsertBefore[Idx].set(Pat);
+    }
+
+    // X-LATEST = X-DELAY* · ∃succ ¬N-DELAY*, guarded by liveness at exit.
+    BitVector AtExit = Delay.exit(B);
+    BitVector AnySuccStops(Pats.size());
+    for (BlockId S : G.block(B).Succs) {
+      BitVector NotDelay = Delay.entry(S);
+      NotDelay.flipAll();
+      AnySuccStops |= NotDelay;
+    }
+    AtExit &= AnySuccStops;
+    D.InsertAtExit = Pats.makeVector();
+    for (size_t Pat : AtExit.setBits())
+      if (Live.liveOut(B).test(index(Pats.pattern(Pat).Lhs)))
+        D.InsertAtExit.set(Pat);
+  }
+
+  // Phase 2: rebuild.  Exit insertions at multi-successor blocks cannot
+  // occur (each successor has a unique predecessor after edge splitting,
+  // so delayability never stops at such an exit).
+  bool Changed = false;
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    BasicBlock &BB = G.block(B);
+    const BlockDecision &D = Decisions[B];
+    std::vector<Instr> NewInstrs;
+    NewInstrs.reserve(BB.Instrs.size());
+    auto Emit = [&](size_t Pat) {
+      NewInstrs.push_back(
+          Instr::assign(Pats.pattern(Pat).Lhs, Pats.pattern(Pat).Rhs));
+    };
+    for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
+      for (size_t Pat : D.InsertBefore[Idx].setBits())
+        Emit(Pat);
+      if (!D.RemoveInstr[Idx])
+        NewInstrs.push_back(BB.Instrs[Idx]);
+    }
+    assert((D.InsertAtExit.none() || !BB.branchInstr()) &&
+           "exit insertion at a branching block");
+    for (size_t Pat : D.InsertAtExit.setBits())
+      Emit(Pat);
+    if (NewInstrs != BB.Instrs) {
+      BB.Instrs = std::move(NewInstrs);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+PdeStats am::runPartialDeadCodeElim(FlowGraph &G, unsigned MaxRounds) {
+  PdeStats Stats;
+  int Before = static_cast<int>(G.numInstrs());
+  unsigned Cap = MaxRounds ? MaxRounds
+                           : static_cast<unsigned>(G.numInstrs() +
+                                                   G.numBlocks() + 16);
+  while (Stats.Rounds < Cap) {
+    ++Stats.Rounds;
+    if (!runAssignmentSinking(G))
+      break;
+  }
+  Stats.Removed = Before - static_cast<int>(G.numInstrs());
+  return Stats;
+}

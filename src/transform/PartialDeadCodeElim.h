@@ -1,0 +1,56 @@
+//===- transform/PartialDeadCodeElim.h - PDE extension ---------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Partial dead code elimination — the dual of the paper's assignment
+/// hoisting, after Knoop/Rüthing/Steffen'94 (the paper's ref [17], whose
+/// delayability analysis Table 1 explicitly mirrors).  Assignments are
+/// *sunk* as far as possible with the control flow to their latest safe
+/// program points; a sunk assignment whose left-hand side is dead at its
+/// latest point simply disappears.  Sinking into branches eliminates
+/// assignments that are dead along some paths only ("partially dead").
+///
+/// The final flush phase of the uniform algorithm is exactly this
+/// transformation restricted to temporary initializations; this extension
+/// generalizes it to every assignment pattern.
+///
+/// Note: eliminating dead assignments may reduce the potential of runtime
+/// errors (Section 3's caveat about dead-code elimination) — a trapping
+/// right-hand side of a dead assignment no longer traps.  This is why PDE
+/// is an extension rather than part of the paper's semantics-preserving
+/// universe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_TRANSFORM_PARTIALDEADCODEELIM_H
+#define AM_TRANSFORM_PARTIALDEADCODEELIM_H
+
+#include "ir/FlowGraph.h"
+
+namespace am {
+
+/// Statistics of a PDE run.
+struct PdeStats {
+  /// Sinking rounds until stabilization (incl. the final no-change one).
+  unsigned Rounds = 0;
+  /// Net assignments removed (occurrences before minus after).
+  int Removed = 0;
+};
+
+/// One assignment-sinking pass over \p G (critical edges must be split):
+/// deletes every assignment occurrence and re-materializes each pattern at
+/// its latest safe points, skipping points where the left-hand side is
+/// dead.  Returns true if the program changed.
+bool runAssignmentSinking(FlowGraph &G);
+
+/// Iterates sinking to a fixpoint, capturing second-order effects (a sunk
+/// assignment may unblock further sinking).  \p MaxRounds of 0 means until
+/// stabilization.
+PdeStats runPartialDeadCodeElim(FlowGraph &G, unsigned MaxRounds = 0);
+
+} // namespace am
+
+#endif // AM_TRANSFORM_PARTIALDEADCODEELIM_H

@@ -1,0 +1,128 @@
+//===- transform/Pipeline.cpp - Named pass pipelines ------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pipeline.h"
+#include "transform/AssignmentHoisting.h"
+#include "transform/AssignmentMotion.h"
+#include "transform/BusyCodeMotion.h"
+#include "transform/CopyPropagation.h"
+#include "transform/FinalFlush.h"
+#include "transform/Initialization.h"
+#include "transform/LazyCodeMotion.h"
+#include "transform/LocalValueNumbering.h"
+#include "transform/Normalize.h"
+#include "transform/PartialDeadCodeElim.h"
+#include "transform/RedundantAssignElim.h"
+#include "transform/UniformEmAm.h"
+
+#include <sstream>
+
+using namespace am;
+
+namespace {
+
+std::vector<std::string> splitSpec(const std::string &Spec) {
+  std::vector<std::string> Names;
+  std::string Cur;
+  for (char C : Spec) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Names.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    if (C != ' ' && C != '\t')
+      Cur.push_back(C);
+  }
+  if (!Cur.empty())
+    Names.push_back(Cur);
+  return Names;
+}
+
+/// Several passes require split critical edges; split on demand so pass
+/// specs compose without boilerplate.
+void ensureSplit(FlowGraph &G, std::vector<std::string> &Log) {
+  if (!G.hasCriticalEdges())
+    return;
+  unsigned N = G.splitCriticalEdges();
+  Log.push_back("(split " + std::to_string(N) + " critical edges)");
+}
+
+} // namespace
+
+bool am::isKnownPass(const std::string &Name) {
+  static const char *Known[] = {"uniform", "am",   "init",  "rae",  "aht",
+                                "flush",   "lcm",  "bcm",   "cp",   "lvn",
+                                "pde",     "split", "simplify"};
+  for (const char *K : Known)
+    if (Name == K)
+      return true;
+  return false;
+}
+
+PipelineResult am::runPipeline(const FlowGraph &G, const std::string &Spec) {
+  PipelineResult R;
+  std::vector<std::string> Names = splitSpec(Spec);
+  for (const std::string &Name : Names) {
+    if (!isKnownPass(Name)) {
+      R.Error = "unknown pass '" + Name + "'";
+      return R;
+    }
+  }
+  if (Names.empty()) {
+    R.Error = "empty pipeline";
+    return R;
+  }
+
+  R.Graph = G;
+  for (const std::string &Name : Names) {
+    std::ostringstream Line;
+    Line << Name << ": ";
+    if (Name == "uniform") {
+      UniformStats Stats;
+      R.Graph = runUniformEmAm(R.Graph, UniformOptions(), &Stats);
+      Line << Stats.AmPhase.Iterations << " AM iterations, "
+           << Stats.AmPhase.Eliminated << " eliminated";
+    } else if (Name == "am") {
+      UniformStats Stats;
+      R.Graph = runAssignmentMotionOnly(R.Graph, &Stats);
+      Line << Stats.AmPhase.Iterations << " AM iterations, "
+           << Stats.AmPhase.Eliminated << " eliminated";
+    } else if (Name == "init") {
+      ensureSplit(R.Graph, R.Log);
+      Line << runInitializationPhase(R.Graph) << " decompositions";
+    } else if (Name == "rae") {
+      Line << runRedundantAssignmentElimination(R.Graph) << " eliminated";
+    } else if (Name == "aht") {
+      ensureSplit(R.Graph, R.Log);
+      Line << (runAssignmentHoisting(R.Graph) ? "changed" : "no change");
+    } else if (Name == "flush") {
+      ensureSplit(R.Graph, R.Log);
+      Line << (runFinalFlush(R.Graph) ? "changed" : "no change");
+    } else if (Name == "lcm") {
+      R.Graph = runLazyCodeMotion(R.Graph);
+      Line << "done";
+    } else if (Name == "bcm") {
+      R.Graph = runBusyCodeMotion(R.Graph);
+      Line << "done";
+    } else if (Name == "cp") {
+      Line << runCopyPropagation(R.Graph) << " uses rewritten";
+    } else if (Name == "lvn") {
+      Line << runLocalValueNumbering(R.Graph) << " reuses";
+    } else if (Name == "pde") {
+      ensureSplit(R.Graph, R.Log);
+      PdeStats Stats = runPartialDeadCodeElim(R.Graph);
+      Line << Stats.Rounds << " rounds, net " << Stats.Removed << " removed";
+    } else if (Name == "split") {
+      Line << R.Graph.splitCriticalEdges() << " edges split";
+    } else { // simplify
+      R.Graph = simplified(R.Graph);
+      Line << "done";
+    }
+    R.Log.push_back(Line.str());
+  }
+  return R;
+}

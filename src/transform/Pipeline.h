@@ -1,0 +1,59 @@
+//===- transform/Pipeline.h - Named pass pipelines --------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Composes the library's passes from a comma-separated specification,
+/// e.g. "lcm,cp,lcm" (the paper's Section 6 EM+CP interleaving) or
+/// "uniform,pde".  Used by `amopt --passes=...` and by experiments that
+/// compare pass orders.
+///
+/// Known pass names:
+///   uniform      the full paper algorithm
+///   am           assignment motion only (no init/flush)
+///   init         the initialization phase alone
+///   rae          one redundant-assignment-elimination pass
+///   aht          one assignment-hoisting pass
+///   flush        the final flush alone
+///   lcm | bcm    lazy / busy code motion
+///   cp           copy propagation
+///   lvn          local value numbering
+///   pde          partial dead code elimination
+///   split        critical-edge splitting
+///   simplify     drop skips and empty synthetic blocks
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_TRANSFORM_PIPELINE_H
+#define AM_TRANSFORM_PIPELINE_H
+
+#include "ir/FlowGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace am {
+
+/// Outcome of a pipeline run.
+struct PipelineResult {
+  FlowGraph Graph;
+  /// One human-readable line per executed pass.
+  std::vector<std::string> Log;
+  /// Empty on success; otherwise names the unknown pass.
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Splits \p Spec on commas and runs each named pass over \p G in order.
+/// Unknown names abort before anything runs.
+PipelineResult runPipeline(const FlowGraph &G, const std::string &Spec);
+
+/// True if \p Name is a known pass name.
+bool isKnownPass(const std::string &Name);
+
+} // namespace am
+
+#endif // AM_TRANSFORM_PIPELINE_H

@@ -1,0 +1,44 @@
+//===- transform/RedundantAssignElim.cpp - rae implementation --*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/RedundantAssignElim.h"
+#include "analysis/PaperAnalyses.h"
+
+using namespace am;
+
+unsigned am::runRedundantAssignmentElimination(FlowGraph &G) {
+  AssignPatternTable Pats;
+  Pats.build(G);
+  if (Pats.size() == 0)
+    return 0;
+  RedundancyAnalysis Redundancy = RedundancyAnalysis::run(G, Pats);
+
+  // Record all decisions first, then mutate.
+  unsigned NumEliminated = 0;
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    auto &Instrs = G.block(B).Instrs;
+    if (Instrs.empty())
+      continue;
+    DataflowResult::InstrFacts Facts = Redundancy.facts(B);
+    std::vector<bool> Remove(Instrs.size(), false);
+    for (size_t Idx = 0; Idx < Instrs.size(); ++Idx) {
+      size_t Pat = Pats.occurrence(Instrs[Idx]);
+      if (Pat == AssignPatternTable::npos)
+        continue;
+      if (Facts.Before[Idx].test(Pat)) {
+        Remove[Idx] = true;
+        ++NumEliminated;
+      }
+    }
+    std::vector<Instr> Kept;
+    Kept.reserve(Instrs.size());
+    for (size_t Idx = 0; Idx < Instrs.size(); ++Idx)
+      if (!Remove[Idx])
+        Kept.push_back(std::move(Instrs[Idx]));
+    Instrs = std::move(Kept);
+  }
+  return NumEliminated;
+}

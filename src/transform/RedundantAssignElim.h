@@ -1,0 +1,27 @@
+//===- transform/RedundantAssignElim.h - rae procedure ---------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rae procedure (Section 4.3.1): eliminates every assignment
+/// occurrence that is redundant at its entry per the Table 2 analysis.
+/// A redundant occurrence is dynamically a no-op, so all redundant
+/// occurrences can be removed simultaneously without re-analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_TRANSFORM_REDUNDANTASSIGNELIM_H
+#define AM_TRANSFORM_REDUNDANTASSIGNELIM_H
+
+#include "ir/FlowGraph.h"
+
+namespace am {
+
+/// One rae pass over \p G.  Returns the number of assignments eliminated.
+unsigned runRedundantAssignmentElimination(FlowGraph &G);
+
+} // namespace am
+
+#endif // AM_TRANSFORM_REDUNDANTASSIGNELIM_H

@@ -1,0 +1,38 @@
+//===- transform/RestrictedAssignmentMotion.h - Dhamdhere AM ---*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The restricted assignment-motion baseline modelled on Dhamdhere's
+/// practical adaptation (the paper's ref [6], discussed in Section 1.4):
+/// an assignment pattern is hoisted only when the hoisting is *immediately
+/// profitable*, i.e. it enables the elimination of a partially redundant
+/// occurrence of the same pattern.  Unprofitable enabling hoistings — the
+/// ones that merely unblock *other* assignments — are not performed, which
+/// is exactly why this baseline misses the paper's Figure 8/9 optimization
+/// while the unrestricted algorithm finds it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_TRANSFORM_RESTRICTEDASSIGNMENTMOTION_H
+#define AM_TRANSFORM_RESTRICTEDASSIGNMENTMOTION_H
+
+#include "ir/FlowGraph.h"
+
+namespace am {
+
+/// Statistics of a restricted-AM run.
+struct RestrictedAmStats {
+  unsigned ProfitableHoistings = 0;
+  unsigned Eliminated = 0;
+};
+
+/// Runs restricted assignment motion on a copy of \p G.
+FlowGraph runRestrictedAssignmentMotion(const FlowGraph &G,
+                                        RestrictedAmStats *Stats = nullptr);
+
+} // namespace am
+
+#endif // AM_TRANSFORM_RESTRICTEDASSIGNMENTMOTION_H

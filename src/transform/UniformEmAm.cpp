@@ -1,0 +1,47 @@
+//===- transform/UniformEmAm.cpp - Global algorithm driver -----*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/UniformEmAm.h"
+#include "transform/FinalFlush.h"
+#include "transform/Initialization.h"
+#include "transform/Normalize.h"
+
+using namespace am;
+
+FlowGraph am::runUniformEmAm(const FlowGraph &G, const UniformOptions &Options,
+                             UniformStats *Stats) {
+  UniformStats Local;
+  UniformStats &S = Stats ? *Stats : Local;
+
+  FlowGraph Work = G;
+  removeSkips(Work);
+  if (Options.SplitCriticalEdges)
+    S.EdgesSplit = Work.splitCriticalEdges();
+
+  // The motion passes are only admissible on graphs without critical
+  // edges (Section 2.1); if splitting was suppressed and the graph has
+  // some, return the (normalized) input unchanged.
+  if (Work.hasCriticalEdges())
+    return Options.SimplifyResult ? simplified(Work) : Work;
+
+  if (Options.RunInitialization)
+    S.Decompositions = runInitializationPhase(Work);
+
+  S.AmPhase = runAssignmentMotionPhase(Work, Options.MaxAmIterations);
+
+  if (Options.RunFinalFlush)
+    S.FlushChanged = runFinalFlush(Work);
+
+  return Options.SimplifyResult ? simplified(Work) : Work;
+}
+
+FlowGraph am::runAssignmentMotionOnly(const FlowGraph &G,
+                                      UniformStats *Stats) {
+  UniformOptions Options;
+  Options.RunInitialization = false;
+  Options.RunFinalFlush = false;
+  return runUniformEmAm(G, Options, Stats);
+}

@@ -1,0 +1,60 @@
+//===- verify/AdversarialSearch.h - Optimality fuzzing ---------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An adversarial probe of Theorem 5.2 (expression optimality).  The
+/// theorem quantifies over the whole universe G of programs reachable by
+/// interleaving admissible EM and AM transformations — too large to
+/// enumerate, but easy to *sample*: starting from the initialized program
+/// (after which AM subsumes EM, Lemma 4.1), we apply random sequences of
+/// admissible steps
+///
+///   * partial redundant-assignment eliminations (any subset of redundant
+///     occurrences — each is dynamically a no-op, so every subset is
+///     admissible),
+///   * assignment hoistings restricted to random pattern subsets,
+///   * the final flush (itself a sequence of admissible sinkings),
+///
+/// yielding random members of the universe.  A derivation that evaluated
+/// fewer expressions than the uniform algorithm's result on any execution
+/// would falsify the implementation; the property tests assert none does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_VERIFY_ADVERSARIALSEARCH_H
+#define AM_VERIFY_ADVERSARIALSEARCH_H
+
+#include "ir/FlowGraph.h"
+#include "support/Rng.h"
+
+namespace am {
+
+/// Configuration for one random derivation.
+struct DerivationOptions {
+  /// Number of random steps to apply.
+  unsigned Steps = 8;
+  /// Probability that a step is a (partial) elimination rather than a
+  /// hoisting.
+  double EliminationProb = 0.4;
+  /// Probability of finishing with the final flush.
+  double FlushProb = 0.5;
+};
+
+/// Eliminates a random subset of the currently redundant assignment
+/// occurrences.  Returns the number eliminated.
+unsigned eliminateRandomRedundant(FlowGraph &G, Rng &R,
+                                  double KeepProb = 0.5);
+
+/// Produces a random member of the EM/AM universe of \p G: splits
+/// critical edges, runs the initialization phase, then applies random
+/// admissible motion steps.  Every result is semantically equivalent to
+/// \p G (the property tests double-check with the interpreter).
+FlowGraph randomUniverseMember(const FlowGraph &G, uint64_t Seed,
+                               const DerivationOptions &Opts = {});
+
+} // namespace am
+
+#endif // AM_VERIFY_ADVERSARIALSEARCH_H

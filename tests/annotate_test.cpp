@@ -1,0 +1,92 @@
+//===- tests/annotate_test.cpp - Annotation facility tests -----*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/Annotate.h"
+
+#include <gtest/gtest.h>
+
+using namespace am;
+using namespace am::test;
+
+TEST(Annotate, RedundancyMarksRedundantOccurrences) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  x := a + b
+  y := 1
+  x := a + b
+  out(x, y)
+  halt
+}
+)");
+  std::string S = annotate(G, AnnotationKind::Redundancy);
+  EXPECT_NE(S.find(";; REDUNDANT"), std::string::npos);
+  EXPECT_NE(S.find("redundant here: x := a + b"), std::string::npos);
+  // The first occurrence is not redundant: exactly one mark.
+  EXPECT_EQ(S.find(";; REDUNDANT"), S.rfind(";; REDUNDANT"));
+}
+
+TEST(Annotate, HoistabilityShowsCandidatesAndInserts) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  c := 1
+  x := a + b
+  out(x, c)
+  halt
+}
+)");
+  std::string S = annotate(G, AnnotationKind::Hoistability);
+  EXPECT_NE(S.find("x := a + b    ;; CANDIDATE"), std::string::npos);
+  EXPECT_NE(S.find("N-INSERT"), std::string::npos);
+  EXPECT_NE(S.find("N-HOISTABLE: c := 1, x := a + b"), std::string::npos);
+}
+
+TEST(Annotate, FlushShowsDelayAndReconstruction) {
+  FlowGraph G = parse(R"(
+graph {
+temp h1
+b0:
+  h1 := a + b
+  c := 1
+  x := h1
+  out(x, c)
+  halt
+}
+)");
+  std::string S = annotate(G, AnnotationKind::Flush);
+  EXPECT_NE(S.find("temporaries: h1 := a + b"), std::string::npos);
+  EXPECT_NE(S.find(";; RECONSTRUCT h1"), std::string::npos);
+  EXPECT_NE(S.find("delayable: h1"), std::string::npos);
+}
+
+TEST(Annotate, LivenessListsLiveVariables) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  x := 1
+  out(x)
+  halt
+}
+)");
+  std::string S = annotate(G, AnnotationKind::Liveness);
+  EXPECT_NE(S.find("out(x)\n    ;; live: x"), std::string::npos);
+  EXPECT_NE(S.find("live-out: -"), std::string::npos);
+}
+
+TEST(Annotate, KindParsing) {
+  AnnotationKind K;
+  EXPECT_TRUE(parseAnnotationKind("redundancy", K));
+  EXPECT_EQ(K, AnnotationKind::Redundancy);
+  EXPECT_TRUE(parseAnnotationKind("hoist", K));
+  EXPECT_EQ(K, AnnotationKind::Hoistability);
+  EXPECT_TRUE(parseAnnotationKind("flush", K));
+  EXPECT_EQ(K, AnnotationKind::Flush);
+  EXPECT_TRUE(parseAnnotationKind("live", K));
+  EXPECT_EQ(K, AnnotationKind::Liveness);
+  EXPECT_FALSE(parseAnnotationKind("bogus", K));
+}

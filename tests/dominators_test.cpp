@@ -1,0 +1,162 @@
+//===- tests/dominators_test.cpp - Dominator and loop tests ----*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/Dominators.h"
+#include "figures/PaperFigures.h"
+#include "gen/RandomProgram.h"
+#include "transform/UniformEmAm.h"
+
+#include <gtest/gtest.h>
+
+using namespace am;
+using namespace am::test;
+
+TEST(Dominators, StraightLine) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  goto b1
+b1:
+  goto b2
+b2:
+  halt
+}
+)");
+  DominatorTree T = DominatorTree::compute(G);
+  EXPECT_EQ(T.idom(0), InvalidBlock);
+  EXPECT_EQ(T.idom(1), 0u);
+  EXPECT_EQ(T.idom(2), 1u);
+  EXPECT_TRUE(T.dominates(0, 2));
+  EXPECT_TRUE(T.dominates(2, 2));
+  EXPECT_FALSE(T.dominates(2, 0));
+}
+
+TEST(Dominators, DiamondJoinDominatedByFork) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  br b1 b2
+b1:
+  goto b3
+b2:
+  goto b3
+b3:
+  halt
+}
+)");
+  DominatorTree T = DominatorTree::compute(G);
+  EXPECT_EQ(T.idom(3), 0u); // neither branch dominates the join
+  EXPECT_EQ(T.idom(1), 0u);
+  EXPECT_EQ(T.idom(2), 0u);
+  EXPECT_FALSE(T.dominates(1, 3));
+}
+
+TEST(Dominators, BruteForceAgreementOnRandomGraphs) {
+  // Cross-check against the definition: A dominates B iff removing A
+  // makes B unreachable from the start.
+  for (uint64_t Seed = 0; Seed < 10; ++Seed) {
+    FlowGraph G = generateIrreducibleCfg(Seed);
+    DominatorTree T = DominatorTree::compute(G);
+    for (BlockId A = 0; A < G.numBlocks(); ++A) {
+      // Reachability avoiding A.
+      std::vector<bool> Reached(G.numBlocks(), false);
+      if (A != G.start()) {
+        std::vector<BlockId> Work{G.start()};
+        Reached[G.start()] = true;
+        while (!Work.empty()) {
+          BlockId Cur = Work.back();
+          Work.pop_back();
+          for (BlockId S : G.block(Cur).Succs)
+            if (S != A && !Reached[S]) {
+              Reached[S] = true;
+              Work.push_back(S);
+            }
+        }
+      }
+      for (BlockId B = 0; B < G.numBlocks(); ++B) {
+        bool Expect = A == B || !Reached[B];
+        EXPECT_EQ(T.dominates(A, B), Expect)
+            << "seed " << Seed << " A=" << A << " B=" << B;
+      }
+    }
+  }
+}
+
+TEST(Loops, WhileLoopDetected) {
+  FlowGraph G = parse(R"(
+program {
+  i := 0;
+  while (i < n) {
+    x := x + i;
+    i := i + 1;
+  }
+  out(x);
+}
+)");
+  LoopInfo Info = LoopInfo::compute(G);
+  ASSERT_EQ(Info.Loops.size(), 1u);
+  EXPECT_FALSE(Info.Irreducible);
+  const NaturalLoop &L = Info.Loops[0];
+  // Header is the condition block; the body and latch are inside.
+  EXPECT_TRUE(L.Blocks.test(L.Header));
+  EXPECT_TRUE(L.Blocks.test(L.Latch));
+  EXPECT_GE(L.Blocks.count(), 2u);
+  EXPECT_GE(Info.assignmentsInLoops(G), 2u);
+}
+
+TEST(Loops, NestedLoopsYieldTwoLoops) {
+  FlowGraph G = parse(R"(
+program {
+  i := 0;
+  while (i < 3) {
+    j := 0;
+    while (j < 3) {
+      j := j + 1;
+    }
+    i := i + 1;
+  }
+  out(i, j);
+}
+)");
+  LoopInfo Info = LoopInfo::compute(G);
+  EXPECT_EQ(Info.Loops.size(), 2u);
+  EXPECT_FALSE(Info.Irreducible);
+}
+
+TEST(Loops, Figure7IsIrreducible) {
+  LoopInfo Info = LoopInfo::compute(figure7());
+  EXPECT_TRUE(Info.Irreducible);
+  EXPECT_GE(Info.Loops.size(), 1u); // the reducible first loop
+}
+
+TEST(Loops, StructuredGeneratorProducesReducibleGraphs) {
+  for (uint64_t Seed = 0; Seed < 20; ++Seed) {
+    FlowGraph G = generateStructuredProgram(Seed);
+    EXPECT_FALSE(LoopInfo::compute(G).Irreducible) << "seed " << Seed;
+  }
+}
+
+TEST(Loops, UniformMovesInvariantAssignmentsOutOfLoops) {
+  FlowGraph G = parse(R"(
+program {
+  i := 0;
+  if (n > 0) {
+    repeat {
+      k := a * b;
+      s := s + k;
+      i := i + 1;
+    } until (i >= n);
+  }
+  out(s);
+}
+)");
+  FlowGraph U = runUniformEmAm(G);
+  unsigned Before = LoopInfo::compute(G).assignmentsInLoops(G);
+  FlowGraph UCopy = U; // LoopInfo::compute needs a graph reference
+  unsigned After = LoopInfo::compute(UCopy).assignmentsInLoops(UCopy);
+  EXPECT_LT(After, Before) << printGraph(U);
+}

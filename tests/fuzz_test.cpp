@@ -1,0 +1,111 @@
+//===- tests/fuzz_test.cpp - Robustness fuzzing ----------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fuzzing: the parsers must reject arbitrary garbage
+/// gracefully (an error message, never a crash), near-miss mutations of
+/// valid programs must parse-or-error cleanly, and the whole pass stack
+/// must stay total on hostile but valid graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "interp/Equivalence.h"
+#include "gen/RandomProgram.h"
+#include "support/Rng.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace am;
+using namespace am::test;
+
+namespace {
+
+/// Pseudo-random printable soup.
+std::string randomSoup(Rng &R, size_t Length) {
+  static const char Alphabet[] =
+      "abcxyz0189 :=+-*/<>()!{},;\n\t#programgraphbrgotoifthenelsehalt";
+  std::string S;
+  for (size_t Idx = 0; Idx < Length; ++Idx)
+    S.push_back(Alphabet[R.index(sizeof(Alphabet) - 1)]);
+  return S;
+}
+
+} // namespace
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, GarbageNeverCrashesTheParsers) {
+  Rng R(GetParam());
+  for (int Round = 0; Round < 40; ++Round) {
+    std::string Soup = randomSoup(R, 10 + R.index(200));
+    ParseResult A = parseProgram(Soup);
+    ParseResult B = parseProgram("program { " + Soup + " }");
+    ParseResult C = parseProgram("graph { " + Soup + " }");
+    // Either outcome is fine; a crash is not.  Errors must carry a
+    // location.
+    for (ParseResult *P : {&A, &B, &C}) {
+      if (!P->ok()) {
+        EXPECT_NE(P->Error.find("line"), std::string::npos) << P->Error;
+      }
+    }
+  }
+}
+
+TEST_P(ParserFuzz, MutatedValidProgramsParseOrErrorCleanly) {
+  Rng R(GetParam() + 1000);
+  FlowGraph G = generateStructuredProgram(GetParam());
+  std::string Source = printGraph(G);
+  for (int Round = 0; Round < 40; ++Round) {
+    std::string Mutated = Source;
+    // Flip, delete or insert a few characters.
+    for (int Edit = 0; Edit < 3; ++Edit) {
+      if (Mutated.empty())
+        break;
+      size_t Pos = R.index(Mutated.size());
+      switch (R.index(3)) {
+      case 0:
+        Mutated[Pos] = static_cast<char>('a' + R.index(26));
+        break;
+      case 1:
+        Mutated.erase(Pos, 1);
+        break;
+      case 2:
+        Mutated.insert(Pos, 1, static_cast<char>('0' + R.index(10)));
+        break;
+      }
+    }
+    ParseResult P = parseProgram(Mutated);
+    if (P.ok()) {
+      EXPECT_TRUE(P.Graph.validate().empty())
+          << "parser accepted an invalid graph";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range<uint64_t>(0, 8));
+
+class PassFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PassFuzz, HostileIrreducibleGraphsSurviveTheFullStack) {
+  GenOptions Opts;
+  Opts.NumBlocks = 8 + static_cast<unsigned>(GetParam() % 20);
+  Opts.ExtraEdges = 10 + static_cast<unsigned>(GetParam() % 15);
+  FlowGraph G = generateIrreducibleCfg(GetParam(), Opts);
+  PipelineResult R = runPipeline(G, "lvn,am,uniform,pde,simplify");
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Graph.validate().empty()) << "seed " << GetParam();
+  Interpreter::Options ExecOpts;
+  ExecOpts.MaxSteps = 2000;
+  for (uint64_t Run = 0; Run < 3; ++Run) {
+    auto Rep = checkEquivalent(G, R.Graph, {{"v0", 1}}, Run, ExecOpts);
+    EXPECT_TRUE(Rep.Equivalent)
+        << Rep.Detail << " seed " << GetParam() << " run " << Run;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PassFuzz, ::testing::Range<uint64_t>(0, 15));

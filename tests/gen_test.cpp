@@ -1,0 +1,100 @@
+//===- tests/gen_test.cpp - Workload generator tests -----------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "gen/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace am;
+using namespace am::test;
+
+TEST(Generator, StructuredProgramsAreValid) {
+  for (uint64_t Seed = 0; Seed < 50; ++Seed) {
+    FlowGraph G = generateStructuredProgram(Seed);
+    EXPECT_TRUE(G.validate().empty()) << "seed " << Seed;
+  }
+}
+
+TEST(Generator, StructuredProgramsAreDeterministic) {
+  FlowGraph A = generateStructuredProgram(123);
+  FlowGraph B = generateStructuredProgram(123);
+  EXPECT_TRUE(structurallyEqual(A, B));
+  FlowGraph C = generateStructuredProgram(124);
+  EXPECT_FALSE(structurallyEqual(A, C));
+}
+
+TEST(Generator, StructuredProgramsTerminate) {
+  for (uint64_t Seed = 0; Seed < 30; ++Seed) {
+    FlowGraph G = generateStructuredProgram(Seed);
+    for (uint64_t Run = 0; Run < 3; ++Run) {
+      ExecResult R = run(G, {{"v0", int64_t(Run)}, {"v1", 7}}, Run);
+      EXPECT_TRUE(R.finished())
+          << "seed " << Seed << " run " << Run << " status "
+          << static_cast<int>(R.St);
+      EXPECT_FALSE(R.Output.empty()); // trailing out(<pool>)
+    }
+  }
+}
+
+TEST(Generator, SizeKnobScalesBlocks) {
+  GenOptions Small;
+  Small.TargetStmts = 10;
+  GenOptions Large;
+  Large.TargetStmts = 400;
+  size_t SmallInstrs = 0, LargeInstrs = 0;
+  for (uint64_t Seed = 0; Seed < 5; ++Seed) {
+    SmallInstrs += generateStructuredProgram(Seed, Small).numInstrs();
+    LargeInstrs += generateStructuredProgram(Seed, Large).numInstrs();
+  }
+  EXPECT_GT(LargeInstrs, SmallInstrs * 4);
+}
+
+TEST(Generator, IrreducibleCfgsAreValid) {
+  unsigned SawIrreducibleOrJoin = 0;
+  for (uint64_t Seed = 0; Seed < 50; ++Seed) {
+    FlowGraph G = generateIrreducibleCfg(Seed);
+    EXPECT_TRUE(G.validate().empty()) << "seed " << Seed;
+    for (BlockId B = 0; B < G.numBlocks(); ++B)
+      if (G.block(B).Preds.size() > 1) {
+        ++SawIrreducibleOrJoin;
+        break;
+      }
+  }
+  EXPECT_GT(SawIrreducibleOrJoin, 25u);
+}
+
+TEST(Generator, IrreducibleCfgsRespectStartEndInvariants) {
+  for (uint64_t Seed = 0; Seed < 20; ++Seed) {
+    FlowGraph G = generateIrreducibleCfg(Seed);
+    EXPECT_TRUE(G.block(G.start()).Preds.empty());
+    EXPECT_TRUE(G.block(G.end()).Succs.empty());
+  }
+}
+
+TEST(Generator, PatternPoolCreatesRepeatedPatterns) {
+  // Redundancy-rich workloads are the point of the generator: at least
+  // some pattern should occur more than once in a typical program.
+  GenOptions Opts;
+  Opts.TargetStmts = 80;
+  unsigned ProgramsWithRepeats = 0;
+  for (uint64_t Seed = 0; Seed < 10; ++Seed) {
+    FlowGraph G = generateStructuredProgram(Seed, Opts);
+    std::map<std::string, unsigned> Counts;
+    for (BlockId B = 0; B < G.numBlocks(); ++B)
+      for (const Instr &I : G.block(B).Instrs)
+        if (I.isAssign())
+          ++Counts[printInstr(I, G.Vars)];
+    for (const auto &[Text, N] : Counts)
+      if (N > 1) {
+        ++ProgramsWithRepeats;
+        break;
+      }
+  }
+  EXPECT_GE(ProgramsWithRepeats, 8u);
+}

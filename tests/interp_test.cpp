@@ -1,0 +1,212 @@
+//===- tests/interp_test.cpp - Interpreter tests ---------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "interp/Equivalence.h"
+
+#include <gtest/gtest.h>
+
+using namespace am;
+using namespace am::test;
+
+TEST(Interpreter, ArithmeticAndInputs) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  s := a + b
+  d := a - b
+  p := a * b
+  q := a / b
+  out(s, d, p, q)
+  halt
+}
+)");
+  ExecResult R = run(G, {{"a", 7}, {"b", 2}});
+  EXPECT_TRUE(R.finished());
+  EXPECT_EQ(R.Output, (std::vector<int64_t>{9, 5, 14, 3}));
+  EXPECT_EQ(R.Stats.ExprEvaluations, 4u);
+  EXPECT_EQ(R.Stats.AssignExecutions, 4u);
+  EXPECT_EQ(R.Stats.TempAssignExecutions, 0u);
+}
+
+TEST(Interpreter, UnsetVariablesDefaultToZero) {
+  FlowGraph G = parse("graph { b0:\n out(nowhere)\n halt\n }");
+  EXPECT_EQ(run(G, {}).Output, (std::vector<int64_t>{0}));
+}
+
+TEST(Interpreter, WrappingArithmetic) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  x := a + 1
+  y := a * 2
+  out(x, y)
+  halt
+}
+)");
+  ExecResult R = run(G, {{"a", INT64_MAX}});
+  EXPECT_TRUE(R.finished());
+  EXPECT_EQ(R.Output[0], INT64_MIN);
+  EXPECT_EQ(R.Output[1], -2);
+}
+
+TEST(Interpreter, DivisionByZeroTraps) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  out(a)
+  x := a / b
+  out(x)
+  halt
+}
+)");
+  ExecResult R = run(G, {{"a", 5}, {"b", 0}});
+  EXPECT_EQ(R.St, ExecResult::Status::Trapped);
+  EXPECT_EQ(R.Output, (std::vector<int64_t>{5})); // trace up to the trap
+  EXPECT_NE(R.TrapMessage.find("division"), std::string::npos);
+
+  EXPECT_TRUE(run(G, {{"a", 5}, {"b", 2}}).finished());
+  // INT64_MIN / -1 wraps instead of trapping.
+  ExecResult Wrap = run(G, {{"a", INT64_MIN}, {"b", -1}});
+  EXPECT_TRUE(Wrap.finished());
+  EXPECT_EQ(Wrap.Output[1], INT64_MIN);
+}
+
+TEST(Interpreter, ConditionalBranchTakesThenOnTrue) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  if a >= 10 then b1 else b2
+b1:
+  out(a)
+  goto b3
+b2:
+  x := 0 - a
+  out(x)
+  goto b3
+b3:
+  halt
+}
+)");
+  EXPECT_EQ(run(G, {{"a", 12}}).Output, (std::vector<int64_t>{12}));
+  EXPECT_EQ(run(G, {{"a", -4}}).Output, (std::vector<int64_t>{4}));
+  EXPECT_EQ(run(G, {{"a", 12}}).Stats.BranchesExecuted, 1u);
+}
+
+TEST(Interpreter, AllRelationalOperators) {
+  for (auto [Rel, A, B, Expect] :
+       {std::tuple<const char *, int64_t, int64_t, int64_t>{"<", 1, 2, 1},
+        {"<", 2, 1, 0},
+        {"<=", 2, 2, 1},
+        {">", 3, 2, 1},
+        {">=", 2, 3, 0},
+        {"==", 4, 4, 1},
+        {"!=", 4, 4, 0}}) {
+    std::string Src = std::string("graph { b0:\n if a ") + Rel +
+                      " b then b1 else b2\nb1:\n x := 1\n goto b3\nb2:\n "
+                      "x := 0\n goto b3\nb3:\n out(x)\n halt\n }";
+    FlowGraph G = parse(Src);
+    EXPECT_EQ(run(G, {{"a", A}, {"b", B}}).Output[0], Expect)
+        << Rel << " " << A << " " << B;
+  }
+}
+
+TEST(Interpreter, StepLimitStopsInfiniteLoops) {
+  FlowGraph Loop = parse(R"(
+graph {
+b0:
+  goto b1
+b1:
+  i := i + 1
+  br b1 b2
+b2:
+  halt
+}
+)");
+  Interpreter::Options Opts;
+  Opts.MaxSteps = 100;
+  // Seed chosen arbitrarily; with MaxSteps=100 the loop either exits fast
+  // or hits the limit — both are legal outcomes, never a hang.
+  ExecResult R = Interpreter::execute(Loop, {}, 12345, Opts);
+  EXPECT_TRUE(R.St == ExecResult::Status::Finished ||
+              R.St == ExecResult::Status::StepLimit);
+}
+
+TEST(Interpreter, NondetIsSeedDeterministic) {
+  FlowGraph G = parse(R"(
+program {
+  i := 0;
+  while (i < 6) {
+    choose { x := x + 1; } or { x := x * 2; }
+    i := i + 1;
+  }
+  out(x);
+}
+)");
+  for (uint64_t Seed : {0ull, 7ull, 99ull}) {
+    ExecResult A = run(G, {{"x", 1}}, Seed);
+    ExecResult B = run(G, {{"x", 1}}, Seed);
+    EXPECT_EQ(A.Output, B.Output);
+  }
+  // Different seeds eventually differ.
+  bool Differs = false;
+  ExecResult Base = run(G, {{"x", 1}}, 0);
+  for (uint64_t Seed = 1; Seed < 20 && !Differs; ++Seed)
+    Differs = run(G, {{"x", 1}}, Seed).Output != Base.Output;
+  EXPECT_TRUE(Differs);
+}
+
+TEST(Interpreter, CountsTemporariesSeparately) {
+  FlowGraph G = parse(R"(
+graph {
+temp h1
+b0:
+  h1 := a + b
+  x := h1
+  out(x)
+  halt
+}
+)");
+  ExecResult R = run(G, {{"a", 1}, {"b", 2}});
+  EXPECT_EQ(R.Stats.AssignExecutions, 2u);
+  EXPECT_EQ(R.Stats.TempAssignExecutions, 1u);
+  EXPECT_EQ(R.Stats.ExprEvaluations, 1u);
+}
+
+TEST(Interpreter, BranchConditionOperandEvaluationsCount) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  if a + b > c + d then b1 else b2
+b1:
+  goto b2
+b2:
+  halt
+}
+)");
+  EXPECT_EQ(run(G, {}).Stats.ExprEvaluations, 2u);
+}
+
+TEST(Equivalence, DetectsDifferentTraces) {
+  FlowGraph A = parse("graph { b0:\n out(x)\n halt\n }");
+  FlowGraph B = parse("graph { b0:\n x := 1\n out(x)\n halt\n }");
+  auto Rep = checkEquivalent(A, B, {});
+  EXPECT_FALSE(Rep.Equivalent);
+  EXPECT_NE(Rep.Detail.find("different output"), std::string::npos);
+}
+
+TEST(Equivalence, TrapVersusFinishIsInequivalent) {
+  FlowGraph A = parse("graph { b0:\n x := 1 / 0\n halt\n }");
+  FlowGraph B = parse("graph { b0:\n x := 1\n halt\n }");
+  EXPECT_FALSE(checkEquivalent(A, B, {}).Equivalent);
+}
+
+TEST(Equivalence, BothTrapWithPrefixTracesIsEquivalent) {
+  // Code motion may move a trapping computation above an out().
+  FlowGraph A = parse("graph { b0:\n out(a)\n x := 1 / 0\n halt\n }");
+  FlowGraph B = parse("graph { b0:\n x := 1 / 0\n out(a)\n halt\n }");
+  EXPECT_TRUE(checkEquivalent(A, B, {{"a", 3}}).Equivalent);
+}

@@ -1,0 +1,171 @@
+//===- tests/misc_test.cpp - Remaining corners -----------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/Dominators.h"
+#include "analysis/Lifetime.h"
+#include "figures/PaperFigures.h"
+#include "interp/Equivalence.h"
+#include "transform/AssignmentMotion.h"
+#include "transform/Initialization.h"
+#include "transform/Pipeline.h"
+#include "transform/UniformEmAm.h"
+
+#include <gtest/gtest.h>
+
+using namespace am;
+using namespace am::test;
+
+TEST(Dominators, SelfLoopIsItsOwnNaturalLoop) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  goto b1
+b1:
+  x := x + 1
+  br b1 b2
+b2:
+  out(x)
+  halt
+}
+)");
+  LoopInfo Info = LoopInfo::compute(G);
+  ASSERT_EQ(Info.Loops.size(), 1u);
+  EXPECT_EQ(Info.Loops[0].Header, 1u);
+  EXPECT_EQ(Info.Loops[0].Latch, 1u);
+  EXPECT_EQ(Info.Loops[0].Blocks.count(), 1u);
+  EXPECT_FALSE(Info.Irreducible);
+  EXPECT_EQ(Info.assignmentsInLoops(G), 1u);
+}
+
+TEST(Dominators, SplitSelfLoopStillOneLoop) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  goto b1
+b1:
+  x := x + 1
+  br b1 b2
+b2:
+  out(x)
+  halt
+}
+)");
+  G.splitCriticalEdges();
+  LoopInfo Info = LoopInfo::compute(G);
+  ASSERT_EQ(Info.Loops.size(), 1u);
+  EXPECT_EQ(Info.Loops[0].Blocks.count(), 2u); // body + synthetic latch
+}
+
+TEST(AmPhase, StatsCountHoistRoundsAndEliminations) {
+  FlowGraph G = figure4();
+  G.splitCriticalEdges();
+  AmPhaseStats Stats = runAssignmentMotionPhase(G);
+  // Without initialization only y := c+d is removable; x := y+z cannot
+  // move (Figure 6b).
+  EXPECT_EQ(Stats.Eliminated, 1u);
+  EXPECT_GE(Stats.Iterations, 2u);
+}
+
+TEST(AmPhase, CapZeroMeansUnbounded) {
+  FlowGraph G = figure4();
+  G.splitCriticalEdges();
+  runInitializationPhase(G);
+  AmPhaseStats Unbounded = runAssignmentMotionPhase(G, 0);
+  EXPECT_GE(Unbounded.Iterations, 3u);
+  // Re-running terminates immediately.
+  AmPhaseStats Again = runAssignmentMotionPhase(G, 0);
+  EXPECT_EQ(Again.Iterations, 1u);
+  EXPECT_EQ(Again.Eliminated, 0u);
+}
+
+TEST(Lifetime, FlushDropsWholeLifetimesNotJustAssignments) {
+  // Uniform-without-flush carries every initialization; the flush version
+  // reduces both assignments and live ranges on the same program.
+  UniformOptions NoFlush;
+  NoFlush.RunFinalFlush = false;
+  FlowGraph G = figure4();
+  LifetimeStats WithFlush = computeLifetimeStats(runUniformEmAm(G));
+  LifetimeStats WithoutFlush =
+      computeLifetimeStats(runUniformEmAm(G, NoFlush));
+  EXPECT_LT(WithFlush.TempAssignments, WithoutFlush.TempAssignments);
+  EXPECT_LT(WithFlush.TempLifetimePoints, WithoutFlush.TempLifetimePoints);
+  EXPECT_LE(WithFlush.MaxLiveTemps, WithoutFlush.MaxLiveTemps);
+}
+
+TEST(Printer, DotRendersOptimizedProgramsWithTemps) {
+  FlowGraph U = runUniformEmAm(figure4());
+  std::string Dot = printDot(U, "fig5");
+  EXPECT_NE(Dot.find("h1 := c + d"), std::string::npos);
+  EXPECT_NE(Dot.find("(start)"), std::string::npos);
+  EXPECT_NE(Dot.find("(end)"), std::string::npos);
+}
+
+TEST(Equivalence, StepLimitComparesPrefixes) {
+  FlowGraph Loop = parse(R"(
+graph {
+b0:
+  goto b1
+b1:
+  i := i + 1
+  out(i)
+  br b1 b2
+b2:
+  halt
+}
+)");
+  Interpreter::Options Tiny;
+  Tiny.MaxSteps = 30;
+  Interpreter::Options Tinier;
+  Tinier.MaxSteps = 12;
+  // The same program truncated at different depths: prefix-equivalent.
+  auto RepA = checkEquivalent(Loop, Loop, {}, /*Seed=*/0, Tiny);
+  EXPECT_TRUE(RepA.Equivalent);
+  ExecResult Long = Interpreter::execute(Loop, {}, 0, Tiny);
+  ExecResult Short = Interpreter::execute(Loop, {}, 0, Tinier);
+  if (Long.St == ExecResult::Status::StepLimit &&
+      Short.St == ExecResult::Status::StepLimit) {
+    EXPECT_GE(Long.Output.size(), Short.Output.size());
+  }
+}
+
+TEST(Figures, Figure2bIsAFixpointOfTheAlgorithm) {
+  // The paper's drawn solution is already optimal: the algorithm must not
+  // change its dynamic behaviour further.
+  FlowGraph Drawn = figure2b();
+  FlowGraph Again = runAssignmentMotionOnly(Drawn);
+  for (uint64_t Seed = 0; Seed < 8; ++Seed) {
+    auto Rep = checkEquivalent(Drawn, Again, {{"a", 1}, {"b", 2}}, Seed);
+    ASSERT_TRUE(Rep.Equivalent) << Rep.Detail;
+    auto RunDrawn = Interpreter::execute(Drawn, {{"a", 1}, {"b", 2}}, Seed);
+    EXPECT_EQ(Rep.Rhs.Stats.AssignExecutions,
+              RunDrawn.Stats.AssignExecutions);
+  }
+}
+
+TEST(Pipeline, LogMentionsEveryPass) {
+  PipelineResult R = runPipeline(figure4(), "split,init,rae,aht,flush,"
+                                            "simplify");
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.Log.size(), 6u);
+  EXPECT_EQ(R.Log[0].substr(0, 6), "split:");
+  EXPECT_EQ(R.Log[1].substr(0, 5), "init:");
+  EXPECT_EQ(R.Log[5].substr(0, 9), "simplify:");
+}
+
+TEST(Uniform, WorksOnAlreadyOptimalPrograms) {
+  // Figure 5 through the full pipeline: dynamically a no-op.
+  FlowGraph Fig5 = figure5();
+  FlowGraph Again = runUniformEmAm(Fig5);
+  for (auto [X, Z] : {std::pair<int64_t, int64_t>{40, 2}, {0, 0}}) {
+    std::unordered_map<std::string, int64_t> In = {
+        {"c", 1}, {"d", 2}, {"x", X}, {"z", Z}, {"i", 1}};
+    auto Rep = checkEquivalent(Fig5, Again, In);
+    ASSERT_TRUE(Rep.Equivalent) << Rep.Detail;
+    auto RunFig5 = Interpreter::execute(Fig5, In);
+    EXPECT_EQ(Rep.Rhs.Stats.ExprEvaluations, RunFig5.Stats.ExprEvaluations);
+  }
+}

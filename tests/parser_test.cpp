@@ -1,0 +1,313 @@
+//===- tests/parser_test.cpp - Lexer and parser tests ----------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "parser/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace am;
+using namespace am::test;
+
+TEST(Lexer, TokenizesOperatorsAndIdents) {
+  auto Toks = tokenize("x := a + b # comment\n y <= 3");
+  ASSERT_GE(Toks.size(), 9u);
+  EXPECT_EQ(Toks[0].K, TokKind::Ident);
+  EXPECT_EQ(Toks[0].Text, "x");
+  EXPECT_EQ(Toks[1].K, TokKind::Assign);
+  EXPECT_EQ(Toks[3].K, TokKind::Plus);
+  EXPECT_EQ(Toks[5].K, TokKind::Ident);
+  EXPECT_EQ(Toks[5].Line, 2u);
+  EXPECT_EQ(Toks[6].K, TokKind::Le);
+  EXPECT_EQ(Toks[7].K, TokKind::Number);
+  EXPECT_EQ(Toks[7].Value, 3);
+  EXPECT_EQ(Toks.back().K, TokKind::Eof);
+}
+
+TEST(Lexer, EqualsVariantsAndErrors) {
+  auto Toks = tokenize("= == != < <= > >= :=");
+  EXPECT_EQ(Toks[0].K, TokKind::Assign);
+  EXPECT_EQ(Toks[1].K, TokKind::EqEq);
+  EXPECT_EQ(Toks[2].K, TokKind::Ne);
+  EXPECT_EQ(Toks[3].K, TokKind::Lt);
+  EXPECT_EQ(Toks[4].K, TokKind::Le);
+  EXPECT_EQ(Toks[5].K, TokKind::Gt);
+  EXPECT_EQ(Toks[6].K, TokKind::Ge);
+  EXPECT_EQ(Toks[7].K, TokKind::Assign);
+
+  auto Bad = tokenize("x ? y");
+  EXPECT_EQ(Bad.back().K, TokKind::Error);
+}
+
+TEST(CfgParser, ParsesBranchesAndNondet) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  x := a + b
+  if x > 0 then b1 else b2
+b1:
+  out(x)
+  br b1 b2
+b2:
+  halt
+}
+)");
+  EXPECT_EQ(G.numBlocks(), 3u);
+  EXPECT_EQ(G.start(), 0u);
+  EXPECT_EQ(G.end(), 2u);
+  ASSERT_EQ(G.block(0).Succs.size(), 2u);
+  EXPECT_NE(G.block(0).branchInstr(), nullptr);
+  EXPECT_EQ(G.block(1).branchInstr(), nullptr); // nondeterministic br
+  EXPECT_EQ(G.block(1).Succs.size(), 2u);
+}
+
+TEST(CfgParser, ForwardReferencesAndNegativeConstants) {
+  FlowGraph G = parse(R"(
+graph {
+entry:
+  x := -5
+  y := x - -3
+  goto exit
+exit:
+  out(x, y)
+  halt
+}
+)");
+  const Instr &I0 = G.block(0).Instrs[0];
+  EXPECT_EQ(I0.Rhs.A.Const, -5);
+  const Instr &I1 = G.block(0).Instrs[1];
+  EXPECT_EQ(I1.Rhs.Op, OpCode::Sub);
+  EXPECT_EQ(I1.Rhs.B.Const, -3);
+}
+
+TEST(CfgParser, TempDeclarationRestoresExprAssociation) {
+  FlowGraph G = parse(R"(
+graph {
+temp h1
+b0:
+  h1 := a + b
+  x := h1
+  out(x)
+  halt
+}
+)");
+  VarId H = G.Vars.lookup("h1");
+  ASSERT_TRUE(isValid(H));
+  EXPECT_TRUE(G.Vars.isTemp(H));
+  ExprId E = G.Vars.tempFor(H);
+  ASSERT_TRUE(isValid(E));
+  EXPECT_EQ(printTerm(G.Exprs.term(E), G.Vars), "a + b");
+  EXPECT_EQ(G.Exprs.temporaryIfPresent(E), H);
+}
+
+TEST(CfgParser, ErrorMessages) {
+  EXPECT_NE(parseCfg("graph { b0: goto b1 }").Error.find("never defined"),
+            std::string::npos);
+  EXPECT_NE(parseCfg("graph { b0: x := 1 }").Error.find("expected"),
+            std::string::npos);
+  EXPECT_NE(parseCfg(R"(
+graph {
+b0:
+  halt
+b1:
+  halt
+}
+)").Error.find("multiple 'halt'"),
+            std::string::npos);
+  EXPECT_NE(parseCfg(R"(
+graph {
+b0:
+  goto b0
+}
+)").Error.find("halt"),
+            std::string::npos);
+  // `out` is a keyword: `out := 1` reads as an out statement missing '('.
+  EXPECT_FALSE(parseCfg(R"(
+graph {
+b0:
+  out := 1
+  halt
+}
+)").ok());
+  // `goto := 1` hits the keyword-as-variable diagnostic.
+  EXPECT_NE(parseCfg(R"(
+graph {
+b0:
+  x := then
+  halt
+}
+)").Error.find("keyword"),
+            std::string::npos);
+  EXPECT_NE(parseCfg(R"(
+graph {
+b0:
+  br b1
+b1:
+  halt
+}
+)").Error.find("at least two targets"),
+            std::string::npos);
+  // Block defined twice.
+  EXPECT_NE(parseCfg(R"(
+graph {
+b0:
+  goto b1
+b1:
+  halt
+b1:
+  skip
+  goto b0
+}
+)").Error.find("defined twice"),
+            std::string::npos);
+}
+
+TEST(CfgParser, RejectsInvalidGraphs) {
+  // Unreachable block.
+  ParseResult R = parseCfg(R"(
+graph {
+b0:
+  halt
+b1:
+  goto b0
+}
+)");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("invalid graph"), std::string::npos);
+}
+
+TEST(StructuredParser, LowersSequenceAndIf) {
+  FlowGraph G = parse(R"(
+program {
+  x := a + b;
+  if (x > 0) {
+    y := 1;
+  } else {
+    y := 2;
+  }
+  out(x, y);
+}
+)");
+  EXPECT_TRUE(G.validate().empty());
+  // start, then, else, join
+  EXPECT_EQ(G.numBlocks(), 4u);
+  EXPECT_NE(G.block(G.start()).branchInstr(), nullptr);
+  ExecResult Pos = run(G, {{"a", 1}, {"b", 1}});
+  EXPECT_EQ(Pos.Output, (std::vector<int64_t>{2, 1}));
+  ExecResult Neg = run(G, {{"a", -1}, {"b", 0}});
+  EXPECT_EQ(Neg.Output, (std::vector<int64_t>{-1, 2}));
+}
+
+TEST(StructuredParser, IfWithoutElse) {
+  FlowGraph G = parse(R"(
+program {
+  if (a > 0) {
+    x := 1;
+  }
+  out(x);
+}
+)");
+  EXPECT_TRUE(G.validate().empty());
+  EXPECT_EQ(run(G, {{"a", 5}}).Output, (std::vector<int64_t>{1}));
+  EXPECT_EQ(run(G, {{"a", -5}}).Output, (std::vector<int64_t>{0}));
+}
+
+TEST(StructuredParser, WhileLoopLowering) {
+  FlowGraph G = parse(R"(
+program {
+  i := 0;
+  s := 0;
+  while (i < n) {
+    s := s + i;
+    i := i + 1;
+  }
+  out(s, i);
+}
+)");
+  EXPECT_TRUE(G.validate().empty());
+  ExecResult R = run(G, {{"n", 5}});
+  EXPECT_EQ(R.Output, (std::vector<int64_t>{10, 5}));
+  EXPECT_EQ(run(G, {{"n", 0}}).Output, (std::vector<int64_t>{0, 0}));
+}
+
+TEST(StructuredParser, RepeatUntilRunsBodyAtLeastOnce) {
+  FlowGraph G = parse(R"(
+program {
+  i := 0;
+  repeat {
+    i := i + 1;
+  } until (i >= n);
+  out(i);
+}
+)");
+  EXPECT_TRUE(G.validate().empty());
+  // Body executes once even when the condition is initially true.
+  EXPECT_EQ(run(G, {{"n", 0}}).Output, (std::vector<int64_t>{1}));
+  EXPECT_EQ(run(G, {{"n", 5}}).Output, (std::vector<int64_t>{5}));
+}
+
+TEST(StructuredParser, RepeatErrors) {
+  EXPECT_FALSE(parseStructured(
+                   "program { repeat { x := 1; } }").ok());
+  EXPECT_FALSE(parseStructured(
+                   "program { repeat { x := 1; } until (x > 0) }").ok());
+}
+
+TEST(StructuredParser, ChooseProducesNondeterministicBranch) {
+  FlowGraph G = parse(R"(
+program {
+  choose {
+    x := 1;
+  } or {
+    x := 2;
+  }
+  out(x);
+}
+)");
+  EXPECT_TRUE(G.validate().empty());
+  // Both alternatives are reachable across seeds.
+  bool SawOne = false, SawTwo = false;
+  for (uint64_t Seed = 0; Seed < 16; ++Seed) {
+    auto Out = run(G, {}, Seed).Output;
+    ASSERT_EQ(Out.size(), 1u);
+    SawOne |= Out[0] == 1;
+    SawTwo |= Out[0] == 2;
+  }
+  EXPECT_TRUE(SawOne);
+  EXPECT_TRUE(SawTwo);
+}
+
+TEST(StructuredParser, NestedControlFlow) {
+  FlowGraph G = parse(R"(
+program {
+  t := 0;
+  i := 0;
+  while (i < 3) {
+    if (i == 1) {
+      t := t + 10;
+    } else {
+      t := t + 1;
+    }
+    i := i + 1;
+  }
+  out(t);
+}
+)");
+  EXPECT_EQ(run(G, {}).Output, (std::vector<int64_t>{12}));
+}
+
+TEST(StructuredParser, Errors) {
+  EXPECT_FALSE(parseStructured("program { x := ; }").ok());
+  EXPECT_FALSE(parseStructured("program { if x > 0 { } }").ok());
+  EXPECT_FALSE(parseStructured("program { choose { x := 1; } }").ok());
+  EXPECT_FALSE(parseStructured("program { x := 1 }").ok()); // missing ';'
+  EXPECT_FALSE(parseStructured("program { while (1 < 2) { x := 1; }").ok());
+}
+
+TEST(ParseProgram, DispatchesOnKeyword) {
+  EXPECT_TRUE(parseProgram("program { out(); }").ok());
+  EXPECT_TRUE(parseProgram("graph { b0:\n halt\n }").ok());
+}

@@ -1,0 +1,183 @@
+//===- tests/property_test.cpp - Randomized property sweeps ----*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded property sweeps over random programs — the heavy artillery
+/// behind the paper's theorems:
+///
+///  * every transformation preserves semantics (Theorem 5.1);
+///  * the uniform algorithm never evaluates more expressions than the
+///    original, than EM alone, or than AM alone (Theorem 5.2, dynamic
+///    form);
+///  * the pipeline is idempotent and the flush leaves nothing to flush;
+///  * all of the above also on irreducible control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "gen/RandomProgram.h"
+#include "interp/Equivalence.h"
+#include "transform/CopyPropagation.h"
+#include "transform/FinalFlush.h"
+#include "transform/LazyCodeMotion.h"
+#include "transform/RestrictedAssignmentMotion.h"
+#include "transform/UniformEmAm.h"
+
+#include <gtest/gtest.h>
+
+using namespace am;
+using namespace am::test;
+
+namespace {
+
+std::unordered_map<std::string, int64_t> inputsFor(uint64_t Salt) {
+  std::unordered_map<std::string, int64_t> In;
+  for (unsigned V = 0; V < 8; ++V)
+    In["v" + std::to_string(V)] =
+        static_cast<int64_t>((Salt * 2654435761u + V * 40503u) % 23) - 11;
+  return In;
+}
+
+} // namespace
+
+class StructuredSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StructuredSweep, UniformPreservesSemantics) {
+  FlowGraph G = generateStructuredProgram(GetParam());
+  FlowGraph U = runUniformEmAm(G);
+  EXPECT_TRUE(U.validate().empty());
+  for (uint64_t Run = 0; Run < 3; ++Run) {
+    auto Rep = checkEquivalent(G, U, inputsFor(GetParam() * 3 + Run), Run);
+    ASSERT_TRUE(Rep.Equivalent)
+        << Rep.Detail << "\nseed " << GetParam() << " run " << Run
+        << "\nbefore:\n" << printGraph(G) << "after:\n" << printGraph(U);
+  }
+}
+
+TEST_P(StructuredSweep, UniformNeverIncreasesExpressionEvaluations) {
+  FlowGraph G = generateStructuredProgram(GetParam());
+  FlowGraph U = runUniformEmAm(G);
+  for (uint64_t Run = 0; Run < 3; ++Run) {
+    auto Rep = checkEquivalent(G, U, inputsFor(GetParam() * 7 + Run), Run);
+    ASSERT_TRUE(Rep.Equivalent) << Rep.Detail;
+    EXPECT_LE(Rep.Rhs.Stats.ExprEvaluations, Rep.Lhs.Stats.ExprEvaluations)
+        << "seed " << GetParam() << " run " << Run << "\nafter:\n"
+        << printGraph(U);
+  }
+}
+
+TEST_P(StructuredSweep, UniformBeatsOrTiesEmAndAmAlone) {
+  FlowGraph G = generateStructuredProgram(GetParam());
+  FlowGraph U = runUniformEmAm(G);
+  FlowGraph Em = runLazyCodeMotion(G);
+  FlowGraph Am = runAssignmentMotionOnly(G);
+  for (uint64_t Run = 0; Run < 2; ++Run) {
+    auto In = inputsFor(GetParam() * 11 + Run);
+    auto RunU = Interpreter::execute(U, In, Run);
+    auto RunEm = Interpreter::execute(Em, In, Run);
+    auto RunAm = Interpreter::execute(Am, In, Run);
+    ASSERT_TRUE(RunU.finished());
+    ASSERT_TRUE(RunEm.finished());
+    ASSERT_TRUE(RunAm.finished());
+    EXPECT_LE(RunU.Stats.ExprEvaluations, RunEm.Stats.ExprEvaluations)
+        << "uniform worse than EM alone, seed " << GetParam();
+    EXPECT_LE(RunU.Stats.ExprEvaluations, RunAm.Stats.ExprEvaluations)
+        << "uniform worse than AM alone, seed " << GetParam();
+  }
+}
+
+TEST_P(StructuredSweep, BaselinesPreserveSemantics) {
+  FlowGraph G = generateStructuredProgram(GetParam());
+  FlowGraph Em = runLazyCodeMotion(G);
+  FlowGraph Am = runAssignmentMotionOnly(G);
+  FlowGraph Cp = G;
+  runCopyPropagation(Cp);
+  for (uint64_t Run = 0; Run < 2; ++Run) {
+    auto In = inputsFor(GetParam() * 13 + Run);
+    EXPECT_TRUE(checkEquivalent(G, Em, In, Run).Equivalent)
+        << "LCM broke seed " << GetParam();
+    EXPECT_TRUE(checkEquivalent(G, Am, In, Run).Equivalent)
+        << "AM-only broke seed " << GetParam();
+    EXPECT_TRUE(checkEquivalent(G, Cp, In, Run).Equivalent)
+        << "copy propagation broke seed " << GetParam();
+  }
+}
+
+TEST_P(StructuredSweep, UniformIsIdempotent) {
+  FlowGraph Once = runUniformEmAm(generateStructuredProgram(GetParam()));
+  FlowGraph Twice = runUniformEmAm(Once);
+  EXPECT_TRUE(equivalentModuloTemps(Once, Twice))
+      << "seed " << GetParam() << "\nonce:\n" << printGraph(Once)
+      << "twice:\n" << printGraph(Twice);
+}
+
+TEST_P(StructuredSweep, FlushLeavesNothingToFlush) {
+  FlowGraph G = generateStructuredProgram(GetParam());
+  UniformOptions Options;
+  Options.SimplifyResult = false; // keep block ids stable
+  FlowGraph U = runUniformEmAm(G, Options);
+  EXPECT_FALSE(runFinalFlush(U)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuredSweep,
+                         ::testing::Range<uint64_t>(0, 40));
+
+class RestrictedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RestrictedSweep, RestrictedAmIsSoundButNoStrongerThanUnrestricted) {
+  GenOptions Opts;
+  Opts.TargetStmts = 18; // restricted AM re-analyzes per pattern: keep small
+  FlowGraph G = generateStructuredProgram(GetParam(), Opts);
+  FlowGraph R = runRestrictedAssignmentMotion(G);
+  FlowGraph Am = runAssignmentMotionOnly(G);
+  for (uint64_t Run = 0; Run < 2; ++Run) {
+    auto In = inputsFor(GetParam() * 17 + Run);
+    auto Rep = checkEquivalent(G, R, In, Run);
+    ASSERT_TRUE(Rep.Equivalent) << Rep.Detail << " seed " << GetParam();
+    auto RunAm = Interpreter::execute(Am, In, Run);
+    auto RunR = Interpreter::execute(R, In, Run);
+    ASSERT_TRUE(RunAm.finished() && RunR.finished());
+    EXPECT_LE(RunAm.Stats.AssignExecutions, RunR.Stats.AssignExecutions)
+        << "unrestricted AM must dominate restricted AM, seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RestrictedSweep,
+                         ::testing::Range<uint64_t>(0, 10));
+
+class IrreducibleSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IrreducibleSweep, UniformPreservesSemanticsOnArbitraryCfgs) {
+  FlowGraph G = generateIrreducibleCfg(GetParam());
+  FlowGraph U = runUniformEmAm(G);
+  EXPECT_TRUE(U.validate().empty());
+  Interpreter::Options Opts;
+  Opts.MaxSteps = 3000;
+  for (uint64_t Run = 0; Run < 4; ++Run) {
+    auto Rep =
+        checkEquivalent(G, U, inputsFor(GetParam() * 5 + Run), Run, Opts);
+    ASSERT_TRUE(Rep.Equivalent)
+        << Rep.Detail << "\nseed " << GetParam() << " run " << Run
+        << "\nbefore:\n" << printGraph(G) << "after:\n" << printGraph(U);
+  }
+}
+
+TEST_P(IrreducibleSweep, AmOnlyPreservesSemanticsOnArbitraryCfgs) {
+  FlowGraph G = generateIrreducibleCfg(GetParam());
+  FlowGraph Am = runAssignmentMotionOnly(G);
+  EXPECT_TRUE(Am.validate().empty());
+  Interpreter::Options Opts;
+  Opts.MaxSteps = 3000;
+  for (uint64_t Run = 0; Run < 4; ++Run) {
+    auto Rep =
+        checkEquivalent(G, Am, inputsFor(GetParam() * 9 + Run), Run, Opts);
+    ASSERT_TRUE(Rep.Equivalent)
+        << Rep.Detail << "\nseed " << GetParam() << " run " << Run;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrreducibleSweep,
+                         ::testing::Range<uint64_t>(0, 25));

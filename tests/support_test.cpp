@@ -1,0 +1,210 @@
+//===- tests/support_test.cpp - BitVector/interner/Rng tests ---*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+#include "support/Rng.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace am;
+
+TEST(BitVector, EmptyDefaults) {
+  BitVector V;
+  EXPECT_EQ(V.size(), 0u);
+  EXPECT_TRUE(V.none());
+  EXPECT_FALSE(V.any());
+  EXPECT_TRUE(V.all());
+  EXPECT_EQ(V.count(), 0u);
+  EXPECT_EQ(V.findFirst(), 0u);
+}
+
+TEST(BitVector, SetResetTest) {
+  BitVector V(130);
+  EXPECT_TRUE(V.none());
+  V.set(0);
+  V.set(64);
+  V.set(129);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(129));
+  EXPECT_FALSE(V.test(1));
+  EXPECT_EQ(V.count(), 3u);
+  V.reset(64);
+  EXPECT_FALSE(V.test(64));
+  EXPECT_EQ(V.count(), 2u);
+  V.set(5, true);
+  V.set(5, false);
+  EXPECT_FALSE(V.test(5));
+}
+
+TEST(BitVector, AllTrueConstruction) {
+  BitVector V(100, true);
+  EXPECT_TRUE(V.all());
+  EXPECT_EQ(V.count(), 100u);
+  V.reset(99);
+  EXPECT_FALSE(V.all());
+  EXPECT_EQ(V.count(), 99u);
+}
+
+TEST(BitVector, SetAllResetAll) {
+  BitVector V(70);
+  V.setAll();
+  EXPECT_TRUE(V.all());
+  EXPECT_EQ(V.count(), 70u);
+  V.resetAll();
+  EXPECT_TRUE(V.none());
+}
+
+TEST(BitVector, BooleanOps) {
+  BitVector A(10), B(10);
+  A.set(1);
+  A.set(3);
+  B.set(3);
+  B.set(5);
+  BitVector And = A & B;
+  EXPECT_EQ(And.setBits(), (std::vector<size_t>{3}));
+  BitVector Or = A | B;
+  EXPECT_EQ(Or.setBits(), (std::vector<size_t>{1, 3, 5}));
+  BitVector Diff = A;
+  Diff.andNot(B);
+  EXPECT_EQ(Diff.setBits(), (std::vector<size_t>{1}));
+  BitVector Xor = A;
+  Xor ^= B;
+  EXPECT_EQ(Xor.setBits(), (std::vector<size_t>{1, 5}));
+}
+
+TEST(BitVector, ComplementKeepsTailClear) {
+  BitVector V(67);
+  V.set(0);
+  BitVector NotV = ~V;
+  EXPECT_EQ(NotV.count(), 66u);
+  EXPECT_FALSE(NotV.test(0));
+  EXPECT_TRUE(NotV.test(66));
+  // Complementing twice is identity; tail bits beyond size stay clear so
+  // equality and all() remain meaningful.
+  EXPECT_EQ(~NotV, V);
+  NotV.setAll();
+  EXPECT_TRUE(NotV.all());
+  EXPECT_EQ(NotV.count(), 67u);
+}
+
+TEST(BitVector, SubsetAndIntersects) {
+  BitVector A(40), B(40);
+  A.set(7);
+  B.set(7);
+  B.set(20);
+  EXPECT_TRUE(A.isSubsetOf(B));
+  EXPECT_FALSE(B.isSubsetOf(A));
+  EXPECT_TRUE(A.intersects(B));
+  A.reset(7);
+  EXPECT_FALSE(A.intersects(B));
+  EXPECT_TRUE(A.isSubsetOf(B));
+}
+
+TEST(BitVector, FindNextAcrossWords) {
+  BitVector V(200);
+  V.set(3);
+  V.set(63);
+  V.set(64);
+  V.set(199);
+  EXPECT_EQ(V.findFirst(), 3u);
+  EXPECT_EQ(V.findNext(4), 63u);
+  EXPECT_EQ(V.findNext(64), 64u);
+  EXPECT_EQ(V.findNext(65), 199u);
+  EXPECT_EQ(V.findNext(200), 200u);
+  EXPECT_EQ(V.setBits(), (std::vector<size_t>{3, 63, 64, 199}));
+}
+
+TEST(BitVector, ResizeGrowWithValue) {
+  BitVector V(10);
+  V.set(9);
+  V.resize(70, true);
+  EXPECT_TRUE(V.test(9));
+  EXPECT_FALSE(V.test(0));
+  for (size_t I = 10; I < 70; ++I)
+    EXPECT_TRUE(V.test(I)) << I;
+  V.resize(5);
+  EXPECT_EQ(V.size(), 5u);
+  EXPECT_TRUE(V.none());
+}
+
+TEST(BitVector, EqualityRequiresSameSize) {
+  BitVector A(10), B(11);
+  EXPECT_NE(A, B);
+  BitVector C(10);
+  EXPECT_EQ(A, C);
+  C.set(2);
+  EXPECT_NE(A, C);
+}
+
+TEST(BitVector, ToStringRendersBitZeroFirst) {
+  BitVector V(4);
+  V.set(1);
+  EXPECT_EQ(V.toString(), "0100");
+}
+
+/// Property sweep: random ops against a std::set<size_t> model.
+class BitVectorModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitVectorModelTest, MatchesSetModel) {
+  Rng R(GetParam());
+  size_t Size = 1 + R.index(300);
+  BitVector V(Size);
+  std::set<size_t> Model;
+  for (int Step = 0; Step < 400; ++Step) {
+    size_t Idx = R.index(Size);
+    switch (R.index(3)) {
+    case 0:
+      V.set(Idx);
+      Model.insert(Idx);
+      break;
+    case 1:
+      V.reset(Idx);
+      Model.erase(Idx);
+      break;
+    case 2:
+      ASSERT_EQ(V.test(Idx), Model.count(Idx) != 0);
+      break;
+    }
+  }
+  ASSERT_EQ(V.count(), Model.size());
+  ASSERT_EQ(V.setBits(), std::vector<size_t>(Model.begin(), Model.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(StringInterner, InternIsIdempotent) {
+  StringInterner SI;
+  uint32_t A = SI.intern("foo");
+  uint32_t B = SI.intern("bar");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(SI.intern("foo"), A);
+  EXPECT_EQ(SI.str(A), "foo");
+  EXPECT_EQ(SI.lookup("bar"), B);
+  EXPECT_EQ(SI.lookup("baz"), UINT32_MAX);
+  EXPECT_EQ(SI.size(), 2u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, RangeStaysInBounds) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.range(-3, 5);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 5);
+  }
+  for (int I = 0; I < 100; ++I)
+    EXPECT_LT(R.index(4), 4u);
+}

@@ -1,0 +1,107 @@
+//===- tests/verify_test.cpp - Adversarial optimality tests ----*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adversarial probe of Theorem 5.2: random members of the EM/AM
+/// universe must (a) be semantically equivalent to the original and
+/// (b) never evaluate fewer expressions than the uniform algorithm's
+/// result on any execution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "figures/PaperFigures.h"
+#include "gen/RandomProgram.h"
+#include "interp/Equivalence.h"
+#include "transform/UniformEmAm.h"
+#include "verify/AdversarialSearch.h"
+
+#include <gtest/gtest.h>
+
+using namespace am;
+using namespace am::test;
+
+TEST(Adversarial, DerivationsAreSemanticallySound) {
+  FlowGraph G = figure4();
+  for (uint64_t Seed = 0; Seed < 20; ++Seed) {
+    FlowGraph Member = randomUniverseMember(G, Seed);
+    EXPECT_TRUE(Member.validate().empty()) << "seed " << Seed;
+    auto Rep = checkEquivalent(
+        G, Member, {{"c", 1}, {"d", 2}, {"x", 30}, {"z", 5}, {"i", 1}});
+    ASSERT_TRUE(Rep.Equivalent)
+        << Rep.Detail << "\nseed " << Seed << "\n" << printGraph(Member);
+  }
+}
+
+TEST(Adversarial, PartialEliminationIsSound) {
+  FlowGraph G = parse(R"(
+graph {
+b0:
+  x := a + b
+  x := a + b
+  x := a + b
+  out(x)
+  halt
+}
+)");
+  Rng R(3);
+  unsigned Eliminated = eliminateRandomRedundant(G, R, /*KeepProb=*/1.0);
+  EXPECT_EQ(Eliminated, 2u); // the first occurrence is not redundant
+  EXPECT_EQ(countAssigns(G, "x", "a + b"), 1u);
+}
+
+TEST(Adversarial, NoDerivationBeatsUniformOnFigures) {
+  for (FlowGraph (*Fig)() : {figure1a, figure2a, figure4, figure8,
+                             figure16, figure18b}) {
+    FlowGraph G = Fig();
+    FlowGraph U = runUniformEmAm(G);
+    for (uint64_t Seed = 0; Seed < 30; ++Seed) {
+      FlowGraph Member = randomUniverseMember(G, Seed);
+      for (uint64_t Run = 0; Run < 3; ++Run) {
+        std::unordered_map<std::string, int64_t> In = {
+            {"a", 2}, {"b", 3}, {"c", 1}, {"d", 2},
+            {"x", 9}, {"y", 4}, {"z", 1}, {"i", 0}};
+        Interpreter::Options Opts;
+        Opts.MaxSteps = 5000;
+        auto RunU = Interpreter::execute(U, In, Run, Opts);
+        auto RunM = Interpreter::execute(Member, In, Run, Opts);
+        if (!RunU.finished() || !RunM.finished())
+          continue;
+        ASSERT_LE(RunU.Stats.ExprEvaluations, RunM.Stats.ExprEvaluations)
+            << "an EM/AM-universe member beat the 'optimal' result!\n"
+            << "derivation seed " << Seed << " run " << Run << "\n"
+            << printGraph(Member);
+      }
+    }
+  }
+}
+
+class AdversarialSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdversarialSweep, NoDerivationBeatsUniformOnRandomPrograms) {
+  GenOptions Opts;
+  Opts.TargetStmts = 25;
+  FlowGraph G = generateStructuredProgram(GetParam(), Opts);
+  FlowGraph U = runUniformEmAm(G);
+  for (uint64_t Seed = 0; Seed < 8; ++Seed) {
+    FlowGraph Member = randomUniverseMember(G, GetParam() * 100 + Seed);
+    for (uint64_t Run = 0; Run < 2; ++Run) {
+      std::unordered_map<std::string, int64_t> In = {
+          {"v0", int64_t(Run) - 1}, {"v1", 5}, {"v2", -3}};
+      auto Rep = checkEquivalent(G, Member, In, Run);
+      ASSERT_TRUE(Rep.Equivalent)
+          << Rep.Detail << "\nprogram seed " << GetParam()
+          << " derivation seed " << Seed;
+      auto RunU = Interpreter::execute(U, In, Run);
+      ASSERT_LE(RunU.Stats.ExprEvaluations, Rep.Rhs.Stats.ExprEvaluations)
+          << "program seed " << GetParam() << " derivation seed " << Seed
+          << "\nmember:\n" << printGraph(Member);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialSweep,
+                         ::testing::Range<uint64_t>(0, 15));
