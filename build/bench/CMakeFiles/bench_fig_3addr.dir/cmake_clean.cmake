@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_3addr.dir/bench_fig_3addr.cpp.o"
+  "CMakeFiles/bench_fig_3addr.dir/bench_fig_3addr.cpp.o.d"
+  "bench_fig_3addr"
+  "bench_fig_3addr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_3addr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_edges.dir/bench_fig_edges.cpp.o"
+  "CMakeFiles/bench_fig_edges.dir/bench_fig_edges.cpp.o.d"
+  "bench_fig_edges"
+  "bench_fig_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_restricted.dir/bench_fig_restricted.cpp.o"
+  "CMakeFiles/bench_fig_restricted.dir/bench_fig_restricted.cpp.o.d"
+  "bench_fig_restricted"
+  "bench_fig_restricted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_restricted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_running.dir/bench_fig_running.cpp.o"
+  "CMakeFiles/bench_fig_running.dir/bench_fig_running.cpp.o.d"
+  "bench_fig_running"
+  "bench_fig_running.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_running.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

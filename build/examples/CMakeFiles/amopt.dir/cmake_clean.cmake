@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amopt.dir/amopt.cpp.o"
+  "CMakeFiles/amopt.dir/amopt.cpp.o.d"
+  "amopt"
+  "amopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

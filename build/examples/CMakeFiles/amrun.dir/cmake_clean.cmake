@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amrun.dir/amrun.cpp.o"
+  "CMakeFiles/amrun.dir/amrun.cpp.o.d"
+  "amrun"
+  "amrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

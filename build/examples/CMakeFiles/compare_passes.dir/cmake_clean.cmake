@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_passes.dir/compare_passes.cpp.o"
+  "CMakeFiles/compare_passes.dir/compare_passes.cpp.o.d"
+  "compare_passes"
+  "compare_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_invariant.dir/loop_invariant.cpp.o"
+  "CMakeFiles/loop_invariant.dir/loop_invariant.cpp.o.d"
+  "loop_invariant"
+  "loop_invariant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_invariant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universe_explorer.dir/universe_explorer.cpp.o"
+  "CMakeFiles/universe_explorer.dir/universe_explorer.cpp.o.d"
+  "universe_explorer"
+  "universe_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universe_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Annotate.cpp" "src/analysis/CMakeFiles/am_analysis.dir/Annotate.cpp.o" "gcc" "src/analysis/CMakeFiles/am_analysis.dir/Annotate.cpp.o.d"
+  "/root/repo/src/analysis/CopyAnalysis.cpp" "src/analysis/CMakeFiles/am_analysis.dir/CopyAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/am_analysis.dir/CopyAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/analysis/CMakeFiles/am_analysis.dir/Dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/am_analysis.dir/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/LcmAnalyses.cpp" "src/analysis/CMakeFiles/am_analysis.dir/LcmAnalyses.cpp.o" "gcc" "src/analysis/CMakeFiles/am_analysis.dir/LcmAnalyses.cpp.o.d"
+  "/root/repo/src/analysis/Lifetime.cpp" "src/analysis/CMakeFiles/am_analysis.dir/Lifetime.cpp.o" "gcc" "src/analysis/CMakeFiles/am_analysis.dir/Lifetime.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/analysis/CMakeFiles/am_analysis.dir/Liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/am_analysis.dir/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/PaperAnalyses.cpp" "src/analysis/CMakeFiles/am_analysis.dir/PaperAnalyses.cpp.o" "gcc" "src/analysis/CMakeFiles/am_analysis.dir/PaperAnalyses.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfa/CMakeFiles/am_dfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/am_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

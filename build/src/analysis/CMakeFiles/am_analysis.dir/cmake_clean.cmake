@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_analysis.dir/Annotate.cpp.o"
+  "CMakeFiles/am_analysis.dir/Annotate.cpp.o.d"
+  "CMakeFiles/am_analysis.dir/CopyAnalysis.cpp.o"
+  "CMakeFiles/am_analysis.dir/CopyAnalysis.cpp.o.d"
+  "CMakeFiles/am_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/am_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/am_analysis.dir/LcmAnalyses.cpp.o"
+  "CMakeFiles/am_analysis.dir/LcmAnalyses.cpp.o.d"
+  "CMakeFiles/am_analysis.dir/Lifetime.cpp.o"
+  "CMakeFiles/am_analysis.dir/Lifetime.cpp.o.d"
+  "CMakeFiles/am_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/am_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/am_analysis.dir/PaperAnalyses.cpp.o"
+  "CMakeFiles/am_analysis.dir/PaperAnalyses.cpp.o.d"
+  "libam_analysis.a"
+  "libam_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_dfa.dir/Dataflow.cpp.o"
+  "CMakeFiles/am_dfa.dir/Dataflow.cpp.o.d"
+  "libam_dfa.a"
+  "libam_dfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_dfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_figures.dir/PaperFigures.cpp.o"
+  "CMakeFiles/am_figures.dir/PaperFigures.cpp.o.d"
+  "libam_figures.a"
+  "libam_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_gen.dir/RandomProgram.cpp.o"
+  "CMakeFiles/am_gen.dir/RandomProgram.cpp.o.d"
+  "libam_gen.a"
+  "libam_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_interp.dir/Equivalence.cpp.o"
+  "CMakeFiles/am_interp.dir/Equivalence.cpp.o.d"
+  "CMakeFiles/am_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/am_interp.dir/Interpreter.cpp.o.d"
+  "libam_interp.a"
+  "libam_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

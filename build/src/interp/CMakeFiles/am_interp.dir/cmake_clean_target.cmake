@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libam_interp.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/FlowGraph.cpp" "src/ir/CMakeFiles/am_ir.dir/FlowGraph.cpp.o" "gcc" "src/ir/CMakeFiles/am_ir.dir/FlowGraph.cpp.o.d"
+  "/root/repo/src/ir/Patterns.cpp" "src/ir/CMakeFiles/am_ir.dir/Patterns.cpp.o" "gcc" "src/ir/CMakeFiles/am_ir.dir/Patterns.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/am_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/am_ir.dir/Printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_ir.dir/FlowGraph.cpp.o"
+  "CMakeFiles/am_ir.dir/FlowGraph.cpp.o.d"
+  "CMakeFiles/am_ir.dir/Patterns.cpp.o"
+  "CMakeFiles/am_ir.dir/Patterns.cpp.o.d"
+  "CMakeFiles/am_ir.dir/Printer.cpp.o"
+  "CMakeFiles/am_ir.dir/Printer.cpp.o.d"
+  "libam_ir.a"
+  "libam_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/am_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/am_parser.dir/Parser.cpp.o"
+  "CMakeFiles/am_parser.dir/Parser.cpp.o.d"
+  "libam_parser.a"
+  "libam_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/AssignmentHoisting.cpp" "src/transform/CMakeFiles/am_transform.dir/AssignmentHoisting.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/AssignmentHoisting.cpp.o.d"
+  "/root/repo/src/transform/AssignmentMotion.cpp" "src/transform/CMakeFiles/am_transform.dir/AssignmentMotion.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/AssignmentMotion.cpp.o.d"
+  "/root/repo/src/transform/BusyCodeMotion.cpp" "src/transform/CMakeFiles/am_transform.dir/BusyCodeMotion.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/BusyCodeMotion.cpp.o.d"
+  "/root/repo/src/transform/CopyPropagation.cpp" "src/transform/CMakeFiles/am_transform.dir/CopyPropagation.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/CopyPropagation.cpp.o.d"
+  "/root/repo/src/transform/FinalFlush.cpp" "src/transform/CMakeFiles/am_transform.dir/FinalFlush.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/FinalFlush.cpp.o.d"
+  "/root/repo/src/transform/Initialization.cpp" "src/transform/CMakeFiles/am_transform.dir/Initialization.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/Initialization.cpp.o.d"
+  "/root/repo/src/transform/LazyCodeMotion.cpp" "src/transform/CMakeFiles/am_transform.dir/LazyCodeMotion.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/LazyCodeMotion.cpp.o.d"
+  "/root/repo/src/transform/LocalValueNumbering.cpp" "src/transform/CMakeFiles/am_transform.dir/LocalValueNumbering.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/LocalValueNumbering.cpp.o.d"
+  "/root/repo/src/transform/Normalize.cpp" "src/transform/CMakeFiles/am_transform.dir/Normalize.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/Normalize.cpp.o.d"
+  "/root/repo/src/transform/PartialDeadCodeElim.cpp" "src/transform/CMakeFiles/am_transform.dir/PartialDeadCodeElim.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/PartialDeadCodeElim.cpp.o.d"
+  "/root/repo/src/transform/Pipeline.cpp" "src/transform/CMakeFiles/am_transform.dir/Pipeline.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/transform/RedundantAssignElim.cpp" "src/transform/CMakeFiles/am_transform.dir/RedundantAssignElim.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/RedundantAssignElim.cpp.o.d"
+  "/root/repo/src/transform/RestrictedAssignmentMotion.cpp" "src/transform/CMakeFiles/am_transform.dir/RestrictedAssignmentMotion.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/RestrictedAssignmentMotion.cpp.o.d"
+  "/root/repo/src/transform/UniformEmAm.cpp" "src/transform/CMakeFiles/am_transform.dir/UniformEmAm.cpp.o" "gcc" "src/transform/CMakeFiles/am_transform.dir/UniformEmAm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/am_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/am_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfa/CMakeFiles/am_dfa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_transform.dir/AssignmentHoisting.cpp.o"
+  "CMakeFiles/am_transform.dir/AssignmentHoisting.cpp.o.d"
+  "CMakeFiles/am_transform.dir/AssignmentMotion.cpp.o"
+  "CMakeFiles/am_transform.dir/AssignmentMotion.cpp.o.d"
+  "CMakeFiles/am_transform.dir/BusyCodeMotion.cpp.o"
+  "CMakeFiles/am_transform.dir/BusyCodeMotion.cpp.o.d"
+  "CMakeFiles/am_transform.dir/CopyPropagation.cpp.o"
+  "CMakeFiles/am_transform.dir/CopyPropagation.cpp.o.d"
+  "CMakeFiles/am_transform.dir/FinalFlush.cpp.o"
+  "CMakeFiles/am_transform.dir/FinalFlush.cpp.o.d"
+  "CMakeFiles/am_transform.dir/Initialization.cpp.o"
+  "CMakeFiles/am_transform.dir/Initialization.cpp.o.d"
+  "CMakeFiles/am_transform.dir/LazyCodeMotion.cpp.o"
+  "CMakeFiles/am_transform.dir/LazyCodeMotion.cpp.o.d"
+  "CMakeFiles/am_transform.dir/LocalValueNumbering.cpp.o"
+  "CMakeFiles/am_transform.dir/LocalValueNumbering.cpp.o.d"
+  "CMakeFiles/am_transform.dir/Normalize.cpp.o"
+  "CMakeFiles/am_transform.dir/Normalize.cpp.o.d"
+  "CMakeFiles/am_transform.dir/PartialDeadCodeElim.cpp.o"
+  "CMakeFiles/am_transform.dir/PartialDeadCodeElim.cpp.o.d"
+  "CMakeFiles/am_transform.dir/Pipeline.cpp.o"
+  "CMakeFiles/am_transform.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/am_transform.dir/RedundantAssignElim.cpp.o"
+  "CMakeFiles/am_transform.dir/RedundantAssignElim.cpp.o.d"
+  "CMakeFiles/am_transform.dir/RestrictedAssignmentMotion.cpp.o"
+  "CMakeFiles/am_transform.dir/RestrictedAssignmentMotion.cpp.o.d"
+  "CMakeFiles/am_transform.dir/UniformEmAm.cpp.o"
+  "CMakeFiles/am_transform.dir/UniformEmAm.cpp.o.d"
+  "libam_transform.a"
+  "libam_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/AdversarialSearch.cpp" "src/verify/CMakeFiles/am_verify.dir/AdversarialSearch.cpp.o" "gcc" "src/verify/CMakeFiles/am_verify.dir/AdversarialSearch.cpp.o.d"
+  "/root/repo/src/verify/Enumerate.cpp" "src/verify/CMakeFiles/am_verify.dir/Enumerate.cpp.o" "gcc" "src/verify/CMakeFiles/am_verify.dir/Enumerate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transform/CMakeFiles/am_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/am_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/am_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfa/CMakeFiles/am_dfa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_verify.dir/AdversarialSearch.cpp.o"
+  "CMakeFiles/am_verify.dir/AdversarialSearch.cpp.o.d"
+  "CMakeFiles/am_verify.dir/Enumerate.cpp.o"
+  "CMakeFiles/am_verify.dir/Enumerate.cpp.o.d"
+  "libam_verify.a"
+  "libam_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

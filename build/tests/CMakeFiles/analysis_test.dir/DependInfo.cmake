@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/am_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/am_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/figures/CMakeFiles/am_figures.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/am_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/am_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/am_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/am_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfa/CMakeFiles/am_dfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/am_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

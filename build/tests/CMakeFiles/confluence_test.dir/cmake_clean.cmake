@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confluence_test.dir/confluence_test.cpp.o"
+  "CMakeFiles/confluence_test.dir/confluence_test.cpp.o.d"
+  "confluence_test"
+  "confluence_test.pdb"
+  "confluence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confluence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

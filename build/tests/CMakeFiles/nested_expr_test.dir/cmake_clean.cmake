@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_expr_test.dir/nested_expr_test.cpp.o"
+  "CMakeFiles/nested_expr_test.dir/nested_expr_test.cpp.o.d"
+  "nested_expr_test"
+  "nested_expr_test.pdb"
+  "nested_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pde_test.dir/pde_test.cpp.o"
+  "CMakeFiles/pde_test.dir/pde_test.cpp.o.d"
+  "pde_test"
+  "pde_test.pdb"
+  "pde_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
