@@ -138,7 +138,7 @@ void BM_SolverComparison(benchmark::State &State) {
   RedundancyCheckProblem Problem(Pats);
   SolverKind Kind =
       State.range(0) == 0 ? SolverKind::RoundRobin : SolverKind::Worklist;
-  unsigned Processed = 0;
+  uint64_t Processed = 0;
   for (auto _ : State) {
     DataflowResult R = solve(G, Problem, Kind);
     Processed = R.BlocksProcessed;

@@ -6,7 +6,8 @@
 ///
 /// \file
 /// Renders a program with per-instruction analysis facts as comments —
-/// the debugging view of Tables 1-3.  Used by `amopt --annotate=...` and
+/// the debugging view of Tables 1-3.  Used by `amopt --annotate=...`
+/// (tools/amopt.cpp) and
 /// handy when studying why the algorithm did (or did not) move something.
 ///
 //===----------------------------------------------------------------------===//

@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "dfa/Dataflow.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <queue>
@@ -63,6 +65,25 @@ DataflowResult am::solve(const FlowGraph &G, const DataflowProblem &P,
   size_t NumBlocks = G.numBlocks();
   bool Forward = P.direction() == Direction::Forward;
   bool MeetAll = P.meet() == Meet::All;
+
+  AM_STAT_COUNTER(NumSolves, "dfa.solves");
+  AM_STAT_COUNTER(NumSolvesRoundRobin, "dfa.solves.round_robin");
+  AM_STAT_COUNTER(NumSolvesWorklist, "dfa.solves.worklist");
+  AM_STAT_TIMER(SolveTimer, "dfa.solve_ns");
+  AM_STAT_INC(NumSolves);
+  if (Kind == SolverKind::RoundRobin)
+    AM_STAT_INC(NumSolvesRoundRobin);
+  else
+    AM_STAT_INC(NumSolvesWorklist);
+  AM_STAT_TIME_SCOPE(SolveTimer);
+
+  trace::TraceSpan Span("dfa.solve");
+  Span.arg("bits", Bits);
+  Span.arg("blocks", NumBlocks);
+  Span.arg("direction", Forward ? "forward" : "backward");
+  Span.arg("meet", MeetAll ? "all" : "any");
+  Span.arg("solver", Kind == SolverKind::RoundRobin ? "round-robin"
+                                                    : "worklist");
 
   std::vector<BlockTransfer> Transfers;
   Transfers.reserve(NumBlocks);
@@ -175,6 +196,20 @@ DataflowResult am::solve(const FlowGraph &G, const DataflowProblem &P,
     R.Entry[B] = Forward ? In[B] : Out[B];
     R.Exit[B] = Forward ? Out[B] : In[B];
   }
+
+  // Every transfer evaluation touches the meet result, the transferred
+  // vector and both transfer masks, word by word.
+  uint64_t WordsPerBlock = 4 * ((Bits + 63) / 64);
+  AM_STAT_COUNTER(NumSweeps, "dfa.sweeps");
+  AM_STAT_COUNTER(NumBlocksProcessed, "dfa.blocks_processed");
+  AM_STAT_COUNTER(NumWordsTouched, "dfa.words_touched");
+  AM_STAT_ADD(NumSweeps, R.Sweeps);
+  AM_STAT_ADD(NumBlocksProcessed, R.BlocksProcessed);
+  AM_STAT_ADD(NumWordsTouched, R.BlocksProcessed * WordsPerBlock);
+
+  Span.arg("sweeps", R.Sweeps);
+  Span.arg("blocks_processed", R.BlocksProcessed);
+  Span.arg("words_touched", R.BlocksProcessed * WordsPerBlock);
   return R;
 }
 

@@ -1,0 +1,356 @@
+//===- support/Json.cpp - Minimal JSON emission and validation -----------===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace am;
+
+void json::appendEscaped(std::string &Out, const std::string &S) {
+  Out.push_back('"');
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+  Out.push_back('"');
+}
+
+std::string json::quoted(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  appendEscaped(Out, S);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+void json::Writer::comma() {
+  if (Stack.empty())
+    return;
+  char &Top = Stack.back();
+  if (Top == 'O' || Top == 'A')
+    Out.push_back(',');
+  else if (Top == 'o')
+    Top = 'O';
+  else if (Top == 'a')
+    Top = 'A';
+  else if (Top == 'k')
+    Stack.pop_back(); // the value after a key consumes the key marker
+}
+
+json::Writer &json::Writer::beginObject() {
+  comma();
+  if (!Stack.empty() && (Stack.back() == 'o' || Stack.back() == 'a'))
+    Stack.back() = Stack.back() == 'o' ? 'O' : 'A';
+  Out.push_back('{');
+  Stack.push_back('o');
+  return *this;
+}
+
+json::Writer &json::Writer::endObject() {
+  assert(!Stack.empty() && (Stack.back() == 'o' || Stack.back() == 'O'));
+  Stack.pop_back();
+  Out.push_back('}');
+  return *this;
+}
+
+json::Writer &json::Writer::beginArray() {
+  comma();
+  if (!Stack.empty() && (Stack.back() == 'o' || Stack.back() == 'a'))
+    Stack.back() = Stack.back() == 'o' ? 'O' : 'A';
+  Out.push_back('[');
+  Stack.push_back('a');
+  return *this;
+}
+
+json::Writer &json::Writer::endArray() {
+  assert(!Stack.empty() && (Stack.back() == 'a' || Stack.back() == 'A'));
+  Stack.pop_back();
+  Out.push_back(']');
+  return *this;
+}
+
+json::Writer &json::Writer::key(const std::string &K) {
+  assert(!Stack.empty() && (Stack.back() == 'o' || Stack.back() == 'O'));
+  comma();
+  appendEscaped(Out, K);
+  Out.push_back(':');
+  Stack.push_back('k');
+  return *this;
+}
+
+json::Writer &json::Writer::value(const std::string &V) {
+  comma();
+  appendEscaped(Out, V);
+  return *this;
+}
+
+json::Writer &json::Writer::value(const char *V) {
+  return value(std::string(V));
+}
+
+json::Writer &json::Writer::value(int64_t V) {
+  comma();
+  Out += std::to_string(V);
+  return *this;
+}
+
+json::Writer &json::Writer::value(uint64_t V) {
+  comma();
+  Out += std::to_string(V);
+  return *this;
+}
+
+json::Writer &json::Writer::value(double V) {
+  comma();
+  if (!std::isfinite(V)) {
+    Out += "null"; // JSON has no inf/nan
+    return *this;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  // %g may print an integer-looking value; that is still valid JSON.
+  Out += Buf;
+  return *this;
+}
+
+json::Writer &json::Writer::value(bool V) {
+  comma();
+  Out += V ? "true" : "false";
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Validator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  bool run() {
+    skipWs();
+    if (!parseValue())
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters");
+    return true;
+  }
+
+private:
+  bool fail(const char *Msg) {
+    if (Error)
+      *Error = std::string(Msg) + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail("invalid literal");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseString() {
+    if (Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    while (Pos < Text.size()) {
+      unsigned char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return fail("unescaped control character in string");
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return fail("truncated escape");
+        char E = Text[Pos];
+        if (E == 'u') {
+          for (int Hex = 0; Hex < 4; ++Hex) {
+            ++Pos;
+            if (Pos >= Text.size() || !std::isxdigit((unsigned char)Text[Pos]))
+              return fail("bad \\u escape");
+          }
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return fail("bad escape character");
+        }
+      }
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    if (Pos >= Text.size() || !std::isdigit((unsigned char)Text[Pos]))
+      return fail("bad number");
+    if (Text[Pos] == '0')
+      ++Pos;
+    else
+      while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos]))
+        ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (Pos >= Text.size() || !std::isdigit((unsigned char)Text[Pos]))
+        return fail("bad fraction");
+      while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos]))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || !std::isdigit((unsigned char)Text[Pos]))
+        return fail("bad exponent");
+      while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos]))
+        ++Pos;
+    }
+    (void)Start;
+    return true;
+  }
+
+  bool parseValue() {
+    if (++Depth > MaxDepth)
+      return fail("nesting too deep");
+    bool Ok = parseValueInner();
+    --Depth;
+    return Ok;
+  }
+
+  bool parseValueInner() {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{': {
+      ++Pos;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        if (!parseString())
+          return false;
+        skipWs();
+        if (Pos >= Text.size() || Text[Pos] != ':')
+          return fail("expected ':'");
+        ++Pos;
+        skipWs();
+        if (!parseValue())
+          return false;
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Pos < Text.size() && Text[Pos] == '}') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    case '[': {
+      ++Pos;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        if (!parseValue())
+          return false;
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Pos < Text.size() && Text[Pos] == ']') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    case '"':
+      return parseString();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return parseNumber();
+    }
+  }
+
+  const std::string &Text;
+  std::string *Error;
+  size_t Pos = 0;
+  int Depth = 0;
+  static constexpr int MaxDepth = 256;
+};
+
+} // namespace
+
+bool json::validate(const std::string &Text, std::string *Error) {
+  return Parser(Text, Error).run();
+}

@@ -1,0 +1,69 @@
+//===- support/Json.h - Minimal JSON emission and validation ---*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The little JSON the observability layer needs: a streaming writer used
+/// by the stats registry and the Chrome-trace emitter, and a syntax
+/// validator the tests (and `amopt --trace` smoke checks) use to assert
+/// that emitted artifacts are well-formed.  Deliberately not a general
+/// JSON library — no DOM, no parsing into values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_SUPPORT_JSON_H
+#define AM_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace am::json {
+
+/// Appends \p S to \p Out as a quoted JSON string with escapes.
+void appendEscaped(std::string &Out, const std::string &S);
+
+/// Returns \p S as a quoted JSON string literal.
+std::string quoted(const std::string &S);
+
+/// A streaming writer for objects/arrays with automatic comma placement.
+/// Scopes must be closed in LIFO order; keys are only legal inside
+/// objects, bare values only inside arrays.
+class Writer {
+public:
+  explicit Writer(std::string &Out) : Out(Out) {}
+
+  Writer &beginObject();
+  Writer &endObject();
+  Writer &beginArray();
+  Writer &endArray();
+
+  /// Starts `"key":` inside an object; follow with a value or begin*.
+  Writer &key(const std::string &K);
+
+  Writer &value(const std::string &V);
+  Writer &value(const char *V);
+  Writer &value(int64_t V);
+  Writer &value(uint64_t V);
+  Writer &value(double V);
+  Writer &value(bool V);
+
+private:
+  void comma();
+
+  std::string &Out;
+  // One char per open scope: 'o' (object, no member yet), 'O' (object,
+  // needs comma), 'a'/'A' likewise for arrays, 'k' (after key).
+  std::string Stack;
+};
+
+/// True if \p Text is exactly one well-formed JSON value (RFC 8259
+/// syntax; no trailing garbage).  \p Error, when non-null, receives a
+/// short description with a byte offset on failure.
+bool validate(const std::string &Text, std::string *Error = nullptr);
+
+} // namespace am::json
+
+#endif // AM_SUPPORT_JSON_H

@@ -1,0 +1,221 @@
+//===- support/Stats.cpp - Process-wide statistics registry --------------===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+using namespace am;
+using namespace am::stats;
+
+void Timer::record(uint64_t Ns) {
+  Count.fetch_add(1, std::memory_order_relaxed);
+  TotalNs.fetch_add(Ns, std::memory_order_relaxed);
+  // min/max via CAS loops; contention here is negligible (timers wrap
+  // coarse regions, not per-bit work).
+  uint64_t Cur = MinNs.load(std::memory_order_relaxed);
+  while (Ns < Cur &&
+         !MinNs.compare_exchange_weak(Cur, Ns, std::memory_order_relaxed))
+    ;
+  Cur = MaxNs.load(std::memory_order_relaxed);
+  while (Ns > Cur &&
+         !MaxNs.compare_exchange_weak(Cur, Ns, std::memory_order_relaxed))
+    ;
+  size_t Bucket = 0;
+  uint64_t V = Ns;
+  while (V > 1 && Bucket + 1 < NumBuckets) {
+    V >>= 1;
+    ++Bucket;
+  }
+  Buckets[Bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Timer::reset() {
+  Count.store(0, std::memory_order_relaxed);
+  TotalNs.store(0, std::memory_order_relaxed);
+  MinNs.store(UINT64_MAX, std::memory_order_relaxed);
+  MaxNs.store(0, std::memory_order_relaxed);
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+/// Instruments live in deques so that creating a new one never moves an
+/// existing one — the macros cache references for the process lifetime.
+struct Registry::Impl {
+  mutable std::mutex Mu;
+  std::deque<Counter> Counters;
+  std::deque<Gauge> Gauges;
+  std::deque<Timer> Timers;
+  std::map<std::string, Counter *> CounterByName;
+  std::map<std::string, Gauge *> GaugeByName;
+  std::map<std::string, Timer *> TimerByName;
+};
+
+Registry &Registry::get() {
+  static Registry R;
+  return R;
+}
+
+Registry::Impl &Registry::impl() const {
+  // Leaked on purpose: instrument references must outlive every static
+  // destructor that might still fire an increment.
+  static Impl *I = new Impl();
+  return *I;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  auto It = I.CounterByName.find(Name);
+  if (It != I.CounterByName.end())
+    return *It->second;
+  I.Counters.emplace_back(Name);
+  Counter &C = I.Counters.back();
+  I.CounterByName.emplace(Name, &C);
+  return C;
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  auto It = I.GaugeByName.find(Name);
+  if (It != I.GaugeByName.end())
+    return *It->second;
+  I.Gauges.emplace_back(Name);
+  Gauge &G = I.Gauges.back();
+  I.GaugeByName.emplace(Name, &G);
+  return G;
+}
+
+Timer &Registry::timer(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  auto It = I.TimerByName.find(Name);
+  if (It != I.TimerByName.end())
+    return *It->second;
+  I.Timers.emplace_back(Name);
+  Timer &T = I.Timers.back();
+  I.TimerByName.emplace(Name, &T);
+  return T;
+}
+
+const Counter *Registry::findCounter(const std::string &Name) const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  auto It = I.CounterByName.find(Name);
+  return It == I.CounterByName.end() ? nullptr : It->second;
+}
+
+const Gauge *Registry::findGauge(const std::string &Name) const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  auto It = I.GaugeByName.find(Name);
+  return It == I.GaugeByName.end() ? nullptr : It->second;
+}
+
+const Timer *Registry::findTimer(const std::string &Name) const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  auto It = I.TimerByName.find(Name);
+  return It == I.TimerByName.end() ? nullptr : It->second;
+}
+
+uint64_t Registry::counterValue(const std::string &Name) const {
+  const Counter *C = findCounter(Name);
+  return C ? C->get() : 0;
+}
+
+void Registry::resetAll() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  for (Counter &C : I.Counters)
+    C.reset();
+  for (Gauge &G : I.Gauges)
+    G.reset();
+  for (Timer &T : I.Timers)
+    T.reset();
+}
+
+void Registry::dumpText(std::ostream &OS) const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  // The by-name maps are already sorted; interleave all three kinds into
+  // one alphabetical listing.
+  std::vector<std::pair<std::string, std::string>> Lines;
+  for (const auto &[Name, C] : I.CounterByName)
+    Lines.emplace_back(Name, std::to_string(C->get()));
+  for (const auto &[Name, G] : I.GaugeByName)
+    Lines.emplace_back(Name, std::to_string(G->get()));
+  for (const auto &[Name, T] : I.TimerByName) {
+    std::ostringstream V;
+    uint64_t N = T->count();
+    V << N << " samples, total " << T->totalNs() << " ns";
+    if (N)
+      V << ", mean " << (T->totalNs() / N) << " ns, min " << T->minNs()
+        << " ns, max " << T->maxNs() << " ns";
+    Lines.emplace_back(Name, V.str());
+  }
+  std::sort(Lines.begin(), Lines.end());
+  size_t Width = 0;
+  for (const auto &[Name, Value] : Lines)
+    Width = std::max(Width, Name.size());
+  for (const auto &[Name, Value] : Lines)
+    OS << Name << std::string(Width - Name.size() + 2, ' ') << Value << "\n";
+}
+
+void Registry::dumpJson(std::ostream &OS) const {
+  OS << dumpJsonString();
+}
+
+std::string Registry::dumpJsonString() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+
+  W.key("counters").beginObject();
+  for (const auto &[Name, C] : I.CounterByName)
+    W.key(Name).value(C->get());
+  W.endObject();
+
+  W.key("gauges").beginObject();
+  for (const auto &[Name, G] : I.GaugeByName)
+    W.key(Name).value(G->get());
+  W.endObject();
+
+  W.key("timers").beginObject();
+  for (const auto &[Name, T] : I.TimerByName) {
+    W.key(Name).beginObject();
+    uint64_t N = T->count();
+    W.key("count").value(N);
+    W.key("total_ns").value(T->totalNs());
+    W.key("min_ns").value(T->minNs());
+    W.key("max_ns").value(T->maxNs());
+    W.key("mean_ns").value(N ? T->totalNs() / N : 0);
+    // Sparse log2 histogram: {"<floor log2 ns>": count}.
+    W.key("log2_buckets").beginObject();
+    for (size_t B = 0; B < Timer::NumBuckets; ++B)
+      if (uint64_t BN = T->bucket(B))
+        W.key(std::to_string(B)).value(BN);
+    W.endObject();
+    W.endObject();
+  }
+  W.endObject();
+
+  W.endObject();
+  return Out;
+}

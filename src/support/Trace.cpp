@@ -1,0 +1,160 @@
+//===- support/Trace.cpp - Structured Chrome-trace event tracer ----------===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+#include "support/Json.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+using namespace am;
+using namespace am::trace;
+
+namespace {
+
+struct Event {
+  const char *Name;
+  char Phase; // 'X' complete, 'i' instant
+  uint64_t TsUs;
+  uint64_t DurUs; // complete events only
+  uint64_t Tid;
+  std::vector<Arg> Args;
+};
+
+struct Collector {
+  std::mutex Mu;
+  std::vector<Event> Events;
+  std::chrono::steady_clock::time_point Origin;
+};
+
+// Leaked on purpose so spans closing during static destruction stay safe.
+Collector &collector() {
+  static Collector *C = new Collector();
+  return *C;
+}
+
+std::atomic<bool> TracingOn{false};
+
+uint64_t nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - collector().Origin)
+          .count());
+}
+
+uint64_t currentTid() {
+  return std::hash<std::thread::id>()(std::this_thread::get_id()) & 0xffff;
+}
+
+void appendArgs(json::Writer &W, const std::vector<Arg> &Args) {
+  W.key("args").beginObject();
+  for (const Arg &A : Args) {
+    W.key(A.Key);
+    if (A.IsInt)
+      W.value(A.Int);
+    else
+      W.value(A.Str);
+  }
+  W.endObject();
+}
+
+std::string renderJson(std::vector<Event> Events) {
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+  W.key("displayTimeUnit").value("ms");
+  W.key("traceEvents").beginArray();
+  for (const Event &E : Events) {
+    W.beginObject();
+    W.key("name").value(E.Name);
+    W.key("ph").value(std::string(1, E.Phase));
+    W.key("ts").value(E.TsUs);
+    if (E.Phase == 'X')
+      W.key("dur").value(E.DurUs);
+    if (E.Phase == 'i')
+      W.key("s").value("t"); // thread-scoped instant
+    W.key("pid").value(uint64_t(1));
+    W.key("tid").value(E.Tid);
+    appendArgs(W, E.Args);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return Out;
+}
+
+} // namespace
+
+bool trace::enabled() { return TracingOn.load(std::memory_order_relaxed); }
+
+void trace::start() {
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  C.Events.clear();
+  C.Origin = std::chrono::steady_clock::now();
+  TracingOn.store(true, std::memory_order_relaxed);
+}
+
+std::string trace::stopToJson() {
+  TracingOn.store(false, std::memory_order_relaxed);
+  Collector &C = collector();
+  std::vector<Event> Events;
+  {
+    std::lock_guard<std::mutex> Lock(C.Mu);
+    Events.swap(C.Events);
+  }
+  return renderJson(std::move(Events));
+}
+
+bool trace::stopToFile(const std::string &Path) {
+  std::string J = stopToJson();
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << J << "\n";
+  return static_cast<bool>(Out);
+}
+
+void trace::instant(const char *Name, std::initializer_list<Arg> Args) {
+  if (!enabled())
+    return;
+  Collector &C = collector();
+  Event E{Name, 'i', nowUs(), 0, currentTid(), std::vector<Arg>(Args)};
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  if (TracingOn.load(std::memory_order_relaxed))
+    C.Events.push_back(std::move(E));
+}
+
+TraceSpan::TraceSpan(const char *Name) : Name(Name), Live(trace::enabled()) {
+  if (Live)
+    StartUs = nowUs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!Live)
+    return;
+  uint64_t EndUs = nowUs();
+  Collector &C = collector();
+  Event E{Name, 'X', StartUs, EndUs - StartUs, currentTid(), std::move(Args)};
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  // Spans that straddle a stop() are dropped rather than half-recorded.
+  if (TracingOn.load(std::memory_order_relaxed))
+    C.Events.push_back(std::move(E));
+}
+
+void TraceSpan::arg(const char *Key, int64_t Value) {
+  if (Live)
+    Args.emplace_back(Key, Value);
+}
+
+void TraceSpan::arg(const char *Key, const std::string &Value) {
+  if (Live)
+    Args.emplace_back(Key, Value);
+}
+

@@ -1,0 +1,115 @@
+//===- support/Trace.h - Structured Chrome-trace event tracer --*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structured event tracer that renders to the Chrome `trace_event`
+/// JSON format, so a run of the optimizer can be opened in
+/// `about:tracing` or https://ui.perfetto.dev and inspected span by span:
+/// one span per pipeline pass, nested spans per dataflow solve, instant
+/// events per AM fixpoint round.
+///
+/// Tracing is off by default and costs one relaxed atomic load per
+/// call site when off.  Turn it on around a region:
+///
+/// \code
+///   am::trace::start();
+///   ...run passes...
+///   std::string J = am::trace::stopToJson();   // or stopToFile(path)
+/// \endcode
+///
+/// Inside instrumented code:
+///
+/// \code
+///   am::trace::TraceSpan Span("dfa.solve");
+///   Span.arg("bits", NumBits);      // attached when the span closes
+///   ...
+///   am::trace::instant("am.round", {{"eliminated", N}});
+/// \endcode
+///
+/// Events carry steady-clock microsecond timestamps relative to
+/// `start()`, a constant pid and the calling thread's id, which is
+/// exactly what the Chrome viewer expects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_SUPPORT_TRACE_H
+#define AM_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace am::trace {
+
+/// One key/value argument rendered into a span's "args" object.
+struct Arg {
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  Arg(const char *Key, T Value)
+      : Key(Key), Int(static_cast<int64_t>(Value)), IsInt(true) {}
+  Arg(const char *Key, std::string Value)
+      : Key(Key), Str(std::move(Value)), IsInt(false) {}
+  Arg(const char *Key, const char *Value)
+      : Key(Key), Str(Value), IsInt(false) {}
+
+  const char *Key;
+  int64_t Int = 0;
+  std::string Str;
+  bool IsInt;
+};
+
+/// True while events are being collected.  One relaxed atomic load.
+bool enabled();
+
+/// Starts collecting (clears any previously collected events; resets the
+/// timestamp origin).
+void start();
+
+/// Stops collecting and renders everything as a Chrome trace_event JSON
+/// object: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+std::string stopToJson();
+
+/// Stops collecting and writes the JSON to \p Path.  False on I/O error.
+bool stopToFile(const std::string &Path);
+
+/// Emits a zero-duration instant event (phase "i") when enabled.
+void instant(const char *Name, std::initializer_list<Arg> Args = {});
+
+/// RAII span: records a complete event ("ph":"X") from construction to
+/// destruction.  A span constructed while tracing is disabled is inert,
+/// including args added later.  \p Name must outlive the span (string
+/// literals in practice).
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Attaches an argument, rendered when the span closes.
+  void arg(const char *Key, int64_t Value);
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T> &&
+                                                    !std::is_same_v<T, int64_t>>>
+  void arg(const char *Key, T Value) {
+    arg(Key, static_cast<int64_t>(Value));
+  }
+  void arg(const char *Key, const std::string &Value);
+
+  /// Whether this particular span is recording.
+  bool live() const { return Live; }
+
+private:
+  const char *Name;
+  uint64_t StartUs = 0;
+  std::vector<Arg> Args;
+  bool Live;
+};
+
+} // namespace am::trace
+
+#endif // AM_SUPPORT_TRACE_H

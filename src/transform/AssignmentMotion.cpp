@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "transform/AssignmentMotion.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 #include "transform/AssignmentHoisting.h"
 #include "transform/RedundantAssignElim.h"
 
@@ -13,6 +15,15 @@ using namespace am;
 AmPhaseStats am::runAssignmentMotionPhase(FlowGraph &G,
                                           unsigned MaxIterations) {
   AmPhaseStats Stats;
+  AM_STAT_COUNTER(NumFixpoints, "am.fixpoints");
+  AM_STAT_COUNTER(NumRounds, "am.rounds");
+  AM_STAT_COUNTER(NumEliminated, "am.eliminated");
+  AM_STAT_COUNTER(NumHoistRounds, "am.hoist_rounds");
+  AM_STAT_TIMER(FixpointTimer, "am.fixpoint_ns");
+  AM_STAT_INC(NumFixpoints);
+  AM_STAT_TIME_SCOPE(FixpointTimer);
+  trace::TraceSpan Span("am.fixpoint");
+
   // The phase provably terminates (Section 4.5); the hard cap below is a
   // defensive backstop far above the quadratic worst case.
   unsigned Cap = MaxIterations
@@ -21,13 +32,23 @@ AmPhaseStats am::runAssignmentMotionPhase(FlowGraph &G,
                                              G.numBlocks() + 16);
   while (Stats.Iterations < Cap) {
     ++Stats.Iterations;
+    AM_STAT_INC(NumRounds);
     unsigned Eliminated = runRedundantAssignmentElimination(G);
     Stats.Eliminated += Eliminated;
+    AM_STAT_ADD(NumEliminated, Eliminated);
     bool Hoisted = runAssignmentHoisting(G);
-    if (Hoisted)
+    if (Hoisted) {
       ++Stats.HoistRounds;
+      AM_STAT_INC(NumHoistRounds);
+    }
+    trace::instant("am.round", {{"round", Stats.Iterations},
+                                {"eliminated", Eliminated},
+                                {"hoisted", Hoisted ? 1 : 0}});
     if (Eliminated == 0 && !Hoisted)
       break;
   }
+  Span.arg("rounds", Stats.Iterations);
+  Span.arg("eliminated", Stats.Eliminated);
+  Span.arg("hoist_rounds", Stats.HoistRounds);
   return Stats;
 }

@@ -5,6 +5,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "transform/Pipeline.h"
+#include "support/Json.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 #include "transform/AssignmentHoisting.h"
 #include "transform/AssignmentMotion.h"
 #include "transform/BusyCodeMotion.h"
@@ -18,6 +21,7 @@
 #include "transform/RedundantAssignElim.h"
 #include "transform/UniformEmAm.h"
 
+#include <chrono>
 #include <sstream>
 
 using namespace am;
@@ -42,13 +46,89 @@ std::vector<std::string> splitSpec(const std::string &Spec) {
   return Names;
 }
 
+uint64_t countAssignments(const FlowGraph &G) {
+  uint64_t N = 0;
+  for (BlockId B = 0; B < G.numBlocks(); ++B)
+    for (const Instr &I : G.block(B).Instrs)
+      N += I.isAssign();
+  return N;
+}
+
+/// Captures registry counters and IR shape around one pass body, then
+/// fills in the delta fields of a PassRecord and the enclosing trace
+/// span's args.
+class PassScope {
+public:
+  PassScope(const std::string &Name, const FlowGraph &G)
+      : Rec(), Span("pipeline.pass") {
+    Rec.Name = Name;
+    Rec.BlocksBefore = G.numBlocks();
+    Rec.InstrsBefore = G.numInstrs();
+    Rec.AssignsBefore = countAssignments(G);
+    auto &Reg = stats::Registry::get();
+    DfaSolves0 = Reg.counterValue("dfa.solves");
+    DfaSweeps0 = Reg.counterValue("dfa.sweeps");
+    DfaBlocks0 = Reg.counterValue("dfa.blocks_processed");
+    AmRounds0 = Reg.counterValue("am.rounds");
+    AmElim0 = Reg.counterValue("am.eliminated");
+    AmHoist0 = Reg.counterValue("am.hoist_rounds");
+    FlushDel0 = Reg.counterValue("flush.inits_deleted");
+    FlushSunk0 = Reg.counterValue("flush.inits_sunk");
+    Span.arg("pass", Name);
+    Start = std::chrono::steady_clock::now();
+  }
+
+  /// Finalizes the record against the post-pass graph.
+  PassRecord finish(const FlowGraph &G, std::string Detail) {
+    Rec.WallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+    Rec.Detail = std::move(Detail);
+    Rec.BlocksAfter = G.numBlocks();
+    Rec.InstrsAfter = G.numInstrs();
+    Rec.AssignsAfter = countAssignments(G);
+    auto &Reg = stats::Registry::get();
+    Rec.DfaSolves = Reg.counterValue("dfa.solves") - DfaSolves0;
+    Rec.DfaSweeps = Reg.counterValue("dfa.sweeps") - DfaSweeps0;
+    Rec.DfaBlocksProcessed =
+        Reg.counterValue("dfa.blocks_processed") - DfaBlocks0;
+    Rec.AmRounds = Reg.counterValue("am.rounds") - AmRounds0;
+    Rec.AmEliminated = Reg.counterValue("am.eliminated") - AmElim0;
+    Rec.AmHoistRounds = Reg.counterValue("am.hoist_rounds") - AmHoist0;
+    Rec.FlushInitsDeleted =
+        Reg.counterValue("flush.inits_deleted") - FlushDel0;
+    Rec.FlushInitsSunk = Reg.counterValue("flush.inits_sunk") - FlushSunk0;
+    Span.arg("instrs_before", Rec.InstrsBefore);
+    Span.arg("instrs_after", Rec.InstrsAfter);
+    Span.arg("assigns_before", Rec.AssignsBefore);
+    Span.arg("assigns_after", Rec.AssignsAfter);
+    Span.arg("blocks_before", Rec.BlocksBefore);
+    Span.arg("blocks_after", Rec.BlocksAfter);
+    Span.arg("dfa_solves", Rec.DfaSolves);
+    Span.arg("dfa_sweeps", Rec.DfaSweeps);
+    Span.arg("detail", Rec.Detail);
+    return Rec;
+  }
+
+private:
+  PassRecord Rec;
+  trace::TraceSpan Span;
+  std::chrono::steady_clock::time_point Start;
+  uint64_t DfaSolves0 = 0, DfaSweeps0 = 0, DfaBlocks0 = 0;
+  uint64_t AmRounds0 = 0, AmElim0 = 0, AmHoist0 = 0;
+  uint64_t FlushDel0 = 0, FlushSunk0 = 0;
+};
+
 /// Several passes require split critical edges; split on demand so pass
 /// specs compose without boilerplate.
-void ensureSplit(FlowGraph &G, std::vector<std::string> &Log) {
+void ensureSplit(FlowGraph &G, PipelineResult &R) {
   if (!G.hasCriticalEdges())
     return;
+  PassScope Scope("(split)", G);
   unsigned N = G.splitCriticalEdges();
-  Log.push_back("(split " + std::to_string(N) + " critical edges)");
+  std::string Detail = std::to_string(N) + " critical edges";
+  R.Log.push_back("(split " + std::to_string(N) + " critical edges)");
+  R.Records.push_back(Scope.finish(G, std::move(Detail)));
 }
 
 } // namespace
@@ -77,52 +157,114 @@ PipelineResult am::runPipeline(const FlowGraph &G, const std::string &Spec) {
     return R;
   }
 
+  AM_STAT_COUNTER(NumPipelines, "pipeline.runs");
+  AM_STAT_COUNTER(NumPasses, "pipeline.passes");
+  AM_STAT_INC(NumPipelines);
+  trace::TraceSpan PipeSpan("pipeline.run");
+  PipeSpan.arg("spec", Spec);
+
   R.Graph = G;
   for (const std::string &Name : Names) {
+    AM_STAT_INC(NumPasses);
     std::ostringstream Line;
-    Line << Name << ": ";
     if (Name == "uniform") {
+      PassScope Scope(Name, R.Graph);
       UniformStats Stats;
       R.Graph = runUniformEmAm(R.Graph, UniformOptions(), &Stats);
       Line << Stats.AmPhase.Iterations << " AM iterations, "
            << Stats.AmPhase.Eliminated << " eliminated";
+      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
     } else if (Name == "am") {
+      PassScope Scope(Name, R.Graph);
       UniformStats Stats;
       R.Graph = runAssignmentMotionOnly(R.Graph, &Stats);
       Line << Stats.AmPhase.Iterations << " AM iterations, "
            << Stats.AmPhase.Eliminated << " eliminated";
+      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
     } else if (Name == "init") {
-      ensureSplit(R.Graph, R.Log);
+      ensureSplit(R.Graph, R);
+      PassScope Scope(Name, R.Graph);
       Line << runInitializationPhase(R.Graph) << " decompositions";
+      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
     } else if (Name == "rae") {
+      PassScope Scope(Name, R.Graph);
       Line << runRedundantAssignmentElimination(R.Graph) << " eliminated";
+      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
     } else if (Name == "aht") {
-      ensureSplit(R.Graph, R.Log);
+      ensureSplit(R.Graph, R);
+      PassScope Scope(Name, R.Graph);
       Line << (runAssignmentHoisting(R.Graph) ? "changed" : "no change");
+      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
     } else if (Name == "flush") {
-      ensureSplit(R.Graph, R.Log);
+      ensureSplit(R.Graph, R);
+      PassScope Scope(Name, R.Graph);
       Line << (runFinalFlush(R.Graph) ? "changed" : "no change");
+      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
     } else if (Name == "lcm") {
+      PassScope Scope(Name, R.Graph);
       R.Graph = runLazyCodeMotion(R.Graph);
       Line << "done";
+      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
     } else if (Name == "bcm") {
+      PassScope Scope(Name, R.Graph);
       R.Graph = runBusyCodeMotion(R.Graph);
       Line << "done";
+      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
     } else if (Name == "cp") {
+      PassScope Scope(Name, R.Graph);
       Line << runCopyPropagation(R.Graph) << " uses rewritten";
+      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
     } else if (Name == "lvn") {
+      PassScope Scope(Name, R.Graph);
       Line << runLocalValueNumbering(R.Graph) << " reuses";
+      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
     } else if (Name == "pde") {
-      ensureSplit(R.Graph, R.Log);
+      ensureSplit(R.Graph, R);
+      PassScope Scope(Name, R.Graph);
       PdeStats Stats = runPartialDeadCodeElim(R.Graph);
       Line << Stats.Rounds << " rounds, net " << Stats.Removed << " removed";
+      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
     } else if (Name == "split") {
+      PassScope Scope(Name, R.Graph);
       Line << R.Graph.splitCriticalEdges() << " edges split";
+      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
     } else { // simplify
+      PassScope Scope(Name, R.Graph);
       R.Graph = simplified(R.Graph);
       Line << "done";
+      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
     }
-    R.Log.push_back(Line.str());
+    R.Log.push_back(Line.str().empty() ? Name
+                                       : (Name + ": " + Line.str()));
   }
   return R;
+}
+
+std::string am::passRecordsJson(const std::vector<PassRecord> &Records) {
+  std::string Out;
+  json::Writer W(Out);
+  W.beginArray();
+  for (const PassRecord &Rec : Records) {
+    W.beginObject();
+    W.key("name").value(Rec.Name);
+    W.key("detail").value(Rec.Detail);
+    W.key("wall_ms").value(Rec.WallMs);
+    W.key("blocks_before").value(Rec.BlocksBefore);
+    W.key("blocks_after").value(Rec.BlocksAfter);
+    W.key("instrs_before").value(Rec.InstrsBefore);
+    W.key("instrs_after").value(Rec.InstrsAfter);
+    W.key("assigns_before").value(Rec.AssignsBefore);
+    W.key("assigns_after").value(Rec.AssignsAfter);
+    W.key("dfa_solves").value(Rec.DfaSolves);
+    W.key("dfa_sweeps").value(Rec.DfaSweeps);
+    W.key("dfa_blocks_processed").value(Rec.DfaBlocksProcessed);
+    W.key("am_rounds").value(Rec.AmRounds);
+    W.key("am_eliminated").value(Rec.AmEliminated);
+    W.key("am_hoist_rounds").value(Rec.AmHoistRounds);
+    W.key("flush_inits_deleted").value(Rec.FlushInitsDeleted);
+    W.key("flush_inits_sunk").value(Rec.FlushInitsSunk);
+    W.endObject();
+  }
+  W.endArray();
+  return Out;
 }

@@ -7,7 +7,9 @@
 /// \file
 /// Composes the library's passes from a comma-separated specification,
 /// e.g. "lcm,cp,lcm" (the paper's Section 6 EM+CP interleaving) or
-/// "uniform,pde".  Used by `amopt --passes=...` and by experiments that
+/// "uniform,pde".  Used by the `amopt` CLI (tools/amopt.cpp) via
+/// `amopt --passes=p1,p2,...` — optionally with `--stats[=json]` and
+/// `--trace=out.json` to observe the run — and by experiments that
 /// compare pass orders.
 ///
 /// Known pass names:
@@ -31,16 +33,51 @@
 
 #include "ir/FlowGraph.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace am {
+
+/// Structured record of one executed pass: what it was, how long it took,
+/// how it changed the IR, and how hard the dataflow solver worked for it.
+/// Benches and tests consume these instead of parsing log strings.
+struct PassRecord {
+  std::string Name;
+  /// Free-text detail, e.g. "3 AM iterations, 4 eliminated".
+  std::string Detail;
+  /// Wall-clock time of the pass body.
+  double WallMs = 0.0;
+
+  // IR deltas (before -> after this pass).
+  uint64_t BlocksBefore = 0, BlocksAfter = 0;
+  uint64_t InstrsBefore = 0, InstrsAfter = 0;
+  uint64_t AssignsBefore = 0, AssignsAfter = 0;
+
+  // Dataflow solver work attributed to this pass (deltas of the stats
+  // registry's dfa.* counters around the pass body).
+  uint64_t DfaSolves = 0;
+  uint64_t DfaSweeps = 0;
+  uint64_t DfaBlocksProcessed = 0;
+
+  // AM fixpoint behaviour (uniform/am passes; zero elsewhere).
+  uint64_t AmRounds = 0;
+  uint64_t AmEliminated = 0;
+  uint64_t AmHoistRounds = 0;
+
+  // Final-flush behaviour (uniform/flush passes; zero elsewhere).
+  uint64_t FlushInitsDeleted = 0;
+  uint64_t FlushInitsSunk = 0;
+};
 
 /// Outcome of a pipeline run.
 struct PipelineResult {
   FlowGraph Graph;
   /// One human-readable line per executed pass.
   std::vector<std::string> Log;
+  /// One structured record per executed pass, parallel to Log; implicit
+  /// on-demand edge splitting records as a pass named "(split)".
+  std::vector<PassRecord> Records;
   /// Empty on success; otherwise names the unknown pass.
   std::string Error;
 
@@ -53,6 +90,11 @@ PipelineResult runPipeline(const FlowGraph &G, const std::string &Spec);
 
 /// True if \p Name is a known pass name.
 bool isKnownPass(const std::string &Name);
+
+/// Renders \p Records as a JSON array (one object per pass, snake_case
+/// keys mirroring the PassRecord fields) — the `amopt --stats=json`
+/// "passes" payload.
+std::string passRecordsJson(const std::vector<PassRecord> &Records);
 
 } // namespace am
 

@@ -8,6 +8,8 @@
 #include "analysis/PaperAnalyses.h"
 #include "ir/Patterns.h"
 #include "ir/Printer.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 #include "transform/AssignmentHoisting.h"
 #include "transform/FinalFlush.h"
 #include "transform/Initialization.h"
@@ -68,11 +70,20 @@ void hoistingSuccessors(const FlowGraph &G, std::vector<FlowGraph> &Out) {
 
 EnumerationResult am::enumerateUniverse(const FlowGraph &G,
                                         const EnumerationOptions &Opts) {
+  AM_STAT_COUNTER(NumEnumerations, "enumerate.runs");
+  AM_STAT_COUNTER(NumCandidates, "enumerate.candidates");
+  AM_STAT_COUNTER(NumDistinctStates, "enumerate.states");
+  AM_STAT_INC(NumEnumerations);
+  trace::TraceSpan Span("enumerate.universe");
+
   EnumerationResult Result;
   std::unordered_set<std::string> Seen;
   std::deque<std::pair<FlowGraph, unsigned>> Work;
+  uint64_t Candidates = 0;
 
   auto Push = [&](FlowGraph Member, unsigned Depth) {
+    ++Candidates;
+    AM_STAT_INC(NumCandidates);
     if (Result.Members.size() >= Opts.MaxStates) {
       Result.Truncated = true;
       return;
@@ -80,6 +91,7 @@ EnumerationResult am::enumerateUniverse(const FlowGraph &G,
     std::string Key = printGraph(Member);
     if (!Seen.insert(Key).second)
       return;
+    AM_STAT_INC(NumDistinctStates);
     Result.Members.push_back(Member);
     if (Depth < Opts.MaxDepth)
       Work.emplace_back(std::move(Member), Depth);
@@ -111,5 +123,8 @@ EnumerationResult am::enumerateUniverse(const FlowGraph &G,
     for (FlowGraph &Next : Successors)
       Push(std::move(Next), Depth + 1);
   }
+  Span.arg("candidates", Candidates);
+  Span.arg("states", Result.Members.size());
+  Span.arg("truncated", Result.Truncated ? 1 : 0);
   return Result;
 }

@@ -8,11 +8,16 @@
 #include "figures/PaperFigures.h"
 #include "gen/RandomProgram.h"
 #include "interp/Equivalence.h"
+#include "support/Json.h"
+#include "support/Trace.h"
 #include "transform/LocalValueNumbering.h"
 #include "transform/Pipeline.h"
 #include "transform/UniformEmAm.h"
 
 #include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
 
 using namespace am;
 using namespace am::test;
@@ -197,6 +202,80 @@ TEST(Pipeline, SplitOnDemandIsLogged) {
   ASSERT_TRUE(R.ok());
   ASSERT_GE(R.Log.size(), 2u);
   EXPECT_NE(R.Log[0].find("split"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Pass records and tracing
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, RecordsCaptureIrDeltasOnTheRunningExample) {
+  // The paper's running example (Figure 4): the uniform algorithm must
+  // observably eliminate assignments and do real dataflow work.
+  FlowGraph G = figure4();
+  PipelineResult R = runPipeline(G, "uniform");
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.Records.size(), 1u);
+  ASSERT_EQ(R.Records.size(), R.Log.size());
+
+  const PassRecord &Rec = R.Records[0];
+  EXPECT_EQ(Rec.Name, "uniform");
+  EXPECT_NE(Rec.Detail.find("AM iterations"), std::string::npos);
+  EXPECT_EQ(Rec.BlocksBefore, G.numBlocks());
+  EXPECT_EQ(Rec.InstrsBefore, G.numInstrs());
+  EXPECT_EQ(Rec.BlocksAfter, R.Graph.numBlocks());
+  EXPECT_EQ(Rec.InstrsAfter, R.Graph.numInstrs());
+  EXPECT_GT(Rec.AmRounds, 0u);
+  EXPECT_GT(Rec.AmEliminated, 0u); // assignments eliminated > 0
+  EXPECT_GT(Rec.DfaSolves, 0u);
+  EXPECT_GT(Rec.DfaSweeps, 0u);
+  EXPECT_GT(Rec.DfaBlocksProcessed, 0u);
+  EXPECT_GT(Rec.FlushInitsDeleted, 0u); // the flush drops unjustified inits
+  EXPECT_GE(Rec.WallMs, 0.0);
+}
+
+TEST(Pipeline, RecordsCoverEveryPassIncludingImplicitSplits) {
+  PipelineResult R = runPipeline(figure10a(), "aht,rae");
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.Records.size(), R.Log.size());
+  ASSERT_EQ(R.Records.size(), 3u); // (split), aht, rae
+  EXPECT_EQ(R.Records[0].Name, "(split)");
+  EXPECT_EQ(R.Records[1].Name, "aht");
+  EXPECT_EQ(R.Records[2].Name, "rae");
+  // The split introduced blocks; the record captures the growth.
+  EXPECT_GT(R.Records[0].BlocksAfter, R.Records[0].BlocksBefore);
+}
+
+TEST(Pipeline, PassRecordsRenderAsValidJson) {
+  PipelineResult R = runPipeline(figure4(), "uniform,pde,simplify");
+  ASSERT_TRUE(R.ok());
+  std::string J = passRecordsJson(R.Records);
+  std::string Error;
+  EXPECT_TRUE(json::validate(J, &Error)) << Error << "\n" << J;
+  EXPECT_NE(J.find("\"name\":\"uniform\""), std::string::npos);
+  EXPECT_NE(J.find("\"am_eliminated\""), std::string::npos);
+}
+
+TEST(Pipeline, TraceOfAPipelineRunIsValidChromeTraceJson) {
+  trace::start();
+  PipelineResult R = runPipeline(figure4(), "uniform");
+  ASSERT_TRUE(R.ok());
+  std::string Path = testing::TempDir() + "pipeline_trace.json";
+  ASSERT_TRUE(trace::stopToFile(Path));
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Trace = Buf.str();
+  std::string Error;
+  EXPECT_TRUE(json::validate(Trace, &Error)) << Error;
+  // One span per pass, nested spans per dataflow solve, instants per AM
+  // fixpoint round.
+  EXPECT_NE(Trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"pipeline.pass\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"dfa.solve\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"am.round\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"flush.run\""), std::string::npos);
 }
 
 TEST(Pipeline, RandomProgramsSurviveLongPipelines) {

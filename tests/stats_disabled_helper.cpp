@@ -1,0 +1,32 @@
+//===- tests/stats_disabled_helper.cpp - Compiled-out stats TU -*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// This translation unit is compiled with -DAM_DISABLE_STATS (see
+// tests/CMakeLists.txt): every AM_STAT_* macro below must expand to
+// nothing, so none of the "test.compiled_out_*" instruments may ever
+// appear in the registry.  stats_test.cpp asserts exactly that.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_DISABLE_STATS
+#error "this file must be compiled with -DAM_DISABLE_STATS"
+#endif
+
+#include "support/Stats.h"
+
+namespace am::test {
+
+void bumpCompiledOutStats() {
+  AM_STAT_COUNTER(Ctr, "test.compiled_out_counter");
+  AM_STAT_INC(Ctr);
+  AM_STAT_ADD(Ctr, 41);
+  AM_STAT_GAUGE(Gauge, "test.compiled_out_gauge");
+  AM_STAT_SET(Gauge, 7);
+  AM_STAT_TIMER(Tmr, "test.compiled_out_timer");
+  AM_STAT_TIME_SCOPE(Tmr);
+}
+
+} // namespace am::test

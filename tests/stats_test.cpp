@@ -1,0 +1,268 @@
+//===- tests/stats_test.cpp - Stats registry, JSON and tracing -*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace am;
+using namespace am::stats;
+
+namespace am::test {
+// Defined in stats_disabled_helper.cpp, which is compiled with
+// -DAM_DISABLE_STATS.
+void bumpCompiledOutStats();
+} // namespace am::test
+
+//===----------------------------------------------------------------------===//
+// Counters, gauges, timers
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, CounterAccumulatesAndResets) {
+  Counter &C = Registry::get().counter("test.counter_semantics");
+  C.reset();
+  EXPECT_EQ(C.get(), 0u);
+  C.add(1);
+  C.add(41);
+  EXPECT_EQ(C.get(), 42u);
+  C.reset();
+  EXPECT_EQ(C.get(), 0u);
+}
+
+TEST(Stats, RegistryReturnsTheSameInstrumentForTheSameName) {
+  Counter &A = Registry::get().counter("test.same_name");
+  Counter &B = Registry::get().counter("test.same_name");
+  EXPECT_EQ(&A, &B);
+  A.reset();
+  A.add(3);
+  EXPECT_EQ(B.get(), 3u);
+  // References stay valid (deque storage) as more instruments register.
+  for (int Idx = 0; Idx < 100; ++Idx)
+    Registry::get().counter("test.churn." + std::to_string(Idx));
+  EXPECT_EQ(A.get(), 3u);
+}
+
+TEST(Stats, MacrosResolveOnceAndIncrement) {
+  AM_STAT_COUNTER(Ctr, "test.macro_counter");
+  Ctr.reset();
+  for (int Idx = 0; Idx < 10; ++Idx)
+    AM_STAT_INC(Ctr);
+  AM_STAT_ADD(Ctr, 32);
+  EXPECT_EQ(Registry::get().counterValue("test.macro_counter"), 42u);
+}
+
+TEST(Stats, GaugeIsLastWriteWins) {
+  AM_STAT_GAUGE(Gauge, "test.gauge");
+  AM_STAT_SET(Gauge, 17);
+  AM_STAT_SET(Gauge, -4);
+  EXPECT_EQ(Registry::get().findGauge("test.gauge")->get(), -4);
+}
+
+TEST(Stats, TimerRecordsCountTotalMinMaxAndBuckets) {
+  Timer &T = Registry::get().timer("test.timer_semantics");
+  T.reset();
+  T.record(100);  // log2 bucket 6
+  T.record(1000); // log2 bucket 9
+  T.record(10);   // log2 bucket 3
+  EXPECT_EQ(T.count(), 3u);
+  EXPECT_EQ(T.totalNs(), 1110u);
+  EXPECT_EQ(T.minNs(), 10u);
+  EXPECT_EQ(T.maxNs(), 1000u);
+  EXPECT_EQ(T.bucket(6), 1u);
+  EXPECT_EQ(T.bucket(9), 1u);
+  EXPECT_EQ(T.bucket(3), 1u);
+  T.reset();
+  EXPECT_EQ(T.count(), 0u);
+  EXPECT_EQ(T.minNs(), 0u); // empty timer reports 0, not UINT64_MAX
+}
+
+TEST(Stats, TimerScopeMeasuresElapsedTime) {
+  Timer &T = Registry::get().timer("test.timer_scope");
+  T.reset();
+  Registry::get().setEnabled(true);
+  {
+    TimerScope Scope(T);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(T.count(), 1u);
+  EXPECT_GE(T.totalNs(), 1000000u);
+}
+
+TEST(Stats, RuntimeDisabledTimerScopeIsANoOp) {
+  Timer &T = Registry::get().timer("test.timer_disabled");
+  T.reset();
+  Registry::get().setEnabled(false);
+  {
+    TimerScope Scope(T);
+  }
+  Registry::get().setEnabled(true);
+  EXPECT_EQ(T.count(), 0u);
+}
+
+TEST(Stats, CompiledOutMacrosRegisterNothing) {
+  am::test::bumpCompiledOutStats();
+  EXPECT_EQ(Registry::get().findCounter("test.compiled_out_counter"),
+            nullptr);
+  EXPECT_EQ(Registry::get().findGauge("test.compiled_out_gauge"), nullptr);
+  EXPECT_EQ(Registry::get().findTimer("test.compiled_out_timer"), nullptr);
+  EXPECT_EQ(Registry::get().counterValue("test.compiled_out_counter"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Dumps
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, TextDumpListsInstrumentsAlphabetically) {
+  Registry::get().counter("test.dump.b").reset();
+  Registry::get().counter("test.dump.a").add(0);
+  std::ostringstream OS;
+  Registry::get().dumpText(OS);
+  std::string Text = OS.str();
+  size_t PosA = Text.find("test.dump.a");
+  size_t PosB = Text.find("test.dump.b");
+  ASSERT_NE(PosA, std::string::npos);
+  ASSERT_NE(PosB, std::string::npos);
+  EXPECT_LT(PosA, PosB);
+}
+
+TEST(Stats, JsonDumpIsValidAndRoundTripsValues) {
+  Counter &C = Registry::get().counter("test.json.counter");
+  C.reset();
+  C.add(1234);
+  Registry::get().timer("test.json.timer").record(512);
+  std::string J = Registry::get().dumpJsonString();
+  std::string Error;
+  EXPECT_TRUE(json::validate(J, &Error)) << Error;
+  // The dump carries the exact value and the timer sub-document.
+  EXPECT_NE(J.find("\"test.json.counter\":1234"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"test.json.timer\""), std::string::npos);
+  EXPECT_NE(J.find("\"log2_buckets\""), std::string::npos);
+}
+
+TEST(Stats, ResetAllZeroesEverything) {
+  Counter &C = Registry::get().counter("test.resetall.counter");
+  Timer &T = Registry::get().timer("test.resetall.timer");
+  C.add(5);
+  T.record(99);
+  Registry::get().resetAll();
+  EXPECT_EQ(C.get(), 0u);
+  EXPECT_EQ(T.count(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON writer / validator
+//===----------------------------------------------------------------------===//
+
+TEST(Json, WriterProducesValidNestedDocuments) {
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+  W.key("s").value("a \"quoted\"\nstring");
+  W.key("n").value(int64_t(-7));
+  W.key("u").value(uint64_t(18446744073709551615ull));
+  W.key("d").value(1.5);
+  W.key("b").value(true);
+  W.key("arr").beginArray().value(int64_t(1)).value("two").endArray();
+  W.key("nested").beginObject().key("empty").beginArray().endArray().endObject();
+  W.endObject();
+  std::string Error;
+  EXPECT_TRUE(json::validate(Out, &Error)) << Error << "\n" << Out;
+  EXPECT_NE(Out.find("\\\"quoted\\\"\\n"), std::string::npos);
+  EXPECT_NE(Out.find("18446744073709551615"), std::string::npos);
+}
+
+TEST(Json, EscapesControlCharacters) {
+  // Note the split literal: "\x01b" would greedily parse as \x1b.
+  std::string Q = json::quoted(std::string("a\x01" "b\tc"));
+  EXPECT_EQ(Q, "\"a\\u0001b\\tc\"");
+  EXPECT_TRUE(json::validate(Q));
+}
+
+TEST(Json, ValidatorAcceptsRfc8259Values) {
+  for (const char *Good :
+       {"{}", "[]", "null", "true", "-0.5e+10", "\"x\"",
+        "{\"a\":[1,2,{\"b\":null}],\"c\":\"\\u0041\"}", "  [1]  "})
+    EXPECT_TRUE(json::validate(Good)) << Good;
+}
+
+TEST(Json, ValidatorRejectsMalformedInput) {
+  for (const char *Bad :
+       {"", "{", "}", "[1,]", "{\"a\"}", "{\"a\":}", "{a:1}", "01", "1.",
+        "\"unterminated", "[1] trailing", "nul", "\"bad\\escape\""})
+    EXPECT_FALSE(json::validate(Bad)) << Bad;
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, DisabledByDefaultAndSpansAreInert) {
+  ASSERT_FALSE(trace::enabled());
+  {
+    trace::TraceSpan Span("never.recorded");
+    Span.arg("k", 1);
+    EXPECT_FALSE(Span.live());
+  }
+  trace::start();
+  std::string J = trace::stopToJson();
+  EXPECT_EQ(J.find("never.recorded"), std::string::npos);
+}
+
+TEST(Trace, CollectsSpansAndInstantsAsChromeTraceJson) {
+  trace::start();
+  EXPECT_TRUE(trace::enabled());
+  {
+    trace::TraceSpan Span("test.span");
+    Span.arg("bits", 64);
+    Span.arg("mode", "round-robin");
+    trace::instant("test.instant", {{"round", 3}});
+  }
+  std::string J = trace::stopToJson();
+  EXPECT_FALSE(trace::enabled());
+
+  std::string Error;
+  EXPECT_TRUE(json::validate(J, &Error)) << Error << "\n" << J;
+  EXPECT_NE(J.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\":\"test.span\""), std::string::npos);
+  EXPECT_NE(J.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\":\"test.instant\""), std::string::npos);
+  EXPECT_NE(J.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(J.find("\"bits\":64"), std::string::npos);
+  EXPECT_NE(J.find("\"mode\":\"round-robin\""), std::string::npos);
+  EXPECT_NE(J.find("\"round\":3"), std::string::npos);
+}
+
+TEST(Trace, StopToFileWritesTheJson) {
+  trace::start();
+  {
+    trace::TraceSpan Span("test.file_span");
+  }
+  std::string Path = testing::TempDir() + "am_trace_test.json";
+  ASSERT_TRUE(trace::stopToFile(Path));
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Error;
+  EXPECT_TRUE(json::validate(Buf.str(), &Error)) << Error;
+  EXPECT_NE(Buf.str().find("test.file_span"), std::string::npos);
+}
+
+TEST(Trace, StartClearsPreviousEvents) {
+  trace::start();
+  trace::instant("test.stale");
+  trace::start(); // restart without stopping
+  trace::instant("test.fresh");
+  std::string J = trace::stopToJson();
+  EXPECT_EQ(J.find("test.stale"), std::string::npos);
+  EXPECT_NE(J.find("test.fresh"), std::string::npos);
+}

@@ -1,0 +1,320 @@
+//===- tools/amopt.cpp - Command-line optimizer driver ---------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// amopt — optimize a program written in either front-end syntax, with
+// full observability into what the algorithm did.
+//
+//   amopt [--pass=uniform|am|lcm|bcm|restricted|cp|pde]
+//         [--passes=p1,p2,...] [--dot] [--stats[=json]] [--trace=out.json]
+//         [--verify] [--annotate=redundancy|hoist|flush|live] [FILE]
+//
+// Reads FILE (or stdin) containing a `program { ... }` or `graph { ... }`
+// source, runs the selected pass (default: uniform EM & AM), and prints
+// the optimized program — or Graphviz DOT with --dot.  With no FILE and a
+// terminal on stdin, optimizes the paper's running example as a demo.
+//
+// Observability:
+//   --stats        human-readable per-pass log + registry dump on stderr
+//   --stats=json   one JSON object on stderr: {"input": .., "output": ..,
+//                  "passes": [PassRecord...], "registry": {counters,
+//                  gauges, timers}}
+//   --trace=F      write a Chrome trace_event JSON file; open it in
+//                  about:tracing or https://ui.perfetto.dev — one span
+//                  per pass, nested spans per dataflow solve, instant
+//                  events per AM fixpoint round.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Annotate.h"
+#include "figures/PaperFigures.h"
+#include "interp/Equivalence.h"
+#include "ir/Printer.h"
+#include "parser/Parser.h"
+#include "support/Json.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+#include "transform/BusyCodeMotion.h"
+#include "transform/CopyPropagation.h"
+#include "transform/LazyCodeMotion.h"
+#include "transform/PartialDeadCodeElim.h"
+#include "transform/Pipeline.h"
+#include "transform/RestrictedAssignmentMotion.h"
+#include "transform/UniformEmAm.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+using namespace am;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: amopt [--pass=uniform|am|lcm|bcm|restricted|cp|pde] "
+               "[--passes=p1,p2,...] [--dot]\n"
+               "             [--stats[=json]] [--trace=out.json] [--verify]\n"
+               "             [--annotate=redundancy|hoist|flush|live] [FILE]\n"
+               "\n"
+               "Optimizes a `program { ... }` or `graph { ... }` source "
+               "(FILE or stdin).\n"
+               "--annotate prints analysis facts over the *input* instead "
+               "of transforming.\n"
+               "--stats reports per-pass IR deltas, timings and solver "
+               "counters on stderr\n"
+               "(machine-readable with --stats=json).  --trace writes "
+               "Chrome trace_event JSON\n"
+               "for about:tracing / Perfetto.\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Pass = "uniform";
+  std::string Passes;
+  std::string Annotation;
+  std::string TracePath;
+  bool EmitDot = false, EmitStats = false, StatsJson = false, Verify = false;
+  std::string File;
+
+  for (int Idx = 1; Idx < argc; ++Idx) {
+    std::string Arg = argv[Idx];
+    if (Arg.rfind("--passes=", 0) == 0)
+      Passes = Arg.substr(9);
+    else if (Arg.rfind("--pass=", 0) == 0)
+      Pass = Arg.substr(7);
+    else if (Arg.rfind("--annotate=", 0) == 0)
+      Annotation = Arg.substr(11);
+    else if (Arg.rfind("--trace=", 0) == 0)
+      TracePath = Arg.substr(8);
+    else if (Arg == "--dot")
+      EmitDot = true;
+    else if (Arg == "--stats")
+      EmitStats = true;
+    else if (Arg == "--stats=json") {
+      EmitStats = true;
+      StatsJson = true;
+    } else if (Arg == "--verify")
+      Verify = true;
+    else if (Arg == "--help" || Arg == "-h")
+      return usage();
+    else if (!Arg.empty() && Arg[0] == '-')
+      return usage();
+    else
+      File = Arg;
+  }
+
+  if (!TracePath.empty() && TracePath[0] == '-') {
+    std::fprintf(stderr, "amopt: suspicious trace path '%s'\n",
+                 TracePath.c_str());
+    return usage();
+  }
+
+  // Validate flags before touching stdin so a bad invocation never blocks
+  // on input.
+  static const char *KnownPasses[] = {"uniform", "am", "lcm",  "bcm",
+                                      "restricted", "cp", "pde"};
+  bool PassOk = false;
+  for (const char *P : KnownPasses)
+    PassOk |= Pass == P;
+  if (!PassOk && Passes.empty()) {
+    std::fprintf(stderr, "amopt: unknown pass '%s'\n", Pass.c_str());
+    return usage();
+  }
+  if (!Passes.empty()) {
+    // Validate the pipeline spec before touching stdin.
+    std::string Cur;
+    for (char C : Passes + ",") {
+      if (C != ',') {
+        if (C != ' ')
+          Cur.push_back(C);
+        continue;
+      }
+      if (!Cur.empty() && !isKnownPass(Cur)) {
+        std::fprintf(stderr, "amopt: unknown pass '%s'\n", Cur.c_str());
+        return usage();
+      }
+      Cur.clear();
+    }
+  }
+  AnnotationKind AnnotKind = AnnotationKind::Redundancy;
+  if (!Annotation.empty() && !parseAnnotationKind(Annotation, AnnotKind)) {
+    std::fprintf(stderr, "amopt: unknown annotation '%s'\n",
+                 Annotation.c_str());
+    return usage();
+  }
+
+  FlowGraph Input;
+  if (!File.empty()) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "amopt: cannot open '%s'\n", File.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    ParseResult R = parseProgram(Buf.str());
+    if (!R.ok()) {
+      std::fprintf(stderr, "amopt: %s: %s\n", File.c_str(), R.Error.c_str());
+      return 1;
+    }
+    Input = std::move(R.Graph);
+  } else if (!isatty(STDIN_FILENO)) {
+    std::ostringstream Buf;
+    Buf << std::cin.rdbuf();
+    ParseResult R = parseProgram(Buf.str());
+    if (!R.ok()) {
+      std::fprintf(stderr, "amopt: <stdin>: %s\n", R.Error.c_str());
+      return 1;
+    }
+    Input = std::move(R.Graph);
+  } else {
+    std::fprintf(stderr,
+                 "amopt: no input; optimizing the paper's running example\n");
+    Input = figure4();
+  }
+
+  if (!Annotation.empty()) {
+    FlowGraph Prepared = Input;
+    Prepared.splitCriticalEdges();
+    std::fputs(annotate(Prepared, AnnotKind).c_str(), stdout);
+    return 0;
+  }
+
+  if (!TracePath.empty())
+    trace::start();
+
+  FlowGraph Output;
+  UniformStats Stats;
+  std::vector<PassRecord> Records;
+  if (!Passes.empty()) {
+    PipelineResult R = runPipeline(Input, Passes);
+    if (!R.ok()) {
+      if (!TracePath.empty())
+        trace::stopToJson(); // discard the partial trace
+      std::fprintf(stderr, "amopt: %s\n", R.Error.c_str());
+      return usage();
+    }
+    if (EmitStats && !StatsJson)
+      for (const std::string &Line : R.Log)
+        std::fprintf(stderr, "amopt: %s\n", Line.c_str());
+    Records = std::move(R.Records);
+    Output = std::move(R.Graph);
+  } else if (Pass == "uniform") {
+    Output = runUniformEmAm(Input, UniformOptions(), &Stats);
+  } else if (Pass == "am") {
+    Output = runAssignmentMotionOnly(Input, &Stats);
+  } else if (Pass == "lcm") {
+    Output = runLazyCodeMotion(Input);
+  } else if (Pass == "bcm") {
+    Output = runBusyCodeMotion(Input);
+  } else if (Pass == "restricted") {
+    Output = runRestrictedAssignmentMotion(Input);
+  } else if (Pass == "cp") {
+    Output = Input;
+    runCopyPropagation(Output);
+  } else { // "pde" — the pass list was validated up front
+    Output = Input;
+    Output.splitCriticalEdges();
+    runPartialDeadCodeElim(Output);
+    Output = simplified(Output);
+  }
+
+  if (!TracePath.empty()) {
+    if (!trace::stopToFile(TracePath)) {
+      std::fprintf(stderr, "amopt: cannot write trace '%s'\n",
+                   TracePath.c_str());
+      return 1;
+    }
+    // Keep stderr pure JSON under --stats=json so it can be piped
+    // straight into tooling.
+    if (!(EmitStats && StatsJson))
+      std::fprintf(stderr,
+                   "amopt: trace written to %s (open in about:tracing or "
+                   "ui.perfetto.dev)\n",
+                   TracePath.c_str());
+  }
+
+  if (Verify) {
+    // Run both programs on a battery of pseudo-random inputs and
+    // nondeterministic paths; any divergence is an optimizer bug.
+    unsigned Failures = 0;
+    for (uint64_t Round = 0; Round < 16; ++Round) {
+      std::unordered_map<std::string, int64_t> Inputs;
+      for (uint32_t V = 0; V < Input.Vars.size(); ++V)
+        Inputs[Input.Vars.name(makeVarId(V))] =
+            static_cast<int64_t>((Round * 2654435761u + V * 40503u) % 41) -
+            20;
+      Interpreter::Options Opts;
+      Opts.MaxSteps = 200000;
+      EquivalenceReport Rep =
+          checkEquivalent(Input, Output, Inputs, Round, Opts);
+      if (!Rep.Equivalent) {
+        ++Failures;
+        std::fprintf(stderr, "amopt: VERIFY FAILED (round %llu): %s\n",
+                     (unsigned long long)Round, Rep.Detail.c_str());
+      }
+    }
+    if (Failures != 0)
+      return 3;
+    // Under --stats=json the result is reported inside the JSON object
+    // instead, keeping stderr machine-readable.
+    if (!(EmitStats && StatsJson))
+      std::fprintf(stderr,
+                   "amopt: verify OK (16 rounds, identical observable "
+                   "behaviour)\n");
+  }
+
+  if (EmitStats && StatsJson) {
+    // One JSON object on stderr so the optimized program on stdout stays
+    // pipeable: {"input": {...}, "output": {...}, "passes": [...],
+    // "registry": {...}}.
+    std::string Out;
+    json::Writer W(Out);
+    W.beginObject();
+    W.key("input").beginObject();
+    W.key("blocks").value(uint64_t(Input.numBlocks()));
+    W.key("instrs").value(uint64_t(Input.numInstrs()));
+    W.endObject();
+    W.key("output").beginObject();
+    W.key("blocks").value(uint64_t(Output.numBlocks()));
+    W.key("instrs").value(uint64_t(Output.numInstrs()));
+    W.endObject();
+    if (Verify) { // reached only when all rounds agreed
+      W.key("verify").beginObject();
+      W.key("rounds").value(uint64_t(16));
+      W.key("ok").value(true);
+      W.endObject();
+    }
+    W.endObject();
+    Out.pop_back(); // reopen the object to splice pre-rendered payloads
+    Out += ",\"passes\":" + passRecordsJson(Records);
+    Out += ",\"registry\":" + stats::Registry::get().dumpJsonString();
+    Out += "}";
+    std::fprintf(stderr, "%s\n", Out.c_str());
+  } else if (EmitStats) {
+    std::fprintf(stderr,
+                 "amopt: %zu -> %zu instructions; %u edges split, %u "
+                 "decompositions, %u AM iterations, %u eliminated\n",
+                 Input.numInstrs(), Output.numInstrs(), Stats.EdgesSplit,
+                 Stats.Decompositions, Stats.AmPhase.Iterations,
+                 Stats.AmPhase.Eliminated);
+    std::ostringstream Reg;
+    stats::Registry::get().dumpText(Reg);
+    std::fputs(Reg.str().c_str(), stderr);
+  }
+
+  std::fputs(EmitDot ? printDot(Output, Pass).c_str()
+                     : printGraph(Output).c_str(),
+             stdout);
+  return 0;
+}
