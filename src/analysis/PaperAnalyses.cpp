@@ -130,8 +130,61 @@ RedundancyAnalysis RedundancyAnalysis::run(const FlowGraph &G,
                                            const AssignPatternTable &Pats) {
   RedundancyAnalysis A;
   A.Problem = std::make_unique<RedundancyProblem>(Pats);
-  A.Result = solve(G, *A.Problem);
+  A.Result = solve(G, *A.Problem, SolverKind::Worklist);
   return A;
+}
+
+RedundancyAnalysis RedundancyAnalysis::run(const FlowGraph &G,
+                                           const AssignPatternTable &Pats,
+                                           DataflowSolver &Solver,
+                                           uint64_t PatsGen) {
+  RedundancyAnalysis A;
+  A.Problem = std::make_unique<RedundancyProblem>(Pats);
+  A.Result = Solver.solve(G, *A.Problem, SolverKind::Worklist, PatsGen);
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// HoistLocalPredicates
+//===----------------------------------------------------------------------===//
+
+void HoistLocalPredicates::computeBlock(const FlowGraph &G,
+                                        const AssignPatternTable &Pats,
+                                        BlockId B) {
+  size_t Bits = Pats.size();
+  BitVector &Hoistable = LocHoistable[B];
+  BitVector &BlockedSoFar = LocBlocked[B];
+  Hoistable.clearAndResize(Bits);
+  BlockedSoFar.clearAndResize(Bits);
+  for (const Instr &I : G.block(B).Instrs) {
+    // A hoisting candidate is an occurrence not preceded (within the
+    // block) by an instruction blocking it.
+    size_t Idx = Pats.occurrence(I);
+    if (Idx != AssignPatternTable::npos && !BlockedSoFar.test(Idx))
+      Hoistable.set(Idx);
+    Pats.blockedBy(I, Tmp);
+    BlockedSoFar |= Tmp;
+  }
+}
+
+void HoistLocalPredicates::refresh(const FlowGraph &G,
+                                   const AssignPatternTable &Pats,
+                                   uint64_t PatsGen) {
+  size_t NumBlocks = G.numBlocks();
+  bool Incremental = Valid && CachedG == &G && CachedGen == PatsGen &&
+                     CachedBits == Pats.size() &&
+                     LocBlocked.size() <= NumBlocks;
+  LocBlocked.resize(NumBlocks);
+  LocHoistable.resize(NumBlocks);
+  for (BlockId B = 0; B < NumBlocks; ++B) {
+    if (!Incremental || G.blockTick(B) > RefreshTick)
+      computeBlock(G, Pats, B);
+  }
+  CachedG = &G;
+  CachedGen = PatsGen;
+  CachedBits = Pats.size();
+  RefreshTick = G.modTick();
+  Valid = true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -143,25 +196,24 @@ HoistabilityAnalysis HoistabilityAnalysis::run(const FlowGraph &G,
   HoistabilityAnalysis A;
   A.G = &G;
   A.Problem = std::make_unique<HoistabilityProblem>(Pats);
-  A.Result = solve(G, *A.Problem);
+  A.Result = solve(G, *A.Problem, SolverKind::Worklist);
+  A.OwnedLocals = std::make_unique<HoistLocalPredicates>();
+  A.OwnedLocals->refresh(G, Pats, /*PatsGen=*/0);
+  A.Locals = A.OwnedLocals.get();
+  return A;
+}
 
-  // Block-local predicates.
-  A.LocBlocked.assign(G.numBlocks(), Pats.makeVector());
-  A.LocHoistable.assign(G.numBlocks(), Pats.makeVector());
-  BitVector Tmp = Pats.makeVector();
-  for (BlockId B = 0; B < G.numBlocks(); ++B) {
-    BitVector BlockedSoFar = Pats.makeVector();
-    for (const Instr &I : G.block(B).Instrs) {
-      // A hoisting candidate is an occurrence not preceded (within the
-      // block) by an instruction blocking it.
-      size_t Idx = Pats.occurrence(I);
-      if (Idx != AssignPatternTable::npos && !BlockedSoFar.test(Idx))
-        A.LocHoistable[B].set(Idx);
-      Pats.blockedBy(I, Tmp);
-      BlockedSoFar |= Tmp;
-    }
-    A.LocBlocked[B] = BlockedSoFar;
-  }
+HoistabilityAnalysis HoistabilityAnalysis::run(const FlowGraph &G,
+                                               const AssignPatternTable &Pats,
+                                               DataflowSolver &Solver,
+                                               HoistLocalPredicates &Locals,
+                                               uint64_t PatsGen) {
+  HoistabilityAnalysis A;
+  A.G = &G;
+  A.Problem = std::make_unique<HoistabilityProblem>(Pats);
+  A.Result = Solver.solve(G, *A.Problem, SolverKind::Worklist, PatsGen);
+  Locals.refresh(G, Pats, PatsGen);
+  A.Locals = &Locals;
   return A;
 }
 
@@ -183,7 +235,7 @@ BitVector HoistabilityAnalysis::entryInsert(BlockId B) const {
 
 BitVector HoistabilityAnalysis::exitInsert(BlockId B) const {
   BitVector Insert = exitHoistable(B);
-  Insert &= LocBlocked[B];
+  Insert &= locBlocked(B);
   return Insert;
 }
 
@@ -256,8 +308,8 @@ FlushAnalysis FlushAnalysis::run(const FlowGraph &G) {
   A.UniversePtr->build(G);
   A.DelayProblem = std::make_unique<DelayabilityProblem>(*A.UniversePtr);
   A.UsableProblem = std::make_unique<UsabilityProblem>(*A.UniversePtr);
-  A.Delay = solve(G, *A.DelayProblem);
-  A.Usable = solve(G, *A.UsableProblem);
+  A.Delay = solve(G, *A.DelayProblem, SolverKind::Worklist);
+  A.Usable = solve(G, *A.UsableProblem, SolverKind::Worklist);
   return A;
 }
 

@@ -48,6 +48,14 @@ public:
   static RedundancyAnalysis run(const FlowGraph &G,
                                 const AssignPatternTable &Pats);
 
+  /// As above, against a caller-owned reusable solver.  \p PatsGen
+  /// identifies the pattern table's contents (see DataflowSolver): pass
+  /// the generation the table reported so the solver's caches survive
+  /// rounds whose rebuild left the universe unchanged.
+  static RedundancyAnalysis run(const FlowGraph &G,
+                                const AssignPatternTable &Pats,
+                                DataflowSolver &Solver, uint64_t PatsGen);
+
   /// N-/X-REDUNDANT at every instruction boundary of \p B.
   DataflowResult::InstrFacts facts(BlockId B) const {
     return Result.instrFacts(B);
@@ -65,6 +73,35 @@ private:
 // Table 1: hoistability
 //===----------------------------------------------------------------------===//
 
+/// The hoistability analysis' block-local predicates (LOC-BLOCKED and
+/// LOC-HOISTABLE), cacheable across rounds of the AM fixpoint: a refresh
+/// recomputes only blocks the graph stamped dirty since the previous
+/// refresh, mirroring the solver's transfer cache one layer up.
+class HoistLocalPredicates {
+public:
+  /// Brings the predicates up to date for \p G / \p Pats.  \p PatsGen
+  /// identifies the pattern table's contents; a changed generation (or
+  /// graph identity / width) rebuilds everything.
+  void refresh(const FlowGraph &G, const AssignPatternTable &Pats,
+               uint64_t PatsGen);
+
+  const BitVector &locBlocked(BlockId B) const { return LocBlocked[B]; }
+  const BitVector &locHoistable(BlockId B) const { return LocHoistable[B]; }
+
+private:
+  void computeBlock(const FlowGraph &G, const AssignPatternTable &Pats,
+                    BlockId B);
+
+  std::vector<BitVector> LocBlocked;
+  std::vector<BitVector> LocHoistable;
+  const FlowGraph *CachedG = nullptr;
+  uint64_t CachedGen = 0;
+  size_t CachedBits = 0;
+  Tick RefreshTick = 0;
+  bool Valid = false;
+  BitVector Tmp; // blockedBy scratch
+};
+
 /// Hoistability facts and insertion points.  A bit at a block boundary
 /// means some hoisting candidate of the pattern can be moved (backwards,
 /// against control flow) to that boundary while preserving semantics.
@@ -74,15 +111,28 @@ public:
   static HoistabilityAnalysis run(const FlowGraph &G,
                                   const AssignPatternTable &Pats);
 
+  /// As above, against a caller-owned reusable solver and block-local
+  /// predicate cache (both must outlive the returned object).  \p PatsGen
+  /// as for RedundancyAnalysis::run.
+  static HoistabilityAnalysis run(const FlowGraph &G,
+                                  const AssignPatternTable &Pats,
+                                  DataflowSolver &Solver,
+                                  HoistLocalPredicates &Locals,
+                                  uint64_t PatsGen);
+
   /// N-HOISTABLE* / X-HOISTABLE* (greatest solution).
   const BitVector &entryHoistable(BlockId B) const { return Result.entry(B); }
   const BitVector &exitHoistable(BlockId B) const { return Result.exit(B); }
 
   /// LOC-BLOCKED: patterns blocked by some instruction of the block.
-  const BitVector &locBlocked(BlockId B) const { return LocBlocked[B]; }
+  const BitVector &locBlocked(BlockId B) const {
+    return Locals->locBlocked(B);
+  }
 
   /// LOC-HOISTABLE: patterns with a hoisting candidate in the block.
-  const BitVector &locHoistable(BlockId B) const { return LocHoistable[B]; }
+  const BitVector &locHoistable(BlockId B) const {
+    return Locals->locHoistable(B);
+  }
 
   /// N-INSERT: patterns to insert at the entry of \p B.  The start node's
   /// entry is the hoisting frontier when hoistability reaches it.
@@ -95,8 +145,9 @@ private:
   const FlowGraph *G = nullptr;
   std::unique_ptr<DataflowProblem> Problem;
   DataflowResult Result;
-  std::vector<BitVector> LocBlocked;
-  std::vector<BitVector> LocHoistable;
+  /// Points at OwnedLocals or a caller-provided cache.
+  const HoistLocalPredicates *Locals = nullptr;
+  std::unique_ptr<HoistLocalPredicates> OwnedLocals;
 };
 
 //===----------------------------------------------------------------------===//

@@ -3,64 +3,80 @@
 // Part of the assignment-motion reproduction library.
 //
 //===----------------------------------------------------------------------===//
+//
+// The solver object carries three layers of reuse across solves:
+//
+//  1. composed block transfers, recomputed only for tick-dirty blocks
+//     (TransferCache);
+//  2. the previous converged solution: if the graph did not change at all,
+//     it is returned outright; if it changed locally, iteration restarts
+//     only over the dirty blocks' dependence closure;
+//  3. all fixpoint scratch (meet/transfer vectors, the worklist ring), so
+//     the steady-state inner loop performs no heap allocation.
+//
+// Why the incremental restart is exact (not merely safe): let D be the
+// dirty blocks and A their closure under the dependence direction (succs
+// for forward problems, preds for backward).  Blocks outside A take no
+// input from A, their transfers are unchanged, so the old solution still
+// satisfies their equations — and because fixpoint iteration of that
+// closed subsystem never reads A's values, its greatest (least) solution
+// is unchanged too.  Inside A we restart from the optimistic
+// initialization against those converged boundary values; the worklist
+// invariant ("an unsatisfied equation is pending") plus monotonicity
+// pins the converged result to the global greatest (least) fixpoint, the
+// same one a from-scratch solve computes.
+//
+//===----------------------------------------------------------------------===//
 
 #include "dfa/Dataflow.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
 #include <cassert>
-#include <queue>
 
 using namespace am;
 
-namespace {
-
-/// One basic block's composed transfer: f(v) = Gen | (v & ~Kill).
-struct BlockTransfer {
-  BitVector Gen;
-  BitVector Kill;
-
-  void apply(const BitVector &In, BitVector &Out) const {
-    Out = In;
-    Out.andNot(Kill);
-    Out |= Gen;
-  }
-};
-
-/// Composes the per-instruction transfers of \p B in execution order
-/// (forward) or reverse execution order (backward).
-BlockTransfer composeBlock(const FlowGraph &G, const DataflowProblem &P,
-                           BlockId B) {
-  size_t Bits = P.numBits();
-  BlockTransfer T{BitVector(Bits), BitVector(Bits)};
-  BitVector Gen(Bits), Kill(Bits);
-  const auto &Instrs = G.block(B).Instrs;
-
-  auto Step = [&](size_t Idx) {
-    const Instr &I = Instrs[Idx];
-    P.gen(B, Idx, I, Gen);
-    P.kill(B, Idx, I, Kill);
-    // Apply "later" transfer g to composed f: gen' = g.gen | (gen & ~g.kill),
-    // kill' = kill | g.kill.
-    T.Gen.andNot(Kill);
-    T.Gen |= Gen;
-    T.Kill |= Kill;
-  };
-
-  if (P.direction() == Direction::Forward) {
-    for (size_t Idx = 0; Idx < Instrs.size(); ++Idx)
-      Step(Idx);
-  } else {
-    for (size_t Idx = Instrs.size(); Idx-- > 0;)
-      Step(Idx);
-  }
-  return T;
+bool DataflowSolver::solutionValid(const FlowGraph &G,
+                                   const DataflowProblem &P,
+                                   uint64_t ProblemGen) const {
+  return HaveSolution && SolG == &G && SolStructTick == G.structTick() &&
+         SolGen == ProblemGen && SolBits == P.numBits() &&
+         SolForward == (P.direction() == Direction::Forward) &&
+         SolMeetAll == (P.meet() == Meet::All) && In.size() == G.numBlocks();
 }
 
-} // namespace
+void DataflowSolver::refreshOrder(const FlowGraph &G, bool Forward) {
+  if (OrderG == &G && OrderStructTick == G.structTick() &&
+      OrderForward == Forward)
+    return;
+  Order = Forward ? G.reversePostorder() : G.reverseGraphReversePostorder();
+  OrderIndex.assign(G.numBlocks(), 0);
+  for (size_t Idx = 0; Idx < Order.size(); ++Idx)
+    OrderIndex[Order[Idx]] = Idx;
+  OrderG = &G;
+  OrderStructTick = G.structTick();
+  OrderForward = Forward;
+}
 
-DataflowResult am::solve(const FlowGraph &G, const DataflowProblem &P,
-                         SolverKind Kind) {
+DataflowResult DataflowSolver::snapshot(const FlowGraph &G,
+                                        const DataflowProblem &P,
+                                        bool Forward) const {
+  DataflowResult R;
+  R.G = &G;
+  R.Problem = &P;
+  size_t NumBlocks = G.numBlocks();
+  R.Entry.resize(NumBlocks);
+  R.Exit.resize(NumBlocks);
+  for (BlockId B = 0; B < NumBlocks; ++B) {
+    R.Entry[B] = Forward ? In[B] : Out[B];
+    R.Exit[B] = Forward ? Out[B] : In[B];
+  }
+  return R;
+}
+
+DataflowResult DataflowSolver::solve(const FlowGraph &G,
+                                     const DataflowProblem &P,
+                                     SolverKind Kind, uint64_t ProblemGen) {
   size_t Bits = P.numBits();
   size_t NumBlocks = G.numBlocks();
   bool Forward = P.direction() == Direction::Forward;
@@ -69,6 +85,8 @@ DataflowResult am::solve(const FlowGraph &G, const DataflowProblem &P,
   AM_STAT_COUNTER(NumSolves, "dfa.solves");
   AM_STAT_COUNTER(NumSolvesRoundRobin, "dfa.solves.round_robin");
   AM_STAT_COUNTER(NumSolvesWorklist, "dfa.solves.worklist");
+  AM_STAT_COUNTER(NumSolvesCached, "dfa.solves.cached");
+  AM_STAT_COUNTER(NumSolvesIncremental, "dfa.solves.incremental");
   AM_STAT_TIMER(SolveTimer, "dfa.solve_ns");
   AM_STAT_INC(NumSolves);
   if (Kind == SolverKind::RoundRobin)
@@ -85,37 +103,33 @@ DataflowResult am::solve(const FlowGraph &G, const DataflowProblem &P,
   Span.arg("solver", Kind == SolverKind::RoundRobin ? "round-robin"
                                                     : "worklist");
 
-  std::vector<BlockTransfer> Transfers;
-  Transfers.reserve(NumBlocks);
-  for (BlockId B = 0; B < NumBlocks; ++B)
-    Transfers.push_back(composeBlock(G, P, B));
+  bool PrevValid = solutionValid(G, P, ProblemGen);
 
-  DataflowResult R;
-  R.G = &G;
-  R.Problem = &P;
-
-  // "In" is the meet side (block entry for forward, block exit for
-  // backward); "Out" the transferred side.
-  std::vector<BitVector> In(NumBlocks), Out(NumBlocks);
-  BitVector Init(Bits, MeetAll); // optimistic interior initialization
-  for (BlockId B = 0; B < NumBlocks; ++B) {
-    In[B] = Init;
-    Out[B] = Init;
+  // Nothing changed since this solver's last converged solve of the same
+  // problem: the cached solution is the answer.
+  if (PrevValid && !G.instrsChangedSince(SolTick)) {
+    AM_STAT_INC(NumSolvesCached);
+    Span.arg("cached", 1);
+    return snapshot(G, P, Forward);
   }
 
-  BitVector Boundary;
+  Cache.refresh(G, P, ProblemGen);
+  refreshOrder(G, Forward);
+
+  Init.clearAndResize(Bits); // optimistic interior initialization
+  if (MeetAll)
+    Init.setAll();
   P.boundary(Boundary);
   assert(Boundary.size() == Bits && "boundary width mismatch");
-
   BlockId BoundaryBlock = Forward ? G.start() : G.end();
-  std::vector<BlockId> Order =
-      Forward ? G.reversePostorder() : G.reverseGraphReversePostorder();
 
-  BitVector NewIn(Bits), NewOut(Bits);
-  // Recomputes block \p B; returns true if its Out side changed.
+  uint64_t BlocksProcessed = 0, Sweeps = 0;
+
+  // Recomputes block B; returns true if its Out side changed.  "In" is
+  // the meet side (block entry for forward, block exit for backward);
+  // "Out" the transferred side.
   auto Process = [&](BlockId B) {
-    ++R.BlocksProcessed;
-    // Meet over the incoming edges.
+    ++BlocksProcessed;
     if (B == BoundaryBlock) {
       NewIn = Boundary;
     } else {
@@ -123,7 +137,7 @@ DataflowResult am::solve(const FlowGraph &G, const DataflowProblem &P,
       if (Edges.empty()) {
         // Only the boundary block may lack incoming edges in a valid
         // graph; be conservative for invalid inputs.
-        NewIn = BitVector(Bits, MeetAll);
+        NewIn = Init;
       } else {
         // The meet input is always the neighbor's *transferred* side:
         // its exit value for forward problems, its entry value for
@@ -137,7 +151,7 @@ DataflowResult am::solve(const FlowGraph &G, const DataflowProblem &P,
         }
       }
     }
-    Transfers[B].apply(NewIn, NewOut);
+    Cache.transfer(B).apply(NewIn, NewOut);
     bool OutChanged = NewOut != Out[B];
     bool AnyChanged = OutChanged || NewIn != In[B];
     if (AnyChanged) {
@@ -147,55 +161,90 @@ DataflowResult am::solve(const FlowGraph &G, const DataflowProblem &P,
     return OutChanged;
   };
 
-  if (Kind == SolverKind::RoundRobin) {
-    // Stop after a sweep in which no transferred side changed: every meet
-    // side was recomputed from final neighbor values during that sweep, so
-    // the whole solution is consistent.
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      ++R.Sweeps;
-      for (BlockId B : Order)
-        Changed |= Process(B);
-    }
-  } else {
-    // Worklist ordered by (reverse-graph) reverse postorder: seed every
-    // block once, then only revisit the dependents of blocks whose
-    // transferred side changed, always picking the earliest pending block
-    // in iteration order — the classic near-optimal schedule for
-    // iterative bit-vector analyses (the paper's refs [13, 14]).
-    std::vector<size_t> OrderIndex(NumBlocks, SIZE_MAX);
-    for (size_t Idx = 0; Idx < Order.size(); ++Idx)
-      OrderIndex[Order[Idx]] = Idx;
-    std::priority_queue<std::pair<size_t, BlockId>,
-                        std::vector<std::pair<size_t, BlockId>>,
-                        std::greater<>>
-        Work;
-    std::vector<bool> Queued(NumBlocks, true);
-    for (BlockId B : Order)
-      Work.emplace(OrderIndex[B], B);
-    while (!Work.empty()) {
-      BlockId B = Work.top().second;
-      Work.pop();
-      Queued[B] = false;
+  auto Drain = [&]() {
+    while (true) {
+      size_t Idx = Work.pop();
+      if (Idx == WorklistRing::npos)
+        break;
+      BlockId B = Order[Idx];
       if (!Process(B))
         continue;
       const auto &Dependents = Forward ? G.block(B).Succs : G.block(B).Preds;
-      for (BlockId D : Dependents) {
-        if (!Queued[D]) {
-          Queued[D] = true;
-          Work.emplace(OrderIndex[D], D);
+      for (BlockId D : Dependents)
+        Work.push(OrderIndex[D]);
+    }
+  };
+
+  bool Incremental = Kind == SolverKind::Worklist && PrevValid;
+  if (Incremental) {
+    // Seed only the dirty blocks' dependence closure, reset to the
+    // optimistic value; everything outside keeps its converged value.
+    DirtyScratch.clear();
+    AffectedSet.clearAndResize(NumBlocks);
+    for (BlockId B = 0; B < NumBlocks; ++B) {
+      if (G.blockTick(B) > SolTick) {
+        AffectedSet.set(B);
+        DirtyScratch.push_back(B);
+      }
+    }
+    for (size_t Idx = 0; Idx < DirtyScratch.size(); ++Idx) {
+      BlockId B = DirtyScratch[Idx];
+      const auto &Deps = Forward ? G.block(B).Succs : G.block(B).Preds;
+      for (BlockId D : Deps) {
+        if (!AffectedSet.test(D)) {
+          AffectedSet.set(D);
+          DirtyScratch.push_back(D);
         }
       }
     }
+    AM_STAT_INC(NumSolvesIncremental);
+    Span.arg("incremental", 1);
+    Span.arg("dirty_closure", DirtyScratch.size());
+    Work.reset(Order.size());
+    for (BlockId B : DirtyScratch) {
+      In[B] = Init;
+      Out[B] = Init;
+      Work.push(OrderIndex[B]);
+    }
+    Drain();
+  } else {
+    In.resize(NumBlocks);
+    Out.resize(NumBlocks);
+    for (BlockId B = 0; B < NumBlocks; ++B) {
+      In[B] = Init;
+      Out[B] = Init;
+    }
+    if (Kind == SolverKind::RoundRobin) {
+      // Stop after a sweep in which no transferred side changed: every
+      // meet side was recomputed from final neighbor values during that
+      // sweep, so the whole solution is consistent.
+      bool Changed = true;
+      while (Changed) {
+        Changed = false;
+        ++Sweeps;
+        for (BlockId B : Order)
+          Changed |= Process(B);
+      }
+    } else {
+      // Full worklist solve: seed every block once in iteration order,
+      // then only revisit the dependents of blocks whose transferred
+      // side changed — the classic near-optimal schedule for iterative
+      // bit-vector analyses (the paper's refs [13, 14]).
+      Work.reset(Order.size());
+      for (size_t Idx = 0; Idx < Order.size(); ++Idx)
+        Work.push(Idx);
+      Drain();
+    }
   }
 
-  R.Entry.resize(NumBlocks);
-  R.Exit.resize(NumBlocks);
-  for (BlockId B = 0; B < NumBlocks; ++B) {
-    R.Entry[B] = Forward ? In[B] : Out[B];
-    R.Exit[B] = Forward ? Out[B] : In[B];
-  }
+  SolG = &G;
+  SolTick = G.modTick();
+  SolStructTick = G.structTick();
+  SolGen = ProblemGen;
+  SolBits = Bits;
+  SolForward = Forward;
+  SolMeetAll = MeetAll;
+  HaveSolution = true;
 
   // Every transfer evaluation touches the meet result, the transferred
   // vector and both transfer masks, word by word.
@@ -203,14 +252,24 @@ DataflowResult am::solve(const FlowGraph &G, const DataflowProblem &P,
   AM_STAT_COUNTER(NumSweeps, "dfa.sweeps");
   AM_STAT_COUNTER(NumBlocksProcessed, "dfa.blocks_processed");
   AM_STAT_COUNTER(NumWordsTouched, "dfa.words_touched");
-  AM_STAT_ADD(NumSweeps, R.Sweeps);
-  AM_STAT_ADD(NumBlocksProcessed, R.BlocksProcessed);
-  AM_STAT_ADD(NumWordsTouched, R.BlocksProcessed * WordsPerBlock);
+  AM_STAT_ADD(NumSweeps, Sweeps);
+  AM_STAT_ADD(NumBlocksProcessed, BlocksProcessed);
+  AM_STAT_ADD(NumWordsTouched, BlocksProcessed * WordsPerBlock);
 
-  Span.arg("sweeps", R.Sweeps);
-  Span.arg("blocks_processed", R.BlocksProcessed);
-  Span.arg("words_touched", R.BlocksProcessed * WordsPerBlock);
+  Span.arg("sweeps", Sweeps);
+  Span.arg("blocks_processed", BlocksProcessed);
+  Span.arg("words_touched", BlocksProcessed * WordsPerBlock);
+
+  DataflowResult R = snapshot(G, P, Forward);
+  R.Sweeps = Sweeps;
+  R.BlocksProcessed = BlocksProcessed;
   return R;
+}
+
+DataflowResult am::solve(const FlowGraph &G, const DataflowProblem &P,
+                         SolverKind Kind) {
+  DataflowSolver Solver;
+  return Solver.solve(G, P, Kind);
 }
 
 DataflowResult::InstrFacts DataflowResult::instrFacts(BlockId B) const {

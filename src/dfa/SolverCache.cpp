@@ -1,0 +1,78 @@
+//===- dfa/SolverCache.cpp - Transfer cache implementation -----*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfa/SolverCache.h"
+#include "dfa/Dataflow.h"
+#include "support/Stats.h"
+
+using namespace am;
+
+void TransferCache::compose(const FlowGraph &G, const DataflowProblem &P,
+                            BlockId B) {
+  size_t Bits = P.numBits();
+  BlockTransfer &T = Transfers[B];
+  T.Gen.clearAndResize(Bits);
+  T.Kill.clearAndResize(Bits);
+  const auto &Instrs = G.block(B).Instrs;
+
+  // Compose the per-instruction transfers in execution order (forward) or
+  // reverse execution order (backward): applying "later" transfer g to the
+  // composed f gives gen' = g.gen | (gen & ~g.kill), kill' = kill | g.kill.
+  auto Step = [&](size_t Idx) {
+    const Instr &I = Instrs[Idx];
+    P.gen(B, Idx, I, GenScratch);
+    P.kill(B, Idx, I, KillScratch);
+    T.Gen.andNot(KillScratch);
+    T.Gen |= GenScratch;
+    T.Kill |= KillScratch;
+  };
+
+  if (P.direction() == Direction::Forward) {
+    for (size_t Idx = 0; Idx < Instrs.size(); ++Idx)
+      Step(Idx);
+  } else {
+    for (size_t Idx = Instrs.size(); Idx-- > 0;)
+      Step(Idx);
+  }
+}
+
+bool TransferCache::refresh(const FlowGraph &G, const DataflowProblem &P,
+                            uint64_t ProblemGen) {
+  AM_STAT_COUNTER(NumRecomposed, "dfa.transfers_recomputed");
+  size_t Bits = P.numBits();
+  bool Forward = P.direction() == Direction::Forward;
+  size_t NumBlocks = G.numBlocks();
+
+  // Blocks are only ever appended in place (splitting), never removed, so
+  // a shrunken block array means a different graph generation.
+  bool Incremental = Valid && CachedG == &G && CachedGen == ProblemGen &&
+                     CachedBits == Bits && CachedForward == Forward &&
+                     Transfers.size() <= NumBlocks;
+
+  uint64_t Recomposed = 0;
+  Transfers.resize(NumBlocks);
+  if (!Incremental) {
+    for (BlockId B = 0; B < NumBlocks; ++B)
+      compose(G, P, B);
+    Recomposed = NumBlocks;
+  } else {
+    for (BlockId B = 0; B < NumBlocks; ++B) {
+      if (G.blockTick(B) > RefreshTick) {
+        compose(G, P, B);
+        ++Recomposed;
+      }
+    }
+  }
+  AM_STAT_ADD(NumRecomposed, Recomposed);
+
+  CachedG = &G;
+  CachedGen = ProblemGen;
+  CachedBits = Bits;
+  CachedForward = Forward;
+  RefreshTick = G.modTick();
+  Valid = true;
+  return Incremental;
+}

@@ -189,6 +189,9 @@ unsigned FlowGraph::splitCriticalEdges() {
       block(Mid).Succs.push_back(S);
       auto &SPreds = block(S).Preds;
       *std::find(SPreds.begin(), SPreds.end(), B) = Mid;
+      touchEdges(B);
+      touchEdges(Mid);
+      touchEdges(S);
       ++NumSplit;
     }
   }
@@ -239,6 +242,7 @@ FlowGraph am::simplified(const FlowGraph &G) {
     BasicBlock &NewBB = Out.block(NewId[B]);
     NewBB.Instrs = Work.block(B).Instrs;
     NewBB.Synthetic = Work.block(B).Synthetic;
+    Out.touchBlock(NewId[B]);
     for (BlockId S : Work.block(B).Succs)
       Out.addEdge(NewId[B], NewId[Resolve(S)]);
   }

@@ -25,6 +25,11 @@
 
 namespace am {
 
+/// A monotonically increasing modification timestamp of one FlowGraph.
+/// Ticks order mutations: consumers snapshot `modTick()` and later ask
+/// which blocks changed since.  Tick 0 is "before every mutation".
+using Tick = uint64_t;
+
 /// A basic block: a straight-line instruction sequence plus its CFG edges.
 struct BasicBlock {
   std::vector<Instr> Instrs;
@@ -53,6 +58,8 @@ public:
   /// Appends an empty block and returns its id.
   BlockId addBlock() {
     Blocks.emplace_back();
+    StructTick = ++ModTick;
+    BlockTicks.push_back(ModTick);
     return static_cast<BlockId>(Blocks.size() - 1);
   }
 
@@ -62,6 +69,9 @@ public:
   void addEdge(BlockId From, BlockId To) {
     block(From).Succs.push_back(To);
     block(To).Preds.push_back(From);
+    StructTick = ++ModTick;
+    BlockTicks[From] = ModTick;
+    BlockTicks[To] = ModTick;
   }
 
   BasicBlock &block(BlockId Id) {
@@ -106,10 +116,56 @@ public:
   /// True if some edge is critical.
   bool hasCriticalEdges() const;
 
+  //===--------------------------------------------------------------------===//
+  // Modification ticks
+  //
+  // Every mutation of the graph bumps a monotonically increasing tick and
+  // stamps the blocks it touched.  Incremental consumers (the dataflow
+  // solver's transfer cache, the AM phase's pattern table) snapshot
+  // `modTick()` after reading the graph and later recompute only what a
+  // younger tick invalidates.  `addBlock`/`addEdge` stamp automatically;
+  // code that rewrites a block's instruction list in place must call
+  // `touchBlock` (all transformations in src/transform/ do).
+  //===--------------------------------------------------------------------===//
+
+  /// Tick of the most recent mutation (0 only for an untouched graph).
+  Tick modTick() const { return ModTick; }
+
+  /// Tick of the most recent *structural* mutation (blocks or edges
+  /// added/rewired).  Cached block orders and dependence info stay valid
+  /// while this stands still.
+  Tick structTick() const { return StructTick; }
+
+  /// Tick of the most recent mutation touching block \p B.
+  Tick blockTick(BlockId B) const {
+    assert(B < BlockTicks.size() && "block id out of range");
+    return BlockTicks[B];
+  }
+
+  /// Records that \p B's instruction list changed.
+  void touchBlock(BlockId B) {
+    assert(B < BlockTicks.size() && "block id out of range");
+    BlockTicks[B] = ++ModTick;
+  }
+
+  /// Records an edge rewrite of \p B (adjacency edited in place rather
+  /// than through addEdge).
+  void touchEdges(BlockId B) {
+    StructTick = ++ModTick;
+    BlockTicks[B] = ModTick;
+  }
+
+  /// True if any block's instruction list (or the graph structure) changed
+  /// after tick \p T.  O(1).
+  bool instrsChangedSince(Tick T) const { return ModTick > T; }
+
 private:
   std::vector<BasicBlock> Blocks;
   BlockId Start = InvalidBlock;
   BlockId End = InvalidBlock;
+  Tick ModTick = 0;
+  Tick StructTick = 0;
+  std::vector<Tick> BlockTicks;
 };
 
 /// Normalizes a graph for comparison and final output: rewrites `x := x`

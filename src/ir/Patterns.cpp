@@ -12,7 +12,10 @@ static size_t hashAssignPat(VarId Lhs, const Term &Rhs) {
   return hashTerm(Rhs) * 31u + index(Lhs);
 }
 
-void AssignPatternTable::build(const FlowGraph &G) {
+bool AssignPatternTable::build(const FlowGraph &G) {
+  // Keep the previous pattern list around so the caller can learn whether
+  // this rebuild changed the universe (and thus invalidated bit indices).
+  PrevPats.swap(Pats);
   Pats.clear();
   Index.clear();
 
@@ -29,14 +32,18 @@ void AssignPatternTable::build(const FlowGraph &G) {
     }
   }
 
-  // Per-variable pattern sets.
+  // Per-variable pattern sets, reusing the vectors' existing storage.
   size_t NumVars = G.Vars.size();
   size_t NumPats = Pats.size();
-  PatsWithLhs.assign(NumVars, BitVector(NumPats));
-  PatsUsingInRhs.assign(NumVars, BitVector(NumPats));
-  RedundancyOk = BitVector(NumPats);
+  PatsWithLhs.resize(NumVars);
+  PatsUsingInRhs.resize(NumVars);
+  for (size_t V = 0; V < NumVars; ++V) {
+    PatsWithLhs[V].clearAndResize(NumPats);
+    PatsUsingInRhs[V].clearAndResize(NumPats);
+  }
+  RedundancyOk.clearAndResize(NumPats);
   TempInit.assign(NumPats, false);
-  Empty = BitVector(NumPats);
+  Empty.clearAndResize(NumPats);
 
   for (size_t Idx = 0; Idx < NumPats; ++Idx) {
     const AssignPat &P = Pats[Idx];
@@ -51,6 +58,8 @@ void AssignPatternTable::build(const FlowGraph &G) {
         TempInit[Idx] = true;
     }
   }
+
+  return Pats != PrevPats;
 }
 
 size_t AssignPatternTable::indexOf(VarId Lhs, const Term &Rhs) const {

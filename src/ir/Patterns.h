@@ -49,8 +49,12 @@ public:
   static constexpr size_t npos = static_cast<size_t>(-1);
 
   /// Collects every assignment pattern occurring in \p G, in deterministic
-  /// (block-index, instruction-index) first-occurrence order.
-  void build(const FlowGraph &G);
+  /// (block-index, instruction-index) first-occurrence order.  Returns
+  /// true if the pattern list differs from the previous build (callers
+  /// use this to decide whether bit indices — and thus any cached facts
+  /// keyed on them — are still meaningful).  Rebuilding reuses the
+  /// table's existing storage.
+  bool build(const FlowGraph &G);
 
   size_t size() const { return Pats.size(); }
 
@@ -89,6 +93,7 @@ private:
   const BitVector &rhsUsePats(VarId V) const;
 
   std::vector<AssignPat> Pats;
+  std::vector<AssignPat> PrevPats; // previous build, for change detection
   std::unordered_multimap<size_t, size_t> Index; // hash -> pattern idx
   std::vector<BitVector> PatsWithLhs;            // var -> patterns with lhs var
   std::vector<BitVector> PatsUsingInRhs;         // var -> patterns using var in rhs

@@ -108,6 +108,14 @@ public:
       W = 0;
   }
 
+  /// Resets to \p NewSize bits, all false, reusing existing storage when
+  /// the capacity suffices (the allocation-free way to re-issue a scratch
+  /// vector in a hot loop).
+  void clearAndResize(size_t NewSize) {
+    NumBits = NewSize;
+    Words.assign((NewSize + 63) / 64, 0);
+  }
+
   /// Grows or shrinks to \p NewSize bits; new bits take \p Value.
   void resize(size_t NewSize, bool Value = false) {
     size_t OldSize = NumBits;
@@ -214,6 +222,20 @@ public:
       if (++WordIdx == Words.size())
         return NumBits;
       W = Words[WordIdx];
+    }
+  }
+
+  /// Calls \p F(index) for every set bit in ascending order.  One word
+  /// scan, no allocation — use this in hot loops; setBits() below remains
+  /// for tests and printing.
+  template <typename Fn> void forEachSetBit(Fn F) const {
+    for (size_t WordIdx = 0, E = Words.size(); WordIdx != E; ++WordIdx) {
+      uint64_t W = Words[WordIdx];
+      while (W != 0) {
+        size_t Bit = static_cast<size_t>(__builtin_ctzll(W));
+        F(WordIdx * 64 + Bit);
+        W &= W - 1;
+      }
     }
   }
 

@@ -6,17 +6,21 @@
 
 #include "transform/AssignmentHoisting.h"
 #include "analysis/PaperAnalyses.h"
+#include "transform/AssignmentMotion.h"
 
 using namespace am;
 
-bool am::runAssignmentHoisting(FlowGraph &G, const HoistFilter &Filter) {
+bool am::runAssignmentHoisting(FlowGraph &G, AmContext &Ctx,
+                               const HoistFilter &Filter) {
   assert(!G.hasCriticalEdges() &&
          "assignment hoisting requires split critical edges");
-  AssignPatternTable Pats;
-  Pats.build(G);
+  Ctx.refreshPatterns(G);
+  const AssignPatternTable &Pats = Ctx.patterns();
   if (Pats.size() == 0)
     return false;
-  HoistabilityAnalysis Hoist = HoistabilityAnalysis::run(G, Pats);
+  HoistabilityAnalysis Hoist =
+      HoistabilityAnalysis::run(G, Pats, Ctx.hoistSolver(), Ctx.hoistLocals(),
+                                Ctx.patternGeneration());
 
   BitVector Allowed(Pats.size(), true);
   if (Filter)
@@ -43,19 +47,24 @@ bool am::runAssignmentHoisting(FlowGraph &G, const HoistFilter &Filter) {
     // join nodes.
     assert((EntryIns.none() || BB.Preds.size() <= 1 || B == G.start()) &&
            "unexpected entry insertion at a join node");
-    D.AtEntry = EntryIns.setBits();
+    EntryIns.forEachSetBit([&](size_t Pat) { D.AtEntry.push_back(Pat); });
 
     // Hoisting candidates: occurrences not preceded by a blocker within
-    // their block.
+    // their block.  The cached LOC-HOISTABLE predicate tells us whether
+    // the per-instruction scan can find anything at all.
     D.RemoveInstr.assign(BB.Instrs.size(), false);
-    BitVector BlockedSoFar = Pats.makeVector();
-    for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
-      size_t Pat = Pats.occurrence(BB.Instrs[Idx]);
-      if (Pat != AssignPatternTable::npos && Allowed.test(Pat) &&
-          !BlockedSoFar.test(Pat))
-        D.RemoveInstr[Idx] = true;
-      Pats.blockedBy(BB.Instrs[Idx], Tmp);
-      BlockedSoFar |= Tmp;
+    Tmp = Hoist.locHoistable(B);
+    Tmp &= Allowed;
+    if (!Tmp.none()) {
+      BitVector BlockedSoFar = Pats.makeVector();
+      for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
+        size_t Pat = Pats.occurrence(BB.Instrs[Idx]);
+        if (Pat != AssignPatternTable::npos && Allowed.test(Pat) &&
+            !BlockedSoFar.test(Pat))
+          D.RemoveInstr[Idx] = true;
+        Pats.blockedBy(BB.Instrs[Idx], Tmp);
+        BlockedSoFar |= Tmp;
+      }
     }
 
     // Exit insertions.
@@ -65,15 +74,15 @@ bool am::runAssignmentHoisting(FlowGraph &G, const HoistFilter &Filter) {
       continue;
     const Instr *Br = BB.branchInstr();
     if (!Br) {
-      D.AtEnd = ExitIns.setBits();
+      ExitIns.forEachSetBit([&](size_t Pat) { D.AtEnd.push_back(Pat); });
       continue;
     }
     BitVector BranchBlocks = Pats.makeVector();
     Pats.blockedBy(*Br, BranchBlocks);
-    for (size_t Pat : ExitIns.setBits()) {
+    ExitIns.forEachSetBit([&](size_t Pat) {
       if (!BranchBlocks.test(Pat)) {
         D.BeforeBranch.push_back(Pat);
-        continue;
+        return;
       }
       // The branch condition itself blocks the pattern: place the
       // insertion after the condition, i.e. at the entry of every
@@ -83,7 +92,7 @@ bool am::runAssignmentHoisting(FlowGraph &G, const HoistFilter &Filter) {
                "successor of a branching block must have a unique pred");
         Decisions[S].FromPreds.push_back(Pat);
       }
-    }
+    });
   }
 
   // Phase 2: rebuild the instruction lists.
@@ -119,8 +128,14 @@ bool am::runAssignmentHoisting(FlowGraph &G, const HoistFilter &Filter) {
 
     if (NewInstrs != BB.Instrs) {
       BB.Instrs = std::move(NewInstrs);
+      G.touchBlock(B);
       Changed = true;
     }
   }
   return Changed;
+}
+
+bool am::runAssignmentHoisting(FlowGraph &G, const HoistFilter &Filter) {
+  AmContext Ctx;
+  return runAssignmentHoisting(G, Ctx, Filter);
 }

@@ -28,6 +28,8 @@
 
 namespace am {
 
+class AmContext;
+
 /// Filters the patterns a hoisting pass may move; used by the restricted
 /// (Dhamdhere-style) baseline.  Receives the pattern index universe size;
 /// returns a mask of allowed patterns.
@@ -37,6 +39,12 @@ using HoistFilter = std::function<BitVector(const class AssignPatternTable &)>;
 /// Returns true if the program changed.  If \p Filter is provided, only
 /// patterns in the returned mask are hoisted.
 bool runAssignmentHoisting(FlowGraph &G, const HoistFilter &Filter = nullptr);
+
+/// As above, against the shared state of an AM fixpoint: the context's
+/// pattern table, hoistability solver and block-local predicate cache are
+/// reused across rounds.
+bool runAssignmentHoisting(FlowGraph &G, AmContext &Ctx,
+                           const HoistFilter &Filter = nullptr);
 
 } // namespace am
 

@@ -10,9 +10,12 @@
 #include "transform/AssignmentHoisting.h"
 #include "transform/RedundantAssignElim.h"
 
+#include <cstdint>
+#include <limits>
+
 using namespace am;
 
-AmPhaseStats am::runAssignmentMotionPhase(FlowGraph &G,
+AmPhaseStats am::runAssignmentMotionPhase(FlowGraph &G, AmContext &Ctx,
                                           unsigned MaxIterations) {
   AmPhaseStats Stats;
   AM_STAT_COUNTER(NumFixpoints, "am.fixpoints");
@@ -25,18 +28,24 @@ AmPhaseStats am::runAssignmentMotionPhase(FlowGraph &G,
   trace::TraceSpan Span("am.fixpoint");
 
   // The phase provably terminates (Section 4.5); the hard cap below is a
-  // defensive backstop far above the quadratic worst case.
-  unsigned Cap = MaxIterations
-                     ? MaxIterations
-                     : static_cast<unsigned>(G.numInstrs() * G.numInstrs() +
-                                             G.numBlocks() + 16);
+  // defensive backstop far above the quadratic worst case.  Computed in
+  // 64 bits and clamped: on large programs numInstrs² overflows unsigned,
+  // which could wrap the cap down to a value the phase actually reaches.
+  unsigned Cap = MaxIterations;
+  if (Cap == 0) {
+    uint64_t Instrs = G.numInstrs();
+    uint64_t Wide = Instrs * Instrs + G.numBlocks() + 16;
+    Cap = Wide > std::numeric_limits<unsigned>::max()
+              ? std::numeric_limits<unsigned>::max()
+              : static_cast<unsigned>(Wide);
+  }
   while (Stats.Iterations < Cap) {
     ++Stats.Iterations;
     AM_STAT_INC(NumRounds);
-    unsigned Eliminated = runRedundantAssignmentElimination(G);
+    unsigned Eliminated = runRedundantAssignmentElimination(G, Ctx);
     Stats.Eliminated += Eliminated;
     AM_STAT_ADD(NumEliminated, Eliminated);
-    bool Hoisted = runAssignmentHoisting(G);
+    bool Hoisted = runAssignmentHoisting(G, Ctx);
     if (Hoisted) {
       ++Stats.HoistRounds;
       AM_STAT_INC(NumHoistRounds);
@@ -51,4 +60,10 @@ AmPhaseStats am::runAssignmentMotionPhase(FlowGraph &G,
   Span.arg("eliminated", Stats.Eliminated);
   Span.arg("hoist_rounds", Stats.HoistRounds);
   return Stats;
+}
+
+AmPhaseStats am::runAssignmentMotionPhase(FlowGraph &G,
+                                          unsigned MaxIterations) {
+  AmContext Ctx;
+  return runAssignmentMotionPhase(G, Ctx, MaxIterations);
 }

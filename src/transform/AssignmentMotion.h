@@ -16,9 +16,56 @@
 #ifndef AM_TRANSFORM_ASSIGNMENTMOTION_H
 #define AM_TRANSFORM_ASSIGNMENTMOTION_H
 
+#include "analysis/PaperAnalyses.h"
+#include "dfa/Dataflow.h"
 #include "ir/FlowGraph.h"
+#include "ir/Patterns.h"
 
 namespace am {
+
+/// State shared across the rae/aht rounds of one AM fixpoint so each
+/// round pays only for what the previous round changed:
+///
+///  * one AssignPatternTable, rebuilt (arena-reusing) only when the graph
+///    tick moved, with a generation number that advances only when the
+///    rebuilt *contents* differ — unchanged contents keep every
+///    tick-stamped solver cache valid;
+///  * one DataflowSolver per analysis (redundancy, hoistability), whose
+///    transfer caches and previous solutions persist across rounds;
+///  * the hoistability analysis' block-local predicate cache.
+///
+/// The context is bound to the one live graph the phase mutates; do not
+/// reuse it for a different graph.  The plain two-argument entry points
+/// construct a throwaway context, so one-shot callers are unaffected.
+class AmContext {
+public:
+  /// Rebuilds the pattern table if the graph changed since the last
+  /// refresh; advances the pattern generation only if the rebuild changed
+  /// the table's contents.
+  void refreshPatterns(const FlowGraph &G) {
+    if (PatsValid && !G.instrsChangedSince(PatsTick))
+      return;
+    if (Pats.build(G))
+      ++PatsGen;
+    PatsTick = G.modTick();
+    PatsValid = true;
+  }
+
+  const AssignPatternTable &patterns() const { return Pats; }
+  uint64_t patternGeneration() const { return PatsGen; }
+  DataflowSolver &redundancySolver() { return RedundancySolver; }
+  DataflowSolver &hoistSolver() { return HoistSolver; }
+  HoistLocalPredicates &hoistLocals() { return HoistLocals; }
+
+private:
+  AssignPatternTable Pats;
+  DataflowSolver RedundancySolver;
+  DataflowSolver HoistSolver;
+  HoistLocalPredicates HoistLocals;
+  Tick PatsTick = 0;
+  bool PatsValid = false;
+  uint64_t PatsGen = 0;
+};
 
 /// Statistics from one run of the AM phase, used by the complexity
 /// experiments (Section 4.5 claims the number of iterations is at most
@@ -36,6 +83,11 @@ struct AmPhaseStats {
 /// Runs rae and aht to a fixpoint on \p G (critical edges must be split).
 /// \p MaxIterations of 0 means unbounded (the phase always terminates).
 AmPhaseStats runAssignmentMotionPhase(FlowGraph &G,
+                                      unsigned MaxIterations = 0);
+
+/// As above, with caller-provided shared state (pattern table, solvers)
+/// that persists across the rounds — the incremental fast path.
+AmPhaseStats runAssignmentMotionPhase(FlowGraph &G, AmContext &Ctx,
                                       unsigned MaxIterations = 0);
 
 } // namespace am

@@ -143,7 +143,10 @@ FlowGraph am::runBusyCodeMotion(const FlowGraph &G) {
     }
     for (size_t E : AtEnd[B])
       EmitInit(E);
-    BB.Instrs = std::move(NewInstrs);
+    if (NewInstrs != BB.Instrs) {
+      BB.Instrs = std::move(NewInstrs);
+      Work.touchBlock(B);
+    }
   }
 
   removeSkips(Work);

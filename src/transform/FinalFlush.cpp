@@ -107,8 +107,8 @@ bool am::runFinalFlush(FlowGraph &G) {
 
     for (size_t InstrIdx = 0; InstrIdx < BB.Instrs.size(); ++InstrIdx) {
       const Instr &I = BB.Instrs[InstrIdx];
-      for (size_t TempIdx : D.Plan.InitBefore[InstrIdx].setBits())
-        EmitInit(TempIdx);
+      D.Plan.InitBefore[InstrIdx].forEachSetBit(
+          [&](size_t TempIdx) { EmitInit(TempIdx); });
       // Delete every original initialization instance; the latest points
       // re-materialize exactly the ones that are justified.
       U.isInst(I, IsInst);
@@ -117,22 +117,22 @@ bool am::runFinalFlush(FlowGraph &G) {
         continue;
       }
       Instr NewI = I;
-      for (size_t TempIdx : D.Plan.Reconstruct[InstrIdx].setBits()) {
+      D.Plan.Reconstruct[InstrIdx].forEachSetBit([&](size_t TempIdx) {
         VarId H = U.temp(TempIdx);
         if (countUses(NewI, H) == 1 && reconstructUse(NewI, H, U.expr(TempIdx)))
-          continue;
+          return;
         // Multiple or non-replaceable uses: keep the temporary and
         // initialize it here instead.
         EmitInit(TempIdx);
-      }
+      });
       NewInstrs.push_back(std::move(NewI));
     }
 
-    for (size_t TempIdx : D.Plan.InitAtExit.setBits())
-      EmitInit(TempIdx);
+    D.Plan.InitAtExit.forEachSetBit([&](size_t TempIdx) { EmitInit(TempIdx); });
 
     if (NewInstrs != BB.Instrs) {
       BB.Instrs = std::move(NewInstrs);
+      G.touchBlock(B);
       Changed = true;
     }
   }

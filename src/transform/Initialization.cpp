@@ -46,7 +46,10 @@ unsigned am::runInitializationPhase(FlowGraph &G) {
       }
       NewInstrs.push_back(I);
     }
-    Instrs = std::move(NewInstrs);
+    if (NewInstrs != Instrs) {
+      Instrs = std::move(NewInstrs);
+      G.touchBlock(B);
+    }
   }
   return NumDecomposed;
 }

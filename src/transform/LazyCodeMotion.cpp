@@ -104,7 +104,10 @@ FlowGraph am::runLazyCodeMotion(const FlowGraph &G, LcmStats *Stats) {
 
     for (size_t E : AtEnd[B])
       EmitInit(E);
-    BB.Instrs = std::move(NewInstrs);
+    if (NewInstrs != BB.Instrs) {
+      BB.Instrs = std::move(NewInstrs);
+      Work.touchBlock(B);
+    }
   }
 
   // `h_e := h_e` degenerates when e already was a temporary initialization;

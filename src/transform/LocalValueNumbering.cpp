@@ -30,6 +30,7 @@ unsigned am::runLocalValueNumbering(FlowGraph &G) {
       }
     };
 
+    unsigned RewrittenBefore = Rewritten;
     for (Instr &I : G.block(B).Instrs) {
       if (I.isAssign() && I.Rhs.isNonTrivial()) {
         // Look up the value.
@@ -60,6 +61,8 @@ unsigned am::runLocalValueNumbering(FlowGraph &G) {
       if (isValid(Def))
         Invalidate(Def);
     }
+    if (Rewritten != RewrittenBefore)
+      G.touchBlock(B);
   }
   removeSkips(G);
   return Rewritten;

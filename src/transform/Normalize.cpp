@@ -16,6 +16,8 @@ unsigned am::removeSkips(FlowGraph &G) {
     std::erase_if(Instrs, [](const Instr &I) {
       return I.isSkip() || (I.isAssign() && I.Rhs.isVarAtom(I.Lhs));
     });
+    if (Instrs.size() != Before)
+      G.touchBlock(B);
     Removed += static_cast<unsigned>(Before - Instrs.size());
   }
   return Removed;

@@ -127,6 +127,7 @@ bool am::runAssignmentSinking(FlowGraph &G) {
       Emit(Pat);
     if (NewInstrs != BB.Instrs) {
       BB.Instrs = std::move(NewInstrs);
+      G.touchBlock(B);
       Changed = true;
     }
   }

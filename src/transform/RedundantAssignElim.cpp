@@ -6,39 +6,63 @@
 
 #include "transform/RedundantAssignElim.h"
 #include "analysis/PaperAnalyses.h"
+#include "transform/AssignmentMotion.h"
 
 using namespace am;
 
-unsigned am::runRedundantAssignmentElimination(FlowGraph &G) {
-  AssignPatternTable Pats;
-  Pats.build(G);
+unsigned am::runRedundantAssignmentElimination(FlowGraph &G, AmContext &Ctx) {
+  Ctx.refreshPatterns(G);
+  const AssignPatternTable &Pats = Ctx.patterns();
   if (Pats.size() == 0)
     return 0;
-  RedundancyAnalysis Redundancy = RedundancyAnalysis::run(G, Pats);
+  RedundancyAnalysis Redundancy = RedundancyAnalysis::run(
+      G, Pats, Ctx.redundancySolver(), Ctx.patternGeneration());
 
   // Record all decisions first, then mutate.
   unsigned NumEliminated = 0;
+  std::vector<bool> Remove;
   for (BlockId B = 0; B < G.numBlocks(); ++B) {
     auto &Instrs = G.block(B).Instrs;
     if (Instrs.empty())
       continue;
+    // Instruction-level facts are only needed where an occurrence could
+    // actually be eliminated.
+    bool HasOccurrence = false;
+    for (const Instr &I : Instrs) {
+      if (Pats.occurrence(I) != AssignPatternTable::npos) {
+        HasOccurrence = true;
+        break;
+      }
+    }
+    if (!HasOccurrence)
+      continue;
     DataflowResult::InstrFacts Facts = Redundancy.facts(B);
-    std::vector<bool> Remove(Instrs.size(), false);
+    Remove.assign(Instrs.size(), false);
+    unsigned RemovedHere = 0;
     for (size_t Idx = 0; Idx < Instrs.size(); ++Idx) {
       size_t Pat = Pats.occurrence(Instrs[Idx]);
       if (Pat == AssignPatternTable::npos)
         continue;
       if (Facts.Before[Idx].test(Pat)) {
         Remove[Idx] = true;
-        ++NumEliminated;
+        ++RemovedHere;
       }
     }
+    if (RemovedHere == 0)
+      continue;
+    NumEliminated += RemovedHere;
     std::vector<Instr> Kept;
-    Kept.reserve(Instrs.size());
+    Kept.reserve(Instrs.size() - RemovedHere);
     for (size_t Idx = 0; Idx < Instrs.size(); ++Idx)
       if (!Remove[Idx])
         Kept.push_back(std::move(Instrs[Idx]));
     Instrs = std::move(Kept);
+    G.touchBlock(B);
   }
   return NumEliminated;
+}
+
+unsigned am::runRedundantAssignmentElimination(FlowGraph &G) {
+  AmContext Ctx;
+  return runRedundantAssignmentElimination(G, Ctx);
 }

@@ -19,8 +19,15 @@
 
 namespace am {
 
+class AmContext;
+
 /// One rae pass over \p G.  Returns the number of assignments eliminated.
 unsigned runRedundantAssignmentElimination(FlowGraph &G);
+
+/// As above, against the shared state of an AM fixpoint: the context's
+/// pattern table and redundancy solver are reused, so a round after a
+/// small change re-solves only the dirty region.
+unsigned runRedundantAssignmentElimination(FlowGraph &G, AmContext &Ctx);
 
 } // namespace am
 

@@ -41,6 +41,7 @@ void eliminationSuccessors(const FlowGraph &G,
       FlowGraph Next = G;
       auto &Instrs = Next.block(B).Instrs;
       Instrs.erase(Instrs.begin() + static_cast<long>(Idx));
+      Next.touchBlock(B);
       Out.push_back(std::move(Next));
     }
   }
