@@ -64,6 +64,9 @@ public:
   const BitVector &entry(BlockId B) const { return Result.entry(B); }
   const BitVector &exit(BlockId B) const { return Result.exit(B); }
 
+  /// Serial of the dataflow solve these facts came from (for remarks).
+  uint64_t solveSerial() const { return Result.SolveSerial; }
+
 private:
   std::unique_ptr<DataflowProblem> Problem;
   DataflowResult Result;
@@ -140,6 +143,9 @@ public:
 
   /// X-INSERT: patterns to insert at the exit of \p B.
   BitVector exitInsert(BlockId B) const;
+
+  /// Serial of the dataflow solve these facts came from (for remarks).
+  uint64_t solveSerial() const { return Result.SolveSerial; }
 
 private:
   const FlowGraph *G = nullptr;

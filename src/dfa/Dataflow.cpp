@@ -32,9 +32,16 @@
 #include "support/Stats.h"
 #include "support/Trace.h"
 
+#include <atomic>
 #include <cassert>
 
 using namespace am;
+
+namespace {
+/// Monotone id per solve() call, for remark provenance (see
+/// DataflowResult::SolveSerial).
+std::atomic<uint64_t> GlobalSolveSerial{0};
+} // namespace
 
 bool DataflowSolver::solutionValid(const FlowGraph &G,
                                    const DataflowProblem &P,
@@ -89,6 +96,8 @@ DataflowResult DataflowSolver::solve(const FlowGraph &G,
   AM_STAT_COUNTER(NumSolvesIncremental, "dfa.solves.incremental");
   AM_STAT_TIMER(SolveTimer, "dfa.solve_ns");
   AM_STAT_INC(NumSolves);
+  uint64_t Serial =
+      GlobalSolveSerial.fetch_add(1, std::memory_order_relaxed) + 1;
   if (Kind == SolverKind::RoundRobin)
     AM_STAT_INC(NumSolvesRoundRobin);
   else
@@ -110,7 +119,9 @@ DataflowResult DataflowSolver::solve(const FlowGraph &G,
   if (PrevValid && !G.instrsChangedSince(SolTick)) {
     AM_STAT_INC(NumSolvesCached);
     Span.arg("cached", 1);
-    return snapshot(G, P, Forward);
+    DataflowResult R = snapshot(G, P, Forward);
+    R.SolveSerial = Serial;
+    return R;
   }
 
   Cache.refresh(G, P, ProblemGen);
@@ -263,6 +274,7 @@ DataflowResult DataflowSolver::solve(const FlowGraph &G,
   DataflowResult R = snapshot(G, P, Forward);
   R.Sweeps = Sweeps;
   R.BlocksProcessed = BlocksProcessed;
+  R.SolveSerial = Serial;
   return R;
 }
 

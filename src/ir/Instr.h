@@ -30,6 +30,14 @@ struct Instr {
 
   Kind K = Kind::Skip;
 
+  /// Stable provenance id for the remark subsystem; 0 = unnumbered.  Not
+  /// part of the instruction's semantics: excluded from operator== so
+  /// value-equality (and the transforms' commit checks) ignore it, and
+  /// carried along by copies so an instruction keeps its identity as
+  /// blocks are rebuilt.  Assigned lazily by ensureInstrIds() only while
+  /// remark collection is enabled.
+  uint32_t Id = 0;
+
   /// Assign: destination variable and three-address right-hand side.
   VarId Lhs = VarId::Invalid;
   Term Rhs;

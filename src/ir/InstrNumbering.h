@@ -1,0 +1,42 @@
+//===- ir/InstrNumbering.h - Stable instruction ids ------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assigns stable provenance ids (Instr::Id) to every instruction of a
+/// graph that does not yet carry one.  The transforms call this at entry
+/// while remark collection is enabled so that remarks can name
+/// instructions by a token that survives block rebuilds; ids are written
+/// directly into the instructions *without* bumping the graph's
+/// modification ticks, so numbering never perturbs incremental-solver
+/// caching or stats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_IR_INSTR_NUMBERING_H
+#define AM_IR_INSTR_NUMBERING_H
+
+#include "ir/FlowGraph.h"
+#include "support/Remarks.h"
+
+namespace am {
+
+/// Gives every unnumbered instruction in \p G a fresh id from the remark
+/// sink's counter.  Idempotent; already-numbered instructions keep their
+/// ids.  Returns the number of ids assigned.
+inline unsigned ensureInstrIds(FlowGraph &G) {
+  unsigned Assigned = 0;
+  for (BlockId B = 0; B < G.numBlocks(); ++B)
+    for (Instr &I : G.block(B).Instrs)
+      if (I.Id == 0) {
+        I.Id = remarks::Sink::get().freshId();
+        ++Assigned;
+      }
+  return Assigned;
+}
+
+} // namespace am
+
+#endif // AM_IR_INSTR_NUMBERING_H

@@ -123,6 +123,12 @@ std::string am::printGraph(const FlowGraph &G) {
 }
 
 std::string am::printDot(const FlowGraph &G, const std::string &Title) {
+  return printDot(G, Title, nullptr);
+}
+
+std::string
+am::printDot(const FlowGraph &G, const std::string &Title,
+             const std::function<std::string(const Instr &)> &Note) {
   std::ostringstream OS;
   OS << "digraph \"" << Title << "\" {\n";
   OS << "  node [shape=box, fontname=\"monospace\"];\n";
@@ -136,6 +142,11 @@ std::string am::printDot(const FlowGraph &G, const std::string &Title) {
     OS << "\\l";
     for (const Instr &I : BB.Instrs) {
       std::string Line = printInstr(I, G.Vars);
+      if (Note) {
+        std::string N = Note(I);
+        if (!N.empty())
+          Line += "  " + N;
+      }
       // Escape double quotes for DOT.
       std::string Escaped;
       for (char C : Line) {

@@ -16,6 +16,7 @@
 
 #include "ir/FlowGraph.h"
 
+#include <functional>
 #include <string>
 
 namespace am {
@@ -48,6 +49,13 @@ std::string printGraph(const FlowGraph &G);
 
 /// Renders Graphviz DOT with one record node per block.
 std::string printDot(const FlowGraph &G, const std::string &Title = "G");
+
+/// As above, with a per-instruction annotation: \p Note is invoked for
+/// every instruction and its (possibly empty) return value is rendered
+/// after the instruction text, separated by two spaces.  Used by `amopt
+/// --dot --remarks` to annotate instructions with their remark history.
+std::string printDot(const FlowGraph &G, const std::string &Title,
+                     const std::function<std::string(const Instr &)> &Note);
 
 } // namespace am
 

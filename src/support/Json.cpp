@@ -14,40 +14,113 @@
 
 using namespace am;
 
+namespace {
+
+/// Length of the well-formed UTF-8 sequence starting at S[Pos], or 0 if
+/// the bytes there are not valid UTF-8 (overlong encodings, surrogate
+/// code points, values above U+10FFFF, truncated or stray continuation
+/// bytes all count as invalid, per RFC 3629).
+size_t utf8SequenceLength(const std::string &S, size_t Pos) {
+  unsigned char C0 = S[Pos];
+  if (C0 < 0x80)
+    return 1;
+  size_t Len;
+  uint32_t Cp;
+  if ((C0 & 0xE0) == 0xC0) {
+    Len = 2;
+    Cp = C0 & 0x1F;
+  } else if ((C0 & 0xF0) == 0xE0) {
+    Len = 3;
+    Cp = C0 & 0x0F;
+  } else if ((C0 & 0xF8) == 0xF0) {
+    Len = 4;
+    Cp = C0 & 0x07;
+  } else {
+    return 0; // stray continuation byte or 0xF8..0xFF lead
+  }
+  if (Pos + Len > S.size())
+    return 0; // truncated sequence
+  for (size_t I = 1; I < Len; ++I) {
+    unsigned char C = S[Pos + I];
+    if ((C & 0xC0) != 0x80)
+      return 0;
+    Cp = (Cp << 6) | (C & 0x3F);
+  }
+  if (Len == 2 && Cp < 0x80)
+    return 0; // overlong
+  if (Len == 3 && Cp < 0x800)
+    return 0; // overlong
+  if (Len == 4 && Cp < 0x10000)
+    return 0; // overlong
+  if (Cp >= 0xD800 && Cp <= 0xDFFF)
+    return 0; // UTF-16 surrogate half
+  if (Cp > 0x10FFFF)
+    return 0; // beyond Unicode
+  return Len;
+}
+
+} // namespace
+
 void json::appendEscaped(std::string &Out, const std::string &S) {
   Out.push_back('"');
-  for (unsigned char C : S) {
+  for (size_t Pos = 0; Pos < S.size();) {
+    unsigned char C = S[Pos];
     switch (C) {
     case '"':
       Out += "\\\"";
-      break;
+      ++Pos;
+      continue;
     case '\\':
       Out += "\\\\";
-      break;
+      ++Pos;
+      continue;
     case '\b':
       Out += "\\b";
-      break;
+      ++Pos;
+      continue;
     case '\f':
       Out += "\\f";
-      break;
+      ++Pos;
+      continue;
     case '\n':
       Out += "\\n";
-      break;
+      ++Pos;
+      continue;
     case '\r':
       Out += "\\r";
-      break;
+      ++Pos;
+      continue;
     case '\t':
       Out += "\\t";
-      break;
+      ++Pos;
+      continue;
     default:
-      if (C < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out.push_back(static_cast<char>(C));
-      }
+      break;
     }
+    if (C < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+      ++Pos;
+      continue;
+    }
+    if (C < 0x80) {
+      Out.push_back(static_cast<char>(C));
+      ++Pos;
+      continue;
+    }
+    // Multi-byte: pass through well-formed UTF-8 verbatim; replace each
+    // invalid byte with U+FFFD so the emitted document is always valid
+    // UTF-8 (raw invalid bytes would make the whole JSON unparseable for
+    // strict consumers).
+    size_t Len = utf8SequenceLength(S, Pos);
+    if (Len == 0) {
+      Out += "\xEF\xBF\xBD"; // U+FFFD replacement character
+      ++Pos;
+      continue;
+    }
+    Out.append(S, Pos, Len);
+    Pos += Len;
   }
   Out.push_back('"');
 }

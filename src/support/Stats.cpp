@@ -39,6 +39,35 @@ void Timer::record(uint64_t Ns) {
   Buckets[Bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
+uint64_t Timer::percentileNs(double Q) const {
+  uint64_t N = Count.load(std::memory_order_relaxed);
+  if (N == 0)
+    return 0;
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  // Nearest-rank: the ceil(Q*N)-th smallest sample, clamped to [1, N].
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(N));
+  if (static_cast<double>(Rank) < Q * static_cast<double>(N))
+    ++Rank;
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > N)
+    Rank = N;
+  uint64_t Seen = 0;
+  for (size_t B = 0; B < NumBuckets; ++B) {
+    Seen += Buckets[B].load(std::memory_order_relaxed);
+    if (Seen >= Rank) {
+      // Bucket B covers [2^B, 2^{B+1}) (0 and 1 both land in bucket 0);
+      // report its midpoint.
+      uint64_t Lo = static_cast<uint64_t>(1) << B;
+      return Lo + Lo / 2;
+    }
+  }
+  return maxNs();
+}
+
 void Timer::reset() {
   Count.store(0, std::memory_order_relaxed);
   TotalNs.store(0, std::memory_order_relaxed);
@@ -165,7 +194,8 @@ void Registry::dumpText(std::ostream &OS) const {
     V << N << " samples, total " << T->totalNs() << " ns";
     if (N)
       V << ", mean " << (T->totalNs() / N) << " ns, min " << T->minNs()
-        << " ns, max " << T->maxNs() << " ns";
+        << " ns, max " << T->maxNs() << " ns, p50 ~" << T->percentileNs(0.5)
+        << " ns, p95 ~" << T->percentileNs(0.95) << " ns";
     Lines.emplace_back(Name, V.str());
   }
   std::sort(Lines.begin(), Lines.end());
@@ -206,6 +236,8 @@ std::string Registry::dumpJsonString() const {
     W.key("min_ns").value(T->minNs());
     W.key("max_ns").value(T->maxNs());
     W.key("mean_ns").value(N ? T->totalNs() / N : 0);
+    W.key("p50_ns").value(T->percentileNs(0.5));
+    W.key("p95_ns").value(T->percentileNs(0.95));
     // Sparse log2 histogram: {"<floor log2 ns>": count}.
     W.key("log2_buckets").beginObject();
     for (size_t B = 0; B < Timer::NumBuckets; ++B)

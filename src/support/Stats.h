@@ -97,6 +97,12 @@ public:
   uint64_t minNs() const { return Count.load(std::memory_order_relaxed) ? MinNs.load(std::memory_order_relaxed) : 0; }
   uint64_t maxNs() const { return MaxNs.load(std::memory_order_relaxed); }
   uint64_t bucket(size_t Idx) const { return Buckets[Idx].load(std::memory_order_relaxed); }
+
+  /// Nearest-rank percentile estimated from the log2 histogram: the
+  /// returned value is the midpoint of the bucket containing the Q-th
+  /// sample (exact min/max come from minNs()/maxNs()).  \p Q in [0, 1];
+  /// 0 when no samples were recorded.
+  uint64_t percentileNs(double Q) const;
   void reset();
   const std::string &name() const { return Name; }
 

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <thread>
@@ -156,5 +157,66 @@ void TraceSpan::arg(const char *Key, int64_t Value) {
 void TraceSpan::arg(const char *Key, const std::string &Value) {
   if (Live)
     Args.emplace_back(Key, Value);
+}
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// The path of the currently open session, consulted by the atexit
+// fallback.  Leaked (like the collector) so the fallback can run safely
+// during static destruction.
+std::mutex &sessionMu() {
+  static std::mutex *M = new std::mutex();
+  return *M;
+}
+std::string *SessionPath = nullptr;
+
+void flushSessionAtExit() {
+  std::string Path;
+  {
+    std::lock_guard<std::mutex> Lock(sessionMu());
+    if (SessionPath)
+      Path = *SessionPath;
+  }
+  // Only fires when a session is still open: close() clears the path.
+  if (!Path.empty() && trace::enabled())
+    trace::stopToFile(Path);
+}
+
+} // namespace
+
+Session::Session(std::string P) : Path(std::move(P)), Opened(true) {
+  {
+    std::lock_guard<std::mutex> Lock(sessionMu());
+    if (!SessionPath)
+      SessionPath = new std::string();
+    *SessionPath = Path;
+    static bool AtexitRegistered = [] {
+      std::atexit(flushSessionAtExit);
+      return true;
+    }();
+    (void)AtexitRegistered;
+  }
+  start();
+}
+
+bool Session::close() {
+  if (!Opened)
+    return false;
+  Opened = false;
+  {
+    std::lock_guard<std::mutex> Lock(sessionMu());
+    if (SessionPath)
+      SessionPath->clear();
+  }
+  return stopToFile(Path);
+}
+
+Session::~Session() {
+  if (Opened)
+    close();
 }
 

@@ -110,6 +110,32 @@ private:
   bool Live;
 };
 
+/// RAII trace session bound to an output file: construction starts
+/// collection, destruction (or an explicit close()) stops and writes the
+/// file.  The session also registers a one-time `std::atexit` fallback
+/// that flushes the registered file if the process exits while a session
+/// is still open — so a pipeline that dies mid-run via exit() (a failed
+/// assertion message path, an early fatal error) still leaves its trace
+/// on disk instead of losing everything buffered.
+class Session {
+public:
+  explicit Session(std::string Path);
+  ~Session();
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Stops collection and writes the file now.  Idempotent; returns
+  /// false on I/O error (or when already closed).
+  bool close();
+
+  /// True until close() (or destruction).
+  bool open() const { return Opened; }
+
+private:
+  std::string Path;
+  bool Opened = false;
+};
+
 } // namespace am::trace
 
 #endif // AM_SUPPORT_TRACE_H

@@ -6,14 +6,35 @@
 
 #include "transform/AssignmentHoisting.h"
 #include "analysis/PaperAnalyses.h"
+#include "ir/InstrNumbering.h"
+#include "ir/Printer.h"
+#include "support/Remarks.h"
 #include "transform/AssignmentMotion.h"
 
 using namespace am;
+
+namespace {
+
+/// A remark buffered during the rebuild of one block.  Remarks are only
+/// published if the block's rebuild actually commits (NewInstrs differs
+/// from the old list): a remove+reinsert that reproduces the identical
+/// instruction sequence is a no-op whose old instructions — and old ids —
+/// survive, so publishing its remarks would fabricate history.
+struct PendingRemark {
+  remarks::Remark R;
+  size_t Pat;     // pattern index, for post-hoc parent linking
+  bool IsInsert;  // inserted instance (Parents filled after the loop)
+};
+
+} // namespace
 
 bool am::runAssignmentHoisting(FlowGraph &G, AmContext &Ctx,
                                const HoistFilter &Filter) {
   assert(!G.hasCriticalEdges() &&
          "assignment hoisting requires split critical edges");
+  AM_REMARK_PASS_SCOPE("aht");
+  if (AM_REMARKS_ENABLED())
+    ensureInstrIds(G);
   Ctx.refreshPatterns(G);
   const AssignPatternTable &Pats = Ctx.patterns();
   if (Pats.size() == 0)
@@ -28,7 +49,9 @@ bool am::runAssignmentHoisting(FlowGraph &G, AmContext &Ctx,
 
   // Phase 1: record all decisions against the frozen graph.
   struct BlockDecision {
-    std::vector<size_t> FromPreds;    // exit-inserts of a branching pred
+    /// Exit-inserts realized here on behalf of a branching predecessor
+    /// whose condition blocks the pattern: (pattern, pred block).
+    std::vector<std::pair<size_t, BlockId>> FromPreds;
     std::vector<size_t> AtEntry;      // N-INSERT
     std::vector<bool> RemoveInstr;    // hoisting candidates
     std::vector<size_t> BeforeBranch; // X-INSERT, branch does not block
@@ -57,13 +80,46 @@ bool am::runAssignmentHoisting(FlowGraph &G, AmContext &Ctx,
     Tmp &= Allowed;
     if (!Tmp.none()) {
       BitVector BlockedSoFar = Pats.makeVector();
+      // First in-block blocker per pattern, for Blocked remark payloads.
+      std::vector<uint32_t> FirstBlocker;
+      if (AM_REMARKS_ENABLED())
+        FirstBlocker.assign(Pats.size(), 0);
       for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
         size_t Pat = Pats.occurrence(BB.Instrs[Idx]);
-        if (Pat != AssignPatternTable::npos && Allowed.test(Pat) &&
-            !BlockedSoFar.test(Pat))
-          D.RemoveInstr[Idx] = true;
-        Pats.blockedBy(BB.Instrs[Idx], Tmp);
-        BlockedSoFar |= Tmp;
+        if (Pat != AssignPatternTable::npos && Allowed.test(Pat)) {
+          if (!BlockedSoFar.test(Pat)) {
+            D.RemoveInstr[Idx] = true;
+          } else if (AM_REMARKS_ENABLED()) {
+            // The occurrence stays put this round: something earlier in
+            // the block blocks its pattern.  Informational (non-terminal)
+            // and true whether or not the block's rebuild commits, so it
+            // is published directly.
+            remarks::Remark R;
+            R.K = remarks::Kind::Blocked;
+            R.InstrId = BB.Instrs[Idx].Id;
+            R.Block = B;
+            R.InstrIndex = static_cast<uint32_t>(Idx);
+            R.Pattern = printInstr(BB.Instrs[Idx], G.Vars);
+            if (BB.Instrs[Idx].isAssign())
+              R.Var = G.Vars.name(BB.Instrs[Idx].Lhs);
+            R.Solve = Hoist.solveSerial();
+            R.fact("LOC-BLOCKED", "1");
+            if (!FirstBlocker.empty() && FirstBlocker[Pat] != 0)
+              R.fact("blocked_by", "#" + std::to_string(FirstBlocker[Pat]));
+            remarks::Sink::get().add(std::move(R));
+          }
+        }
+        if (AM_REMARKS_ENABLED()) {
+          Pats.blockedBy(BB.Instrs[Idx], Tmp);
+          Tmp.forEachSetBit([&](size_t BPat) {
+            if (!BlockedSoFar.test(BPat) && FirstBlocker[BPat] == 0)
+              FirstBlocker[BPat] = BB.Instrs[Idx].Id;
+          });
+          BlockedSoFar |= Tmp;
+        } else {
+          Pats.blockedBy(BB.Instrs[Idx], Tmp);
+          BlockedSoFar |= Tmp;
+        }
       }
     }
 
@@ -90,46 +146,112 @@ bool am::runAssignmentHoisting(FlowGraph &G, AmContext &Ctx,
       for (BlockId S : BB.Succs) {
         assert(G.block(S).Preds.size() == 1 &&
                "successor of a branching block must have a unique pred");
-        Decisions[S].FromPreds.push_back(Pat);
+        Decisions[S].FromPreds.push_back({Pat, B});
       }
     });
   }
 
   // Phase 2: rebuild the instruction lists.
   bool Changed = false;
+  std::vector<PendingRemark> Accepted;
+  // Committed removed-occurrence ids per pattern; inserted instances of a
+  // pattern descend from the occurrences hoisted away this round.
+  std::vector<std::vector<uint32_t>> RemovedIds;
+  if (AM_REMARKS_ENABLED())
+    RemovedIds.resize(Pats.size());
   for (BlockId B = 0; B < G.numBlocks(); ++B) {
     BasicBlock &BB = G.block(B);
     const BlockDecision &D = Decisions[B];
 
+    std::vector<PendingRemark> Pending;
     std::vector<Instr> NewInstrs;
     NewInstrs.reserve(BB.Instrs.size() + D.AtEntry.size() +
                       D.FromPreds.size() + D.AtEnd.size() +
                       D.BeforeBranch.size());
-    auto Emit = [&](size_t Pat) {
+    auto Emit = [&](size_t Pat, remarks::Placement Place,
+                    BlockId FromBlock, const char *Predicate) {
       NewInstrs.push_back(
           Instr::assign(Pats.pattern(Pat).Lhs, Pats.pattern(Pat).Rhs));
+      if (AM_REMARKS_ENABLED()) {
+        Instr &New = NewInstrs.back();
+        New.Id = remarks::Sink::get().freshId();
+        PendingRemark P;
+        P.Pat = Pat;
+        P.IsInsert = true;
+        P.R.K = remarks::Kind::Hoist;
+        P.R.Act = remarks::Action::Insert;
+        P.R.InstrId = New.Id;
+        P.R.Block = B;
+        P.R.InstrIndex = static_cast<uint32_t>(NewInstrs.size() - 1);
+        P.R.Place = Place;
+        if (FromBlock != static_cast<BlockId>(-1))
+          P.R.FromBlock = FromBlock;
+        P.R.Pattern = printInstr(New, G.Vars);
+        P.R.Var = G.Vars.name(Pats.pattern(Pat).Lhs);
+        P.R.Solve = Hoist.solveSerial();
+        P.R.fact(Predicate, "1");
+        Pending.push_back(std::move(P));
+      }
     };
     // Predecessor-exit insertions precede this block's own entry point.
-    for (size_t Pat : D.FromPreds)
-      Emit(Pat);
+    for (auto [Pat, Pred] : D.FromPreds)
+      Emit(Pat, remarks::Placement::FromPred, Pred, "X-INSERT");
     for (size_t Pat : D.AtEntry)
-      Emit(Pat);
+      Emit(Pat, remarks::Placement::Entry, static_cast<BlockId>(-1),
+           "N-INSERT");
     const Instr *Br = BB.branchInstr();
     for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
-      if (D.RemoveInstr[Idx])
+      if (D.RemoveInstr[Idx]) {
+        if (AM_REMARKS_ENABLED()) {
+          PendingRemark P;
+          P.Pat = Pats.occurrence(BB.Instrs[Idx]);
+          P.IsInsert = false;
+          P.R.K = remarks::Kind::Hoist;
+          P.R.Act = remarks::Action::Remove;
+          P.R.InstrId = BB.Instrs[Idx].Id;
+          P.R.Block = B;
+          P.R.InstrIndex = static_cast<uint32_t>(Idx);
+          P.R.Terminal = true;
+          P.R.Pattern = printInstr(BB.Instrs[Idx], G.Vars);
+          if (BB.Instrs[Idx].isAssign())
+            P.R.Var = G.Vars.name(BB.Instrs[Idx].Lhs);
+          P.R.Solve = Hoist.solveSerial();
+          P.R.fact("LOC-HOISTABLE", "1").fact("candidate", "1");
+          Pending.push_back(std::move(P));
+        }
         continue;
+      }
       if (Br && &BB.Instrs[Idx] == Br)
         for (size_t Pat : D.BeforeBranch)
-          Emit(Pat);
+          Emit(Pat, remarks::Placement::BeforeBranch,
+               static_cast<BlockId>(-1), "X-INSERT");
       NewInstrs.push_back(BB.Instrs[Idx]);
     }
     for (size_t Pat : D.AtEnd)
-      Emit(Pat);
+      Emit(Pat, remarks::Placement::Exit, static_cast<BlockId>(-1),
+           "X-INSERT");
 
     if (NewInstrs != BB.Instrs) {
       BB.Instrs = std::move(NewInstrs);
       G.touchBlock(B);
       Changed = true;
+      if (AM_REMARKS_ENABLED()) {
+        for (PendingRemark &P : Pending) {
+          if (!P.IsInsert && P.Pat != AssignPatternTable::npos)
+            RemovedIds[P.Pat].push_back(P.R.InstrId);
+          Accepted.push_back(std::move(P));
+        }
+      }
+    }
+    // A non-committing rebuild drops its pending remarks: the old
+    // instructions (and their ids) are still the program.
+  }
+
+  if (AM_REMARKS_ENABLED()) {
+    for (PendingRemark &P : Accepted) {
+      if (P.IsInsert && P.Pat < RemovedIds.size())
+        P.R.Parents = RemovedIds[P.Pat];
+      remarks::Sink::get().add(std::move(P.R));
     }
   }
   return Changed;

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "transform/AssignmentMotion.h"
+#include "support/Remarks.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 #include "transform/AssignmentHoisting.h"
@@ -42,6 +43,7 @@ AmPhaseStats am::runAssignmentMotionPhase(FlowGraph &G, AmContext &Ctx,
   while (Stats.Iterations < Cap) {
     ++Stats.Iterations;
     AM_STAT_INC(NumRounds);
+    AM_REMARK_SET_ROUND(Stats.Iterations);
     unsigned Eliminated = runRedundantAssignmentElimination(G, Ctx);
     Stats.Eliminated += Eliminated;
     AM_STAT_ADD(NumEliminated, Eliminated);
@@ -56,6 +58,7 @@ AmPhaseStats am::runAssignmentMotionPhase(FlowGraph &G, AmContext &Ctx,
     if (Eliminated == 0 && !Hoisted)
       break;
   }
+  AM_REMARK_SET_ROUND(0);
   Span.arg("rounds", Stats.Iterations);
   Span.arg("eliminated", Stats.Eliminated);
   Span.arg("hoist_rounds", Stats.HoistRounds);

@@ -5,16 +5,23 @@
 //===----------------------------------------------------------------------===//
 
 #include "transform/Initialization.h"
+#include "ir/InstrNumbering.h"
+#include "ir/Printer.h"
+#include "support/Remarks.h"
 
 using namespace am;
 
 unsigned am::runInitializationPhase(FlowGraph &G) {
+  AM_REMARK_PASS_SCOPE("init");
+  if (AM_REMARKS_ENABLED())
+    ensureInstrIds(G);
   unsigned NumDecomposed = 0;
   for (BlockId B = 0; B < G.numBlocks(); ++B) {
     std::vector<Instr> NewInstrs;
     auto &Instrs = G.block(B).Instrs;
     NewInstrs.reserve(Instrs.size() * 2);
-    for (Instr &I : Instrs) {
+    for (size_t Idx = 0; Idx < Instrs.size(); ++Idx) {
+      Instr &I = Instrs[Idx];
       if (I.isAssign() && I.Rhs.isNonTrivial()) {
         ExprId E = G.Exprs.intern(I.Rhs);
         VarId H = G.Exprs.temporary(E, G.Vars);
@@ -25,22 +32,60 @@ unsigned am::runInitializationPhase(FlowGraph &G) {
         }
         NewInstrs.push_back(Instr::assign(H, I.Rhs));
         NewInstrs.push_back(Instr::assign(I.Lhs, Term::var(H)));
+        if (AM_REMARKS_ENABLED()) {
+          Instr &Init = NewInstrs[NewInstrs.size() - 2];
+          Instr &Copy = NewInstrs.back();
+          Init.Id = remarks::Sink::get().freshId();
+          Copy.Id = remarks::Sink::get().freshId();
+          remarks::Remark R;
+          R.K = remarks::Kind::Decompose;
+          R.InstrId = I.Id;
+          R.Block = B;
+          R.InstrIndex = static_cast<uint32_t>(Idx);
+          R.Terminal = true; // the composite assignment leaves the program
+          R.Pattern = printInstr(I, G.Vars);
+          R.Var = G.Vars.name(I.Lhs);
+          R.NewIds = {Init.Id, Copy.Id};
+          R.fact("non_trivial_rhs", "1")
+              .fact("temp", G.Vars.name(H))
+              .fact("init", printInstr(Init, G.Vars))
+              .fact("copy", printInstr(Copy, G.Vars));
+          remarks::Sink::get().add(std::move(R));
+        }
         ++NumDecomposed;
         continue;
       }
       if (I.isBranch()) {
-        auto DecomposeSide = [&](Term &Side) {
+        Instr Branch = I;
+        auto DecomposeSide = [&](Term &Side, const char *Which) {
           if (!Side.isNonTrivial())
             return;
           ExprId E = G.Exprs.intern(Side);
           VarId H = G.Exprs.temporary(E, G.Vars);
           NewInstrs.push_back(Instr::assign(H, Side));
+          if (AM_REMARKS_ENABLED()) {
+            Instr &Init = NewInstrs.back();
+            Init.Id = remarks::Sink::get().freshId();
+            remarks::Remark R;
+            R.K = remarks::Kind::Decompose;
+            R.InstrId = I.Id;
+            R.Block = B;
+            R.InstrIndex = static_cast<uint32_t>(Idx);
+            // The branch itself survives (with the operand rewritten).
+            R.Terminal = false;
+            R.Pattern = printInstr(I, G.Vars);
+            R.Var = G.Vars.name(H);
+            R.NewIds = {Init.Id};
+            R.fact("non_trivial_operand", Which)
+                .fact("temp", G.Vars.name(H))
+                .fact("init", printInstr(Init, G.Vars));
+            remarks::Sink::get().add(std::move(R));
+          }
           Side = Term::var(H);
           ++NumDecomposed;
         };
-        Instr Branch = I;
-        DecomposeSide(Branch.CondL);
-        DecomposeSide(Branch.CondR);
+        DecomposeSide(Branch.CondL, "left");
+        DecomposeSide(Branch.CondR, "right");
         NewInstrs.push_back(std::move(Branch));
         continue;
       }

@@ -6,11 +6,44 @@
 
 #include "transform/RedundantAssignElim.h"
 #include "analysis/PaperAnalyses.h"
+#include "ir/InstrNumbering.h"
+#include "ir/Printer.h"
+#include "support/Remarks.h"
 #include "transform/AssignmentMotion.h"
 
 using namespace am;
 
+namespace {
+
+/// Names the occurrence that makes the kill at \p Idx redundant: the
+/// nearest preceding same-pattern occurrence in the block, or — when the
+/// redundancy flows in over the block entry — the predecessors whose exit
+/// carries the X-REDUNDANT bit.  Purely for remark payloads.
+std::string describeDefiner(const FlowGraph &G, BlockId B, size_t Idx,
+                            size_t Pat, const AssignPatternTable &Pats,
+                            const RedundancyAnalysis &Redundancy) {
+  const auto &Instrs = G.block(B).Instrs;
+  for (size_t Prev = Idx; Prev-- > 0;) {
+    if (Pats.occurrence(Instrs[Prev]) == Pat)
+      return "#" + std::to_string(Instrs[Prev].Id) + " (same block)";
+  }
+  std::string Out;
+  for (BlockId P : G.block(B).Preds) {
+    if (Redundancy.exit(P).test(Pat)) {
+      if (!Out.empty())
+        Out += ", ";
+      Out += "exit(b" + std::to_string(P) + ")";
+    }
+  }
+  return Out.empty() ? std::string("entry") : Out;
+}
+
+} // namespace
+
 unsigned am::runRedundantAssignmentElimination(FlowGraph &G, AmContext &Ctx) {
+  AM_REMARK_PASS_SCOPE("rae");
+  if (AM_REMARKS_ENABLED())
+    ensureInstrIds(G);
   Ctx.refreshPatterns(G);
   const AssignPatternTable &Pats = Ctx.patterns();
   if (Pats.size() == 0)
@@ -46,6 +79,24 @@ unsigned am::runRedundantAssignmentElimination(FlowGraph &G, AmContext &Ctx) {
       if (Facts.Before[Idx].test(Pat)) {
         Remove[Idx] = true;
         ++RemovedHere;
+        if (AM_REMARKS_ENABLED()) {
+          // A removal always commits (the list shrinks), so the remark
+          // can be emitted directly.
+          remarks::Remark R;
+          R.K = remarks::Kind::Eliminate;
+          R.InstrId = Instrs[Idx].Id;
+          R.Block = B;
+          R.InstrIndex = static_cast<uint32_t>(Idx);
+          R.Terminal = true;
+          R.Pattern = printInstr(Instrs[Idx], G.Vars);
+          if (Instrs[Idx].isAssign())
+            R.Var = G.Vars.name(Instrs[Idx].Lhs);
+          R.Solve = Redundancy.solveSerial();
+          R.fact("N-REDUNDANT", "1")
+              .fact("defined_by",
+                    describeDefiner(G, B, Idx, Pat, Pats, Redundancy));
+          remarks::Sink::get().add(std::move(R));
+        }
       }
     }
     if (RemovedHere == 0)

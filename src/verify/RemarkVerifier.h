@@ -1,0 +1,54 @@
+//===- verify/RemarkVerifier.h - Replay remark justifications -*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns the remark stream into a correctness oracle: re-runs the uniform
+/// EM/AM pipeline on a program with remark collection enabled, and checks
+/// every emitted remark's cited dataflow facts against *fresh, from-
+/// scratch* analyses of the program state the decision was made on.  A
+/// deletion whose N-REDUNDANT bit is not actually set, a hoist insertion
+/// outside the insertion frontier, a sunk initialization without its
+/// latestness bit — each is reported as a verification failure.  Because
+/// the replay analyses share no solver state with the optimizer (no
+/// incremental caches, no pattern-table reuse), this doubles as a
+/// differential test of the incremental machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_VERIFY_REMARKVERIFIER_H
+#define AM_VERIFY_REMARKVERIFIER_H
+
+#include "ir/FlowGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace am {
+
+/// Outcome of one remark-verification run.
+struct RemarkVerifyReport {
+  /// Remarks examined / remarks whose justification did not replay.
+  unsigned Checked = 0;
+  unsigned Failed = 0;
+  /// One human-readable line per failure.
+  std::vector<std::string> Failures;
+  /// The optimized program the instrumented run produced (identical to
+  /// runUniformEmAm's result).
+  FlowGraph Output;
+
+  bool ok() const { return Failed == 0; }
+};
+
+/// Runs the uniform pipeline on \p Input with remark collection enabled
+/// and replays every remark's cited facts against fresh analyses.  The
+/// remark sink is cleared and left populated with the run's remarks (so
+/// callers may render them afterwards); collection is restored to its
+/// previous enablement on return.
+RemarkVerifyReport verifyUniformRemarks(const FlowGraph &Input);
+
+} // namespace am
+
+#endif // AM_VERIFY_REMARKVERIFIER_H

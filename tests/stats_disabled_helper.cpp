@@ -5,9 +5,10 @@
 //===----------------------------------------------------------------------===//
 //
 // This translation unit is compiled with -DAM_DISABLE_STATS (see
-// tests/CMakeLists.txt): every AM_STAT_* macro below must expand to
-// nothing, so none of the "test.compiled_out_*" instruments may ever
-// appear in the registry.  stats_test.cpp asserts exactly that.
+// tests/CMakeLists.txt): every AM_STAT_* and AM_REMARK_* macro below must
+// expand to nothing, so none of the "test.compiled_out_*" instruments may
+// ever appear in the registry and no remark instrumentation can run.
+// stats_test.cpp asserts exactly that.
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +16,7 @@
 #error "this file must be compiled with -DAM_DISABLE_STATS"
 #endif
 
+#include "support/Remarks.h"
 #include "support/Stats.h"
 
 namespace am::test {
@@ -27,6 +29,17 @@ void bumpCompiledOutStats() {
   AM_STAT_SET(Gauge, 7);
   AM_STAT_TIMER(Tmr, "test.compiled_out_timer");
   AM_STAT_TIME_SCOPE(Tmr);
+}
+
+bool compiledOutRemarksEnabled() {
+  AM_REMARK_PASS_SCOPE("test.compiled_out_pass");
+  AM_REMARK_SET_ROUND(42);
+  // AM_REMARKS_ENABLED() is a compile-time `false` here: the body of an
+  // `if (AM_REMARKS_ENABLED())` instrumentation site is dead code, so the
+  // whole function must return false no matter what the sink says.
+  if (AM_REMARKS_ENABLED())
+    return true;
+  return false;
 }
 
 } // namespace am::test

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Json.h"
+#include "support/Remarks.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -21,6 +22,7 @@ namespace am::test {
 // Defined in stats_disabled_helper.cpp, which is compiled with
 // -DAM_DISABLE_STATS.
 void bumpCompiledOutStats();
+bool compiledOutRemarksEnabled();
 } // namespace am::test
 
 //===----------------------------------------------------------------------===//
@@ -108,6 +110,41 @@ TEST(Stats, RuntimeDisabledTimerScopeIsANoOp) {
   EXPECT_EQ(T.count(), 0u);
 }
 
+TEST(Stats, TimerPercentilesFromLog2Buckets) {
+  Timer &T = Registry::get().timer("test.timer_percentiles");
+  T.reset();
+  EXPECT_EQ(T.percentileNs(0.5), 0u); // empty timer
+
+  T.record(10);   // bucket 3: [8, 16)
+  T.record(100);  // bucket 6: [64, 128)
+  T.record(1000); // bucket 9: [512, 1024)
+  // Nearest rank: p50 is the 2nd of 3 samples — bucket 6's midpoint.
+  EXPECT_EQ(T.percentileNs(0.5), 96u);
+  // p95 is the 3rd sample — bucket 9's midpoint.
+  EXPECT_EQ(T.percentileNs(0.95), 768u);
+  // Q=0 clamps to the first sample; Q=1 is the last.
+  EXPECT_EQ(T.percentileNs(0.0), 12u);
+  EXPECT_EQ(T.percentileNs(1.0), 768u);
+
+  T.reset();
+  T.record(0); // values 0 and 1 land in bucket 0: [0, 2)
+  EXPECT_EQ(T.percentileNs(0.5), 1u);
+}
+
+TEST(Stats, DumpsCarryPercentiles) {
+  Registry::get().resetAll();
+  Timer &T = Registry::get().timer("test.percentile_dump");
+  T.record(100);
+  std::string J = Registry::get().dumpJsonString();
+  std::string Error;
+  EXPECT_TRUE(json::validate(J, &Error)) << Error;
+  EXPECT_NE(J.find("\"p50_ns\":96"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"p95_ns\":96"), std::string::npos) << J;
+  std::ostringstream OS;
+  Registry::get().dumpText(OS);
+  EXPECT_NE(OS.str().find("p50 ~96 ns"), std::string::npos) << OS.str();
+}
+
 TEST(Stats, CompiledOutMacrosRegisterNothing) {
   am::test::bumpCompiledOutStats();
   EXPECT_EQ(Registry::get().findCounter("test.compiled_out_counter"),
@@ -115,6 +152,13 @@ TEST(Stats, CompiledOutMacrosRegisterNothing) {
   EXPECT_EQ(Registry::get().findGauge("test.compiled_out_gauge"), nullptr);
   EXPECT_EQ(Registry::get().findTimer("test.compiled_out_timer"), nullptr);
   EXPECT_EQ(Registry::get().counterValue("test.compiled_out_counter"), 0u);
+}
+
+TEST(Stats, CompiledOutRemarkMacrosAreInert) {
+  // Even with the process-wide sink enabled, a TU built with
+  // -DAM_DISABLE_STATS sees AM_REMARKS_ENABLED() == false.
+  remarks::CollectionScope On;
+  EXPECT_FALSE(am::test::compiledOutRemarksEnabled());
 }
 
 //===----------------------------------------------------------------------===//
@@ -265,4 +309,41 @@ TEST(Trace, StartClearsPreviousEvents) {
   std::string J = trace::stopToJson();
   EXPECT_EQ(J.find("test.stale"), std::string::npos);
   EXPECT_NE(J.find("test.fresh"), std::string::npos);
+}
+
+TEST(Trace, SessionWritesFileOnClose) {
+  std::string Path = testing::TempDir() + "am_trace_session.json";
+  {
+    trace::Session S(Path);
+    EXPECT_TRUE(S.open());
+    EXPECT_TRUE(trace::enabled());
+    trace::instant("test.session_event");
+    EXPECT_TRUE(S.close());
+    EXPECT_FALSE(S.open());
+    EXPECT_FALSE(trace::enabled());
+    // close() is idempotent: a second call reports failure, not a
+    // double write.
+    EXPECT_FALSE(S.close());
+  }
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Error;
+  EXPECT_TRUE(json::validate(Buf.str(), &Error)) << Error;
+  EXPECT_NE(Buf.str().find("test.session_event"), std::string::npos);
+}
+
+TEST(Trace, SessionDestructorFlushes) {
+  std::string Path = testing::TempDir() + "am_trace_session_dtor.json";
+  {
+    trace::Session S(Path);
+    trace::instant("test.session_dtor_event");
+  } // destructor closes and writes
+  EXPECT_FALSE(trace::enabled());
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_NE(Buf.str().find("test.session_dtor_event"), std::string::npos);
 }

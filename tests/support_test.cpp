@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/BitVector.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/StringInterner.h"
 
@@ -13,6 +14,45 @@
 #include <set>
 
 using namespace am;
+
+//===----------------------------------------------------------------------===//
+// JSON string escaping: control characters and UTF-8 hygiene
+//===----------------------------------------------------------------------===//
+
+TEST(JsonEscaping, ControlCharactersBecomeEscapes) {
+  EXPECT_EQ(json::quoted("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(json::quoted("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(json::quoted(std::string("nul\0!", 5)), "\"nul\\u0000!\"");
+  EXPECT_EQ(json::quoted("\x1f"), "\"\\u001f\"");
+  EXPECT_EQ(json::quoted("quote\"back\\slash"), "\"quote\\\"back\\\\slash\"");
+}
+
+TEST(JsonEscaping, ValidUtf8PassesThroughVerbatim) {
+  // 2-byte (é), 3-byte (€), 4-byte (𝄞) sequences survive unchanged.
+  for (const char *S : {"caf\xC3\xA9", "\xE2\x82\xAC 42", "\xF0\x9D\x84\x9E"}) {
+    std::string Q = json::quoted(S);
+    EXPECT_EQ(Q, std::string("\"") + S + "\"");
+    EXPECT_TRUE(json::validate(Q));
+  }
+}
+
+TEST(JsonEscaping, InvalidUtf8ReplacedWithReplacementChar) {
+  const std::string Fffd = "\xEF\xBF\xBD";
+  // Stray continuation byte.
+  EXPECT_EQ(json::quoted("a\x80z"), "\"a" + Fffd + "z\"");
+  // Truncated 3-byte lead at end of string.
+  EXPECT_EQ(json::quoted("x\xE2\x82"), "\"x" + Fffd + Fffd + "\"");
+  // Overlong encoding of '/' (0xC0 0xAF).
+  EXPECT_EQ(json::quoted("\xC0\xAF"), "\"" + Fffd + Fffd + "\"");
+  // UTF-16 surrogate half U+D800 (0xED 0xA0 0x80).
+  EXPECT_EQ(json::quoted("\xED\xA0\x80"), "\"" + Fffd + Fffd + Fffd + "\"");
+  // Beyond U+10FFFF (0xF4 0x90 0x80 0x80) and an invalid 0xFF lead.
+  EXPECT_EQ(json::quoted("\xF4\x90\x80\x80"),
+            "\"" + Fffd + Fffd + Fffd + Fffd + "\"");
+  EXPECT_EQ(json::quoted("\xFF"), "\"" + Fffd + "\"");
+  // The result is always parseable JSON.
+  EXPECT_TRUE(json::validate(json::quoted("mix\x80\xC3\xA9\xFFok")));
+}
 
 TEST(BitVector, EmptyDefaults) {
   BitVector V;

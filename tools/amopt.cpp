@@ -9,7 +9,9 @@
 //
 //   amopt [--pass=uniform|am|lcm|bcm|restricted|cp|pde]
 //         [--passes=p1,p2,...] [--dot] [--stats[=json]] [--trace=out.json]
-//         [--verify] [--annotate=redundancy|hoist|flush|live] [FILE]
+//         [--remarks[=out.json]] [--explain=<var|instr-id>]
+//         [--verify] [--verify-remarks]
+//         [--annotate=redundancy|hoist|flush|live] [FILE]
 //
 // Reads FILE (or stdin) containing a `program { ... }` or `graph { ... }`
 // source, runs the selected pass (default: uniform EM & AM), and prints
@@ -25,15 +27,31 @@
 //                  about:tracing or https://ui.perfetto.dev — one span
 //                  per pass, nested spans per dataflow solve, instant
 //                  events per AM fixpoint round.
+//   --remarks[=F]  collect optimization remarks: one typed record per
+//                  decomposition, hoist, elimination, init sink/delete
+//                  and reconstruction, with the justifying dataflow
+//                  facts.  Written to F as JSON, or to stderr without
+//                  =F.  Combined with --dot, instructions touched by
+//                  remarks are annotated in the DOT output.
+//   --explain=X    print the full provenance chain of an instruction
+//                  (X = stable instruction id) or of every instruction
+//                  related to a variable (X = variable name), instead
+//                  of the optimized program.
+//   --verify-remarks
+//                  re-run the uniform pipeline with remark collection on
+//                  and replay every remark's cited facts against fresh
+//                  analyses; exit 4 if any justification fails.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Annotate.h"
 #include "figures/PaperFigures.h"
 #include "interp/Equivalence.h"
+#include "ir/InstrNumbering.h"
 #include "ir/Printer.h"
 #include "parser/Parser.h"
 #include "support/Json.h"
+#include "support/Remarks.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 #include "transform/BusyCodeMotion.h"
@@ -43,13 +61,18 @@
 #include "transform/Pipeline.h"
 #include "transform/RestrictedAssignmentMotion.h"
 #include "transform/UniformEmAm.h"
+#include "verify/RemarkVerifier.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 
 #include <unistd.h>
 
@@ -61,7 +84,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: amopt [--pass=uniform|am|lcm|bcm|restricted|cp|pde] "
                "[--passes=p1,p2,...] [--dot]\n"
-               "             [--stats[=json]] [--trace=out.json] [--verify]\n"
+               "             [--stats[=json]] [--trace=out.json] "
+               "[--remarks[=out.json]]\n"
+               "             [--explain=<var|instr-id>] [--verify] "
+               "[--verify-remarks]\n"
                "             [--annotate=redundancy|hoist|flush|live] [FILE]\n"
                "\n"
                "Optimizes a `program { ... }` or `graph { ... }` source "
@@ -72,8 +98,65 @@ int usage() {
                "counters on stderr\n"
                "(machine-readable with --stats=json).  --trace writes "
                "Chrome trace_event JSON\n"
-               "for about:tracing / Perfetto.\n");
+               "for about:tracing / Perfetto.  --remarks records every "
+               "transformation decision\n"
+               "with its justifying dataflow facts; --explain renders an "
+               "instruction's (or a\n"
+               "variable's) provenance chain; --verify-remarks replays "
+               "every remark's facts\n"
+               "against fresh analyses (uniform pass only).\n");
   return 2;
+}
+
+/// Final-position hook for remarks::explainId: renders "bB[i]: <instr>"
+/// for the instruction carrying \p Id in the optimized program, "" if the
+/// id did not survive.
+const std::string finalLocation(uint32_t Id, const void *Ctx) {
+  const FlowGraph &G = *static_cast<const FlowGraph *>(Ctx);
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    const auto &Instrs = G.block(B).Instrs;
+    for (size_t Idx = 0; Idx < Instrs.size(); ++Idx)
+      if (Instrs[Idx].Id == Id)
+        return "b" + std::to_string(B) + "[" + std::to_string(Idx) +
+               "]: " + printInstr(Instrs[Idx], G.Vars);
+  }
+  return std::string();
+}
+
+/// Short per-instruction annotations for the remark-annotated DOT output:
+/// how an inserted/sunk instruction got where it is, which assignments
+/// were decomposed into which initializations.
+std::unordered_map<uint32_t, std::string>
+dotNotes(const std::vector<remarks::Remark> &All) {
+  std::unordered_map<uint32_t, std::string> Notes;
+  auto Tag = [](const remarks::Remark &R) {
+    std::string T = "[" + R.Pass;
+    if (R.Round != 0)
+      T += " r" + std::to_string(R.Round);
+    return T;
+  };
+  for (const remarks::Remark &R : All) {
+    if (R.Act == remarks::Action::Insert || R.K == remarks::Kind::SinkInit) {
+      std::string N = Tag(R);
+      N += R.K == remarks::Kind::SinkInit ? " sunk" : " hoisted";
+      if (R.Place != remarks::Placement::None) {
+        N += " ";
+        N += remarks::placementName(R.Place);
+      }
+      if (!R.Parents.empty()) {
+        N += " from";
+        for (uint32_t P : R.Parents)
+          N += " #" + std::to_string(P);
+      }
+      Notes[R.InstrId] = N + "]";
+    } else if (R.K == remarks::Kind::Decompose) {
+      for (uint32_t New : R.NewIds)
+        Notes[New] = Tag(R) + " split of #" + std::to_string(R.InstrId) + "]";
+    } else if (R.K == remarks::Kind::Reconstruct) {
+      Notes[R.InstrId] = Tag(R) + " reconstructed]";
+    }
+  }
+  return Notes;
 }
 
 } // namespace
@@ -83,7 +166,10 @@ int main(int argc, char **argv) {
   std::string Passes;
   std::string Annotation;
   std::string TracePath;
+  std::string RemarksPath;
+  std::string Explain;
   bool EmitDot = false, EmitStats = false, StatsJson = false, Verify = false;
+  bool EmitRemarks = false, VerifyRemarks = false;
   std::string File;
 
   for (int Idx = 1; Idx < argc; ++Idx) {
@@ -96,6 +182,15 @@ int main(int argc, char **argv) {
       Annotation = Arg.substr(11);
     else if (Arg.rfind("--trace=", 0) == 0)
       TracePath = Arg.substr(8);
+    else if (Arg == "--remarks")
+      EmitRemarks = true;
+    else if (Arg.rfind("--remarks=", 0) == 0) {
+      EmitRemarks = true;
+      RemarksPath = Arg.substr(10);
+    } else if (Arg.rfind("--explain=", 0) == 0)
+      Explain = Arg.substr(10);
+    else if (Arg == "--verify-remarks")
+      VerifyRemarks = true;
     else if (Arg == "--dot")
       EmitDot = true;
     else if (Arg == "--stats")
@@ -152,6 +247,20 @@ int main(int argc, char **argv) {
                  Annotation.c_str());
     return usage();
   }
+  // The remark verifier replays the uniform pipeline; it has no meaning
+  // for the other passes (which are not instrumented as a unit).
+  if (VerifyRemarks && (Pass != "uniform" || !Passes.empty())) {
+    std::fprintf(stderr,
+                 "amopt: --verify-remarks requires the default uniform "
+                 "pass\n");
+    return usage();
+  }
+  if ((VerifyRemarks || EmitRemarks || !Explain.empty()) &&
+      !Annotation.empty()) {
+    std::fprintf(stderr, "amopt: --annotate does not transform; remark "
+                         "flags have no effect with it\n");
+    return usage();
+  }
 
   FlowGraph Input;
   if (!File.empty()) {
@@ -190,17 +299,38 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  // A Session both starts collection and guarantees the file is written
+  // even if a pass dies through exit() (std::atexit fallback).
+  std::optional<trace::Session> TraceSession;
   if (!TracePath.empty())
-    trace::start();
+    TraceSession.emplace(TracePath);
+
+  // Remark collection: number the input's instructions up front so every
+  // original occurrence has a stable id before any pass observes it.
+  // --verify-remarks manages the sink itself (it clears and renumbers),
+  // so only the direct collection paths prime it here.
+  bool CollectRemarks = EmitRemarks || !Explain.empty() || VerifyRemarks;
+  std::optional<remarks::CollectionScope> RemarkScope;
+  if (CollectRemarks) {
+    RemarkScope.emplace(true);
+    if (!VerifyRemarks) {
+      remarks::Sink::get().clear();
+      ensureInstrIds(Input);
+    }
+  }
 
   FlowGraph Output;
   UniformStats Stats;
   std::vector<PassRecord> Records;
-  if (!Passes.empty()) {
+  RemarkVerifyReport RemarkReport;
+  if (VerifyRemarks) {
+    RemarkReport = verifyUniformRemarks(Input);
+    Output = RemarkReport.Output;
+  } else if (!Passes.empty()) {
     PipelineResult R = runPipeline(Input, Passes);
     if (!R.ok()) {
-      if (!TracePath.empty())
-        trace::stopToJson(); // discard the partial trace
+      if (TraceSession)
+        TraceSession->close(); // flush what the partial run recorded
       std::fprintf(stderr, "amopt: %s\n", R.Error.c_str());
       return usage();
     }
@@ -229,8 +359,8 @@ int main(int argc, char **argv) {
     Output = simplified(Output);
   }
 
-  if (!TracePath.empty()) {
-    if (!trace::stopToFile(TracePath)) {
+  if (TraceSession) {
+    if (!TraceSession->close()) {
       std::fprintf(stderr, "amopt: cannot write trace '%s'\n",
                    TracePath.c_str());
       return 1;
@@ -274,6 +404,36 @@ int main(int argc, char **argv) {
                    "behaviour)\n");
   }
 
+  std::vector<remarks::Remark> AllRemarks;
+  if (CollectRemarks)
+    AllRemarks = remarks::Sink::get().remarks();
+
+  // Persist the remark stream before reporting verification failures so a
+  // failing run still leaves the evidence on disk.
+  if (!RemarksPath.empty()) {
+    std::ofstream Out(RemarksPath);
+    if (!Out) {
+      std::fprintf(stderr, "amopt: cannot write remarks '%s'\n",
+                   RemarksPath.c_str());
+      return 1;
+    }
+    Out << remarks::Sink::get().toJsonString() << "\n";
+  } else if (EmitRemarks) {
+    std::fprintf(stderr, "%s\n", remarks::Sink::get().toJsonString().c_str());
+  }
+
+  if (VerifyRemarks) {
+    for (const std::string &Line : RemarkReport.Failures)
+      std::fprintf(stderr, "amopt: REMARK VERIFY FAILED: %s\n", Line.c_str());
+    if (!RemarkReport.ok())
+      return 4;
+    if (!(EmitStats && StatsJson))
+      std::fprintf(stderr,
+                   "amopt: remark verify OK (%u remarks replayed against "
+                   "fresh analyses)\n",
+                   RemarkReport.Checked);
+  }
+
   if (EmitStats && StatsJson) {
     // One JSON object on stderr so the optimized program on stdout stays
     // pipeable: {"input": {...}, "output": {...}, "passes": [...],
@@ -311,6 +471,49 @@ int main(int argc, char **argv) {
     std::ostringstream Reg;
     stats::Registry::get().dumpText(Reg);
     std::fputs(Reg.str().c_str(), stderr);
+  }
+
+  if (!Explain.empty()) {
+    // Provenance chains replace the program on stdout.
+    remarks::Provenance Prov = remarks::Provenance::build(AllRemarks);
+    std::vector<uint32_t> Ids;
+    bool Numeric = !Explain.empty() &&
+                   Explain.find_first_not_of("0123456789") == std::string::npos;
+    if (Numeric)
+      Ids.push_back(static_cast<uint32_t>(std::stoul(Explain)));
+    else
+      Ids = Prov.idsForVar(Explain, AllRemarks);
+    if (Ids.empty()) {
+      std::fprintf(stderr,
+                   "amopt: nothing to explain for '%s' (no remark mentions "
+                   "it)\n",
+                   Explain.c_str());
+      return 1;
+    }
+    // One chain per lineage family: ids whose family was already rendered
+    // are skipped so a variable's history is not repeated per member.
+    std::set<uint32_t> Covered;
+    for (uint32_t Id : Ids) {
+      if (Covered.count(Id))
+        continue;
+      for (uint32_t Member : Prov.family(Id))
+        Covered.insert(Member);
+      std::fputs(
+          remarks::explainId(Id, AllRemarks, Prov, finalLocation, &Output)
+              .c_str(),
+          stdout);
+    }
+    return 0;
+  }
+
+  if (EmitDot && CollectRemarks) {
+    std::unordered_map<uint32_t, std::string> Notes = dotNotes(AllRemarks);
+    auto Note = [&Notes](const Instr &I) {
+      auto It = Notes.find(I.Id);
+      return It == Notes.end() ? std::string() : It->second;
+    };
+    std::fputs(printDot(Output, Pass, Note).c_str(), stdout);
+    return 0;
   }
 
   std::fputs(EmitDot ? printDot(Output, Pass).c_str()
