@@ -41,7 +41,23 @@ namespace {
 /// Monotone id per solve() call, for remark provenance (see
 /// DataflowResult::SolveSerial).
 std::atomic<uint64_t> GlobalSolveSerial{0};
+
+/// Process-wide solve observer (see setSolveObserver).  Plain pointers:
+/// the contract forbids racing install against solves, and the check in
+/// the hot path must stay one load + branch.
+void (*ObserverFn)(const SolveInfo &, void *) = nullptr;
+void *ObserverCtx = nullptr;
+
+void notifyObserver(const SolveInfo &Info) {
+  if (ObserverFn)
+    ObserverFn(Info, ObserverCtx);
+}
 } // namespace
+
+void am::setSolveObserver(void (*Fn)(const SolveInfo &, void *), void *Ctx) {
+  ObserverFn = Fn;
+  ObserverCtx = Ctx;
+}
 
 bool DataflowSolver::solutionValid(const FlowGraph &G,
                                    const DataflowProblem &P,
@@ -121,6 +137,14 @@ DataflowResult DataflowSolver::solve(const FlowGraph &G,
     Span.arg("cached", 1);
     DataflowResult R = snapshot(G, P, Forward);
     R.SolveSerial = Serial;
+    SolveInfo Info;
+    Info.Serial = Serial;
+    Info.Bits = Bits;
+    Info.Blocks = NumBlocks;
+    Info.P = SolveInfo::Path::Cached;
+    Info.Forward = Forward;
+    Info.MeetAll = MeetAll;
+    notifyObserver(Info);
     return R;
   }
 
@@ -275,6 +299,18 @@ DataflowResult DataflowSolver::solve(const FlowGraph &G,
   R.Sweeps = Sweeps;
   R.BlocksProcessed = BlocksProcessed;
   R.SolveSerial = Serial;
+
+  SolveInfo Info;
+  Info.Serial = Serial;
+  Info.Bits = Bits;
+  Info.Blocks = NumBlocks;
+  Info.Sweeps = Sweeps;
+  Info.BlocksProcessed = BlocksProcessed;
+  Info.DirtyClosure = Incremental ? DirtyScratch.size() : 0;
+  Info.P = Incremental ? SolveInfo::Path::Incremental : SolveInfo::Path::Full;
+  Info.Forward = Forward;
+  Info.MeetAll = MeetAll;
+  notifyObserver(Info);
   return R;
 }
 

@@ -37,6 +37,27 @@ inline unsigned ensureInstrIds(FlowGraph &G) {
   return Assigned;
 }
 
+/// Current location of the instruction carrying id \p Id, or {false, 0, 0}
+/// if no instruction in \p G carries it (ids survive motion but not
+/// elimination).  Linear in the program size; callers that resolve many
+/// ids against one graph snapshot should build their own map.
+struct InstrLocation {
+  bool Found = false;
+  BlockId Block = 0;
+  size_t Index = 0;
+};
+
+inline InstrLocation findInstrById(const FlowGraph &G, unsigned Id) {
+  if (Id != 0)
+    for (BlockId B = 0; B < G.numBlocks(); ++B) {
+      const auto &Instrs = G.block(B).Instrs;
+      for (size_t Idx = 0; Idx < Instrs.size(); ++Idx)
+        if (Instrs[Idx].Id == Id)
+          return {true, B, Idx};
+    }
+  return {};
+}
+
 } // namespace am
 
 #endif // AM_IR_INSTR_NUMBERING_H

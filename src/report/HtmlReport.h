@@ -1,0 +1,54 @@
+//===- report/HtmlReport.h - Self-contained HTML report --------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders one RecorderSession as a single self-contained HTML document
+/// (inline CSS, inline SVG sparklines, no scripts, no external assets):
+///
+///  * a phase/round timeline with per-phase counter deltas,
+///  * side-by-side diffs between consecutive snapshots with the remarks
+///    of that phase/round anchored inline on the exact instruction they
+///    explain,
+///  * the Tables 1-3 per-block fact tables of every captured analysis,
+///  * convergence sparklines (blocks processed and dirty-closure size per
+///    solve, eliminations per round) — marked unavailable instead of
+///    omitted when the stats registry was disabled.
+///
+/// The generator reads only the session and the metadata struct below, so
+/// report/ stays independent of transform/ (amopt assembles the metadata).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_REPORT_HTMLREPORT_H
+#define AM_REPORT_HTMLREPORT_H
+
+#include "report/Recorder.h"
+#include "support/Remarks.h"
+
+#include <string>
+#include <vector>
+
+namespace am::report {
+
+/// Everything the report shows that is not recorded by the session.
+struct ReportMeta {
+  std::string Title;    ///< Usually the input file name.
+  std::string PassSpec; ///< The pipeline that ran, e.g. "uniform".
+  std::string InputText;  ///< Pretty-printed input program.
+  std::string OutputText; ///< Pretty-printed optimized program.
+  /// Remarks collected during the run (empty when collection was off).
+  std::vector<remarks::Remark> Remarks;
+  /// True when the stats registry was live; false renders the counter and
+  /// convergence panels as "unavailable".
+  bool StatsAvailable = true;
+};
+
+/// Renders the complete document.
+std::string renderHtmlReport(const RecorderSession &S, const ReportMeta &Meta);
+
+} // namespace am::report
+
+#endif // AM_REPORT_HTMLREPORT_H

@@ -1,0 +1,56 @@
+//===- support/Html.cpp - Minimal HTML emission helpers --------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Html.h"
+
+using namespace am;
+
+void html::appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '&':
+      Out += "&amp;";
+      break;
+    case '<':
+      Out += "&lt;";
+      break;
+    case '>':
+      Out += "&gt;";
+      break;
+    case '"':
+      Out += "&quot;";
+      break;
+    case '\'':
+      Out += "&#39;";
+      break;
+    default:
+      Out.push_back(C);
+    }
+  }
+}
+
+std::string html::escaped(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  appendEscaped(Out, S);
+  return Out;
+}
+
+void html::appendTag(std::string &Out, const char *Tag, const std::string &Text,
+                     const char *Cls) {
+  Out += '<';
+  Out += Tag;
+  if (Cls && *Cls) {
+    Out += " class=\"";
+    Out += Cls;
+    Out += '"';
+  }
+  Out += '>';
+  appendEscaped(Out, Text);
+  Out += "</";
+  Out += Tag;
+  Out += '>';
+}

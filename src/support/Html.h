@@ -1,0 +1,41 @@
+//===- support/Html.h - Minimal HTML emission helpers ----------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The little HTML the report generator needs, sitting next to the JSON
+/// writer (support/Json.h) in spirit: context-correct escaping for text
+/// and attribute positions, and a tiny tag helper for the common
+/// open-escape-close pattern.  Deliberately not a DOM or a template
+/// engine — the report generator (src/report/HtmlReport.cpp) emits its
+/// markup as a stream, exactly like the JSON dumps do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_SUPPORT_HTML_H
+#define AM_SUPPORT_HTML_H
+
+#include <string>
+
+namespace am::html {
+
+/// Appends \p S to \p Out with the five HTML metacharacters escaped
+/// (&, <, >, ", ').  Safe for both element text and double-quoted
+/// attribute values.  Bytes outside ASCII pass through verbatim — the
+/// report declares UTF-8, matching the JSON layer's encoding contract.
+void appendEscaped(std::string &Out, const std::string &S);
+
+/// Returns \p S with HTML metacharacters escaped.
+std::string escaped(const std::string &S);
+
+/// Appends `<Tag class="Cls">escaped(Text)</Tag>`.  \p Tag and \p Cls
+/// are trusted literals (never user data); \p Text is escaped.  \p Cls
+/// may be empty, which omits the class attribute.
+void appendTag(std::string &Out, const char *Tag, const std::string &Text,
+               const char *Cls = "");
+
+} // namespace am::html
+
+#endif // AM_SUPPORT_HTML_H

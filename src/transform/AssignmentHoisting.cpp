@@ -8,6 +8,7 @@
 #include "analysis/PaperAnalyses.h"
 #include "ir/InstrNumbering.h"
 #include "ir/Printer.h"
+#include "report/Recorder.h"
 #include "support/Remarks.h"
 #include "transform/AssignmentMotion.h"
 
@@ -42,6 +43,8 @@ bool am::runAssignmentHoisting(FlowGraph &G, AmContext &Ctx,
   HoistabilityAnalysis Hoist =
       HoistabilityAnalysis::run(G, Pats, Ctx.hoistSolver(), Ctx.hoistLocals(),
                                 Ctx.patternGeneration());
+  if (report::RecorderSession *Rec = report::RecorderSession::current())
+    Rec->captureHoistability(G, Pats, Hoist, Rec->round());
 
   BitVector Allowed(Pats.size(), true);
   if (Filter)

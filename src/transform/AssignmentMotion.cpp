@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "transform/AssignmentMotion.h"
+#include "report/Recorder.h"
 #include "support/Remarks.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
@@ -40,18 +41,25 @@ AmPhaseStats am::runAssignmentMotionPhase(FlowGraph &G, AmContext &Ctx,
               ? std::numeric_limits<unsigned>::max()
               : static_cast<unsigned>(Wide);
   }
+  report::RecorderSession *Rec = report::RecorderSession::current();
   while (Stats.Iterations < Cap) {
     ++Stats.Iterations;
     AM_STAT_INC(NumRounds);
     AM_REMARK_SET_ROUND(Stats.Iterations);
+    if (Rec)
+      Rec->setRound(Stats.Iterations);
     unsigned Eliminated = runRedundantAssignmentElimination(G, Ctx);
     Stats.Eliminated += Eliminated;
     AM_STAT_ADD(NumEliminated, Eliminated);
+    if (Rec)
+      Rec->snapshot(G, "rae", Stats.Iterations);
     bool Hoisted = runAssignmentHoisting(G, Ctx);
     if (Hoisted) {
       ++Stats.HoistRounds;
       AM_STAT_INC(NumHoistRounds);
     }
+    if (Rec)
+      Rec->snapshot(G, "aht", Stats.Iterations);
     trace::instant("am.round", {{"round", Stats.Iterations},
                                 {"eliminated", Eliminated},
                                 {"hoisted", Hoisted ? 1 : 0}});
@@ -59,6 +67,8 @@ AmPhaseStats am::runAssignmentMotionPhase(FlowGraph &G, AmContext &Ctx,
       break;
   }
   AM_REMARK_SET_ROUND(0);
+  if (Rec)
+    Rec->setRound(0);
   Span.arg("rounds", Stats.Iterations);
   Span.arg("eliminated", Stats.Eliminated);
   Span.arg("hoist_rounds", Stats.HoistRounds);

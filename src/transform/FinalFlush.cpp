@@ -8,6 +8,7 @@
 #include "analysis/PaperAnalyses.h"
 #include "ir/InstrNumbering.h"
 #include "ir/Printer.h"
+#include "report/Recorder.h"
 #include "support/Remarks.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
@@ -67,6 +68,8 @@ bool am::runFinalFlush(FlowGraph &G) {
   FlushAnalysis Analysis = FlushAnalysis::run(G);
   const FlushUniverse &U = Analysis.universe();
   Span.arg("temps", U.size());
+  if (report::RecorderSession *Rec = report::RecorderSession::current())
+    Rec->captureFlush(G, Analysis);
   if (U.size() == 0)
     return false;
 

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "transform/Pipeline.h"
+#include "report/Recorder.h"
 #include "support/Json.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
@@ -236,6 +237,11 @@ PipelineResult am::runPipeline(const FlowGraph &G, const std::string &Spec) {
     }
     R.Log.push_back(Line.str().empty() ? Name
                                        : (Name + ": " + Line.str()));
+    // The composite drivers snapshot their internal phases themselves;
+    // this generic capture records every pass boundary, so single-pass
+    // specs ("rae", "cp", ...) show up in the report too.
+    if (report::RecorderSession *Rec = report::RecorderSession::current())
+      Rec->snapshot(R.Graph, Name);
   }
   return R;
 }

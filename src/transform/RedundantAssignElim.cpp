@@ -8,6 +8,7 @@
 #include "analysis/PaperAnalyses.h"
 #include "ir/InstrNumbering.h"
 #include "ir/Printer.h"
+#include "report/Recorder.h"
 #include "support/Remarks.h"
 #include "transform/AssignmentMotion.h"
 
@@ -50,6 +51,8 @@ unsigned am::runRedundantAssignmentElimination(FlowGraph &G, AmContext &Ctx) {
     return 0;
   RedundancyAnalysis Redundancy = RedundancyAnalysis::run(
       G, Pats, Ctx.redundancySolver(), Ctx.patternGeneration());
+  if (report::RecorderSession *Rec = report::RecorderSession::current())
+    Rec->captureRedundancy(G, Pats, Redundancy, Rec->round());
 
   // Record all decisions first, then mutate.
   unsigned NumEliminated = 0;

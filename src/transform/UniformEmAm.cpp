@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "transform/UniformEmAm.h"
+#include "report/Recorder.h"
 #include "transform/FinalFlush.h"
 #include "transform/Initialization.h"
 #include "transform/Normalize.h"
@@ -15,11 +16,14 @@ FlowGraph am::runUniformEmAm(const FlowGraph &G, const UniformOptions &Options,
                              UniformStats *Stats) {
   UniformStats Local;
   UniformStats &S = Stats ? *Stats : Local;
+  report::RecorderSession *Rec = report::RecorderSession::current();
 
   FlowGraph Work = G;
   removeSkips(Work);
   if (Options.SplitCriticalEdges)
     S.EdgesSplit = Work.splitCriticalEdges();
+  if (Rec)
+    Rec->snapshot(Work, "split");
 
   // The motion passes are only admissible on graphs without critical
   // edges (Section 2.1); if splitting was suppressed and the graph has
@@ -29,11 +33,15 @@ FlowGraph am::runUniformEmAm(const FlowGraph &G, const UniformOptions &Options,
 
   if (Options.RunInitialization)
     S.Decompositions = runInitializationPhase(Work);
+  if (Rec)
+    Rec->snapshot(Work, "init");
 
   S.AmPhase = runAssignmentMotionPhase(Work, Options.MaxAmIterations);
 
   if (Options.RunFinalFlush)
     S.FlushChanged = runFinalFlush(Work);
+  if (Rec)
+    Rec->snapshot(Work, "flush");
 
   return Options.SimplifyResult ? simplified(Work) : Work;
 }

@@ -1,0 +1,34 @@
+//===- tests/report_disabled_helper.cpp - Recorder w/o stats ---*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Compiled with -DAM_DISABLE_STATS (see tests/CMakeLists.txt): the
+// recorder headers must stay compilable with the stats registry compiled
+// out — the hook pattern the transforms use only touches
+// RecorderSession::current(), never a stats symbol.  report_test.cpp
+// calls the probe below to assert the hook is inert in this TU exactly as
+// it is in a stats-enabled one.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_DISABLE_STATS
+#error "this file must be compiled with -DAM_DISABLE_STATS"
+#endif
+
+#include "report/Recorder.h"
+
+namespace am::test {
+
+/// The transforms' hook shape, compiled under AM_DISABLE_STATS: returns
+/// whether a session is currently installed.
+bool recorderHookFires() {
+  if (am::report::RecorderSession *Rec = am::report::RecorderSession::current()) {
+    (void)Rec;
+    return true;
+  }
+  return false;
+}
+
+} // namespace am::test

@@ -1,0 +1,386 @@
+//===- tests/report_test.cpp - Flight recorder and HTML report -*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The RecorderSession contracts (see report/Recorder.h):
+//
+//  * golden facts — recording the uniform pipeline over the paper's
+//    running example reproduces the Table 1-3 predicate vectors for the
+//    paper's blocks, bit for bit;
+//  * transparency — the optimized program is byte-identical with and
+//    without a session installed;
+//  * determinism — two recordings of the same run produce byte-identical
+//    facts JSON, despite the process-wide solve serial counter;
+//  * diff classification — inserted/deleted/moved/rewritten keyed on
+//    stable instruction ids;
+//  * the HTML generator marks its counter panels unavailable instead of
+//    dropping them when the stats registry is off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/InstrNumbering.h"
+#include "report/HtmlReport.h"
+#include "report/Recorder.h"
+#include "support/Remarks.h"
+#include "transform/UniformEmAm.h"
+
+#include <gtest/gtest.h>
+
+using namespace am;
+using namespace am::test;
+
+namespace am::test {
+// Defined in report_disabled_helper.cpp, compiled with -DAM_DISABLE_STATS.
+bool recorderHookFires();
+} // namespace am::test
+
+namespace {
+
+// The paper's running example (Figure 4) — same program as
+// examples/programs/running_example.am, which the amopt smoke tests and
+// the CI report job feed through `--facts`.
+const char *RunningExample = R"(graph {
+b1:
+  y := c + d
+  goto b2
+b2:
+  if x + z > y + i then b3 else b4
+b3:
+  y := c + d
+  x := y + z
+  i := i + x
+  goto b2
+b4:
+  x := y + z
+  x := c + d
+  out(i, x, y)
+  halt
+}
+)";
+
+/// One full recorded run of the uniform pipeline, the way amopt wires it:
+/// clear the sink, number the input, snapshot it, run, snapshot the
+/// result.  Returns the optimized program; the session holds the record.
+FlowGraph recordUniform(const FlowGraph &G, report::RecorderSession &S) {
+  remarks::CollectionScope Scope(true);
+  remarks::Sink::get().clear();
+  FlowGraph Input = G;
+  ensureInstrIds(Input);
+  S.install();
+  S.snapshot(Input, "input");
+  FlowGraph Out = runUniformEmAm(Input);
+  S.snapshot(Out, "final");
+  S.uninstall();
+  return Out;
+}
+
+const report::FactTable *findTable(const report::RecorderSession &S,
+                                   const std::string &Analysis,
+                                   uint32_t Round) {
+  for (const report::FactTable &T : S.facts())
+    if (T.Analysis == Analysis && T.Round == Round)
+      return &T;
+  return nullptr;
+}
+
+std::vector<std::string> universeText(const report::RecorderSession &S,
+                                      const report::FactTable &T) {
+  std::vector<std::string> Out;
+  for (uint32_t Idx : T.Universe)
+    Out.push_back(S.text(Idx));
+  return Out;
+}
+
+TEST(ReportGolden, RedundancyTable2RoundOne) {
+  report::RecorderSession S;
+  recordUniform(parse(RunningExample), S);
+
+  const report::FactTable *T = findTable(S, "redundancy", 1);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->Pass, "rae");
+  // The decomposed universe after initialization: one (h := t, x := h)
+  // pair per original assignment, first-occurrence order.
+  EXPECT_EQ(universeText(S, *T),
+            (std::vector<std::string>{"h1 := c + d", "y := h1", "h2 := x + z",
+                                      "h3 := y + i", "h4 := y + z", "x := h4",
+                                      "h5 := i + x", "i := h5", "x := h1"}));
+  // Table 2 (redundant assignment occurrences), forward all-path facts at
+  // the first rae round.  Bit k of the string is pattern k above.  b1
+  // makes h1/y := h1 available; the loop body recomputes them; nothing is
+  // redundant at the branch block's entry beyond what b1 and b3 agree on.
+  ASSERT_EQ(T->Rows.size(), 4u);
+  EXPECT_EQ(T->Rows[0].Entry, "000000000");
+  EXPECT_EQ(T->Rows[0].Exit, "110000000");
+  EXPECT_EQ(T->Rows[1].Entry, "110000000");
+  EXPECT_EQ(T->Rows[1].Exit, "111100000");
+  EXPECT_EQ(T->Rows[2].Entry, "111100000");
+  EXPECT_EQ(T->Rows[2].Exit, "110011010");
+  EXPECT_EQ(T->Rows[3].Entry, "111100000");
+  EXPECT_EQ(T->Rows[3].Exit, "100110001");
+}
+
+TEST(ReportGolden, HoistabilityTable1RoundOne) {
+  report::RecorderSession S;
+  recordUniform(parse(RunningExample), S);
+
+  const report::FactTable *T = findTable(S, "hoistability", 1);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->Pass, "aht");
+  ASSERT_EQ(T->Rows.size(), 4u);
+  // Table 1 (assignment hoistability), backward all-path facts at the
+  // first aht round, plus the local predicates and the insertion points
+  // the hoist derives from them.
+  EXPECT_EQ(T->Rows[0].Entry, "101000000");
+  EXPECT_EQ(T->Rows[0].Exit, "001100000");
+  EXPECT_EQ(T->Rows[1].Entry, "001100000");
+  EXPECT_EQ(T->Rows[1].Exit, "000000000");
+  EXPECT_EQ(T->Rows[2].Entry, "010000000");
+  EXPECT_EQ(T->Rows[2].Exit, "001100000");
+  EXPECT_EQ(T->Rows[3].Entry, "000010000");
+  EXPECT_EQ(T->Rows[3].Exit, "000000000");
+
+  ASSERT_EQ(T->Extras.size(), 4u);
+  EXPECT_EQ(T->Extras[0].Name, "LOC-BLOCKED");
+  EXPECT_EQ(T->Extras[0].PerBlock,
+            (std::vector<std::string>{"110110001", "011101011", "111111111",
+                                      "111011111"}));
+  EXPECT_EQ(T->Extras[1].Name, "LOC-HOISTABLE");
+  EXPECT_EQ(T->Extras[1].PerBlock,
+            (std::vector<std::string>{"100000000", "001100000", "010000000",
+                                      "000010000"}));
+  EXPECT_EQ(T->Extras[2].Name, "N-INSERT");
+  EXPECT_EQ(T->Extras[2].PerBlock,
+            (std::vector<std::string>{"101000000", "000000000", "010000000",
+                                      "000010000"}));
+  EXPECT_EQ(T->Extras[3].Name, "X-INSERT");
+  EXPECT_EQ(T->Extras[3].PerBlock,
+            (std::vector<std::string>{"000100000", "000000000", "001100000",
+                                      "000000000"}));
+}
+
+TEST(ReportGolden, FlushTable3) {
+  report::RecorderSession S;
+  recordUniform(parse(RunningExample), S);
+
+  // Table 3 runs over the temporaries' initialization universe.
+  const std::vector<std::string> FlushUniverse{
+      "h1 := c + d", "h2 := x + z", "h3 := y + i", "h4 := y + z",
+      "h5 := i + x"};
+
+  const report::FactTable *Delay = findTable(S, "delayability", 0);
+  ASSERT_NE(Delay, nullptr);
+  EXPECT_EQ(Delay->Pass, "flush");
+  EXPECT_EQ(universeText(S, *Delay), FlushUniverse);
+  ASSERT_EQ(Delay->Rows.size(), 4u);
+  // Only h3 := y + i is delayable past b1's exit (used once, in the
+  // branch), and h3/h4 through the loop body's exit.
+  EXPECT_EQ(Delay->Rows[0].Entry, "00000");
+  EXPECT_EQ(Delay->Rows[0].Exit, "00100");
+  EXPECT_EQ(Delay->Rows[1].Entry, "00100");
+  EXPECT_EQ(Delay->Rows[1].Exit, "00000");
+  EXPECT_EQ(Delay->Rows[2].Entry, "00000");
+  EXPECT_EQ(Delay->Rows[2].Exit, "01100");
+  EXPECT_EQ(Delay->Rows[3].Entry, "00000");
+  EXPECT_EQ(Delay->Rows[3].Exit, "00000");
+
+  const report::FactTable *Use = findTable(S, "usability", 0);
+  ASSERT_NE(Use, nullptr);
+  EXPECT_EQ(Use->Pass, "flush");
+  EXPECT_EQ(universeText(S, *Use), FlushUniverse);
+  ASSERT_EQ(Use->Rows.size(), 4u);
+  EXPECT_EQ(Use->Rows[0].Entry, "00000");
+  EXPECT_EQ(Use->Rows[0].Exit, "11100");
+  EXPECT_EQ(Use->Rows[1].Entry, "11100");
+  EXPECT_EQ(Use->Rows[1].Exit, "10000");
+  EXPECT_EQ(Use->Rows[2].Entry, "10000");
+  EXPECT_EQ(Use->Rows[2].Exit, "11100");
+  EXPECT_EQ(Use->Rows[3].Entry, "10000");
+  EXPECT_EQ(Use->Rows[3].Exit, "00000");
+}
+
+TEST(Report, TimelineCoversEveryPhaseAndRound) {
+  report::RecorderSession S;
+  recordUniform(parse(RunningExample), S);
+
+  std::vector<std::pair<std::string, uint32_t>> Timeline;
+  for (const report::Snapshot &Snap : S.snapshots())
+    Timeline.emplace_back(Snap.Label, Snap.Round);
+  ASSERT_GE(Timeline.size(), 7u);
+  EXPECT_EQ(Timeline.front(), (std::pair<std::string, uint32_t>{"input", 0}));
+  EXPECT_EQ(Timeline[1], (std::pair<std::string, uint32_t>{"split", 0}));
+  EXPECT_EQ(Timeline[2], (std::pair<std::string, uint32_t>{"init", 0}));
+  EXPECT_EQ(Timeline[3], (std::pair<std::string, uint32_t>{"rae", 1}));
+  EXPECT_EQ(Timeline[4], (std::pair<std::string, uint32_t>{"aht", 1}));
+  EXPECT_EQ(Timeline[Timeline.size() - 2],
+            (std::pair<std::string, uint32_t>{"flush", 0}));
+  EXPECT_EQ(Timeline.back(), (std::pair<std::string, uint32_t>{"final", 0}));
+
+  // One solve record per rae/aht round plus the two flush analyses, each
+  // attributed to the pipeline point whose analysis ran it.
+  EXPECT_GE(S.solves().size(), Timeline.size() - 5);
+  for (const report::SolveRecord &R : S.solves())
+    EXPECT_TRUE(R.Label == "rae" || R.Label == "aht" || R.Label == "flush")
+        << R.Label;
+}
+
+TEST(Report, OptimizedOutputByteIdenticalWithRecordingOn) {
+  FlowGraph G = parse(RunningExample);
+  FlowGraph Plain = runUniformEmAm(G);
+
+  report::RecorderSession S;
+  FlowGraph Recorded = recordUniform(G, S);
+  EXPECT_EQ(printGraph(Plain), printGraph(Recorded));
+}
+
+TEST(Report, FactsJsonDeterministicAcrossRecordings) {
+  // The process-wide solve serial keeps climbing between the two runs and
+  // the stats counters carry over; deltas and serial normalization must
+  // hide both.
+  report::RecorderSession A;
+  recordUniform(parse(RunningExample), A);
+  std::vector<remarks::Remark> FirstRemarks = remarks::Sink::get().remarks();
+  std::string FirstFacts = A.toJsonString(&FirstRemarks);
+  report::ReportMeta FirstMeta;
+  FirstMeta.Title = "running_example";
+  FirstMeta.PassSpec = "uniform";
+  FirstMeta.Remarks = FirstRemarks;
+  std::string FirstHtml = renderHtmlReport(A, FirstMeta);
+
+  report::RecorderSession B;
+  recordUniform(parse(RunningExample), B);
+  std::vector<remarks::Remark> SecondRemarks = remarks::Sink::get().remarks();
+  EXPECT_EQ(FirstFacts, B.toJsonString(&SecondRemarks));
+  report::ReportMeta SecondMeta;
+  SecondMeta.Title = "running_example";
+  SecondMeta.PassSpec = "uniform";
+  SecondMeta.Remarks = SecondRemarks;
+  EXPECT_EQ(FirstHtml, renderHtmlReport(B, SecondMeta));
+}
+
+TEST(Report, DiffClassifiesInsertDeleteMoveRewrite) {
+  // Before: two blocks with hand-assigned stable ids.
+  FlowGraph Before = parse("graph {\n"
+                           "b1:\n  x := a + b\n  y := x + c\n  goto b2\n"
+                           "b2:\n  z := y + d\n  out(z)\n  halt\n}\n");
+  Before.block(0).Instrs[0].Id = 1; // x := a + b
+  Before.block(0).Instrs[1].Id = 2; // y := x + c
+  Before.block(1).Instrs[0].Id = 3; // z := y + d
+  Before.block(1).Instrs[1].Id = 4; // out(z)
+
+  // After: id 1 moved to the end of b2, id 2 deleted, id 3 rewritten in
+  // place, id 5 inserted, id 4 untouched at b2[1].
+  FlowGraph After = parse("graph {\n"
+                          "b1:\n  w := a + a\n  goto b2\n"
+                          "b2:\n  z := d + d\n  out(z)\n  x := a + b\n"
+                          "  halt\n}\n");
+  After.block(0).Instrs[0].Id = 5; // w := a + a (inserted)
+  After.block(1).Instrs[0].Id = 3; // z := d + d (rewritten, still b2[0])
+  After.block(1).Instrs[1].Id = 4; // out(z)     (still b2[1])
+  After.block(1).Instrs[2].Id = 1; // x := a + b (moved b1[0] -> b2[2])
+
+  report::RecorderSession S;
+  S.install();
+  S.snapshot(Before, "before");
+  S.snapshot(After, "after");
+  S.uninstall();
+
+  report::SnapshotDiff D = S.diff(0, 1);
+  ASSERT_EQ(D.Inserted.size(), 1u);
+  EXPECT_EQ(D.Inserted[0].Id, 5u);
+  EXPECT_EQ(D.Inserted[0].Block, 0u);
+
+  ASSERT_EQ(D.Deleted.size(), 1u);
+  EXPECT_EQ(D.Deleted[0].Id, 2u);
+  EXPECT_EQ(D.Deleted[0].Block, 0u);
+  EXPECT_EQ(D.Deleted[0].Index, 1u);
+
+  ASSERT_EQ(D.Moved.size(), 1u);
+  EXPECT_EQ(D.Moved[0].Id, 1u);
+  EXPECT_EQ(D.Moved[0].FromBlock, 0u);
+  EXPECT_EQ(D.Moved[0].ToBlock, 1u);
+  EXPECT_EQ(D.Moved[0].ToIndex, 2u);
+
+  ASSERT_EQ(D.Rewritten.size(), 1u);
+  EXPECT_EQ(D.Rewritten[0].Id, 3u);
+  EXPECT_EQ(S.text(D.Rewritten[0].OldText), "z := y + d");
+  EXPECT_EQ(S.text(D.Rewritten[0].NewText), "z := d + d");
+
+  EXPECT_EQ(D.UnkeyedFrom, 0u);
+  EXPECT_EQ(D.UnkeyedTo, 0u);
+  EXPECT_TRUE(S.resolvesId(5));
+  EXPECT_FALSE(S.resolvesId(99));
+}
+
+TEST(Report, IdenticalSnapshotsDiffEmpty) {
+  FlowGraph G = parse("program { x := a + b; out(x); }");
+  ensureInstrIds(G);
+  report::RecorderSession S;
+  S.install();
+  S.snapshot(G, "one");
+  S.snapshot(G, "two");
+  S.uninstall();
+  EXPECT_TRUE(S.diff(0, 1).empty());
+}
+
+TEST(Report, CountersAreDeltasFromInstall) {
+  // A session installed after earlier work must start every counter at
+  // zero — the first snapshot happens before any recorded solve.
+  report::RecorderSession Warmup;
+  recordUniform(parse(RunningExample), Warmup); // bump the registry
+
+  report::RecorderSession S;
+  recordUniform(parse(RunningExample), S);
+  ASSERT_FALSE(S.snapshots().empty());
+  const report::Snapshot &First = S.snapshots().front();
+  if (First.HasCounters)
+    for (uint64_t C : First.Counters)
+      EXPECT_EQ(C, 0u);
+}
+
+TEST(Report, HtmlMarksPanelsUnavailableWithoutStats) {
+  report::RecorderSession S;
+  S.setCaptureCounters(false);
+  recordUniform(parse(RunningExample), S);
+
+  report::ReportMeta Meta;
+  Meta.Title = "running_example";
+  Meta.PassSpec = "uniform";
+  Meta.StatsAvailable = false;
+  std::string Html = renderHtmlReport(S, Meta);
+  EXPECT_NE(Html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(Html.find("class=\"unavailable\""), std::string::npos);
+  // The structural panels are all still present.
+  for (const char *Panel : {"Timeline", "Phase steps", "Dataflow facts",
+                            "Dataflow solves", "Convergence"})
+    EXPECT_NE(Html.find(Panel), std::string::npos) << Panel;
+}
+
+TEST(Report, HookFiresFromStatsDisabledTranslationUnit) {
+  // The helper TU is compiled with -DAM_DISABLE_STATS; the transforms'
+  // `if (RecorderSession::current())` hook pattern must behave
+  // identically there — recording does not depend on the stats macros.
+  EXPECT_FALSE(recorderHookFires());
+  report::RecorderSession S;
+  S.install();
+  EXPECT_TRUE(recorderHookFires());
+  S.uninstall();
+  EXPECT_FALSE(recorderHookFires());
+}
+
+TEST(Report, HtmlEscapesTitle) {
+  report::RecorderSession S;
+  S.install();
+  S.uninstall();
+  report::ReportMeta Meta;
+  Meta.Title = "<script>alert(1)</script>";
+  Meta.PassSpec = "uniform";
+  std::string Html = renderHtmlReport(S, Meta);
+  EXPECT_EQ(Html.find("<script>"), std::string::npos);
+  EXPECT_NE(Html.find("&lt;script&gt;"), std::string::npos);
+}
+
+} // namespace

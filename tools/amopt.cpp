@@ -10,6 +10,7 @@
 //   amopt [--pass=uniform|am|lcm|bcm|restricted|cp|pde]
 //         [--passes=p1,p2,...] [--dot] [--stats[=json]] [--trace=out.json]
 //         [--remarks[=out.json]] [--explain=<var|instr-id>]
+//         [--report=out.html] [--facts=out.json]
 //         [--verify] [--verify-remarks]
 //         [--annotate=redundancy|hoist|flush|live] [FILE]
 //
@@ -41,6 +42,13 @@
 //                  re-run the uniform pipeline with remark collection on
 //                  and replay every remark's cited facts against fresh
 //                  analyses; exit 4 if any justification fails.
+//   --report=F     flight-record the run (per-phase/per-round IR
+//                  snapshots, Table 1-3 fact tables, one record per
+//                  dataflow solve) and render it as a single
+//                  self-contained HTML file: timeline, side-by-side round
+//                  diffs with remarks anchored on the exact instruction,
+//                  per-block fact tables, convergence sparklines.
+//   --facts=F      the same recording as machine-readable JSON.
 //
 //===----------------------------------------------------------------------===//
 
@@ -50,6 +58,9 @@
 #include "ir/InstrNumbering.h"
 #include "ir/Printer.h"
 #include "parser/Parser.h"
+#include "report/HtmlReport.h"
+#include "report/Recorder.h"
+#include "support/ArgParser.h"
 #include "support/Json.h"
 #include "support/Remarks.h"
 #include "support/Stats.h"
@@ -65,6 +76,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -86,6 +98,7 @@ int usage() {
                "[--passes=p1,p2,...] [--dot]\n"
                "             [--stats[=json]] [--trace=out.json] "
                "[--remarks[=out.json]]\n"
+               "             [--report=out.html] [--facts=out.json]\n"
                "             [--explain=<var|instr-id>] [--verify] "
                "[--verify-remarks]\n"
                "             [--annotate=redundancy|hoist|flush|live] [FILE]\n"
@@ -104,7 +117,12 @@ int usage() {
                "instruction's (or a\n"
                "variable's) provenance chain; --verify-remarks replays "
                "every remark's facts\n"
-               "against fresh analyses (uniform pass only).\n");
+               "against fresh analyses (uniform pass only).  --report "
+               "writes one self-contained\n"
+               "HTML optimization report (per-round snapshots, diffs, "
+               "Tables 1-3 facts);\n"
+               "--facts writes the same recording as machine-readable "
+               "JSON.\n");
   return 2;
 }
 
@@ -113,14 +131,11 @@ int usage() {
 /// id did not survive.
 const std::string finalLocation(uint32_t Id, const void *Ctx) {
   const FlowGraph &G = *static_cast<const FlowGraph *>(Ctx);
-  for (BlockId B = 0; B < G.numBlocks(); ++B) {
-    const auto &Instrs = G.block(B).Instrs;
-    for (size_t Idx = 0; Idx < Instrs.size(); ++Idx)
-      if (Instrs[Idx].Id == Id)
-        return "b" + std::to_string(B) + "[" + std::to_string(Idx) +
-               "]: " + printInstr(Instrs[Idx], G.Vars);
-  }
-  return std::string();
+  InstrLocation Loc = findInstrById(G, Id);
+  if (!Loc.Found)
+    return std::string();
+  return "b" + std::to_string(Loc.Block) + "[" + std::to_string(Loc.Index) +
+         "]: " + printInstr(G.block(Loc.Block).Instrs[Loc.Index], G.Vars);
 }
 
 /// Short per-instruction annotations for the remark-annotated DOT output:
@@ -168,45 +183,71 @@ int main(int argc, char **argv) {
   std::string TracePath;
   std::string RemarksPath;
   std::string Explain;
-  bool EmitDot = false, EmitStats = false, StatsJson = false, Verify = false;
+  std::string ReportPath;
+  std::string FactsPath;
+  std::string StatsValue;
+  bool EmitDot = false, EmitStats = false, Verify = false;
   bool EmitRemarks = false, VerifyRemarks = false;
-  std::string File;
 
-  for (int Idx = 1; Idx < argc; ++Idx) {
-    std::string Arg = argv[Idx];
-    if (Arg.rfind("--passes=", 0) == 0)
-      Passes = Arg.substr(9);
-    else if (Arg.rfind("--pass=", 0) == 0)
-      Pass = Arg.substr(7);
-    else if (Arg.rfind("--annotate=", 0) == 0)
-      Annotation = Arg.substr(11);
-    else if (Arg.rfind("--trace=", 0) == 0)
-      TracePath = Arg.substr(8);
-    else if (Arg == "--remarks")
-      EmitRemarks = true;
-    else if (Arg.rfind("--remarks=", 0) == 0) {
-      EmitRemarks = true;
-      RemarksPath = Arg.substr(10);
-    } else if (Arg.rfind("--explain=", 0) == 0)
-      Explain = Arg.substr(10);
-    else if (Arg == "--verify-remarks")
-      VerifyRemarks = true;
-    else if (Arg == "--dot")
-      EmitDot = true;
-    else if (Arg == "--stats")
-      EmitStats = true;
-    else if (Arg == "--stats=json") {
-      EmitStats = true;
-      StatsJson = true;
-    } else if (Arg == "--verify")
-      Verify = true;
-    else if (Arg == "--help" || Arg == "-h")
-      return usage();
-    else if (!Arg.empty() && Arg[0] == '-')
-      return usage();
-    else
-      File = Arg;
+  support::ArgParser Parser(
+      "amopt",
+      "Optimizes a `program { ... }` or `graph { ... }` source (FILE or\n"
+      "stdin); with no FILE and a terminal on stdin, optimizes the paper's\n"
+      "running example as a demo.");
+  Parser.option("--pass", Pass, "pass to run (default: uniform)",
+                "uniform|am|lcm|bcm|restricted|cp|pde");
+  Parser.option("--passes", Passes, "comma-separated pass pipeline",
+                "p1,p2,...");
+  Parser.flag("--dot", EmitDot, "print Graphviz DOT instead of the program");
+  Parser.optionalValue("--stats", EmitStats, StatsValue,
+                       "per-pass IR deltas, timings and solver counters on "
+                       "stderr",
+                       "json");
+  Parser.option("--trace", TracePath,
+                "write Chrome trace_event JSON for about:tracing / Perfetto",
+                "out.json");
+  Parser.optionalValue("--remarks", EmitRemarks, RemarksPath,
+                       "record every transformation decision (stderr, or "
+                       "=FILE as JSON)",
+                       "out.json");
+  Parser.option("--explain", Explain,
+                "print an instruction's (or a variable's) provenance chain",
+                "var|instr-id");
+  Parser.option("--report", ReportPath,
+                "write a self-contained HTML optimization report",
+                "out.html");
+  Parser.option("--facts", FactsPath,
+                "write per-round snapshots, diffs and Table 1-3 facts as "
+                "JSON",
+                "out.json");
+  Parser.option("--annotate", Annotation,
+                "print analysis facts over the *input* instead of "
+                "transforming",
+                "redundancy|hoist|flush|live");
+  Parser.flag("--verify", Verify,
+              "interpret input and output on random inputs; exit 3 on "
+              "divergence");
+  Parser.flag("--verify-remarks", VerifyRemarks,
+              "replay every remark's facts against fresh analyses; exit 4 "
+              "on failure");
+  if (!Parser.parse(argc, argv)) {
+    std::fprintf(stderr, "amopt: %s\n", Parser.error().c_str());
+    return usage();
   }
+  if (Parser.helpRequested()) {
+    std::fputs(Parser.helpText().c_str(), stdout);
+    return 0;
+  }
+  bool StatsJson = StatsValue == "json";
+  if (EmitStats && !StatsValue.empty() && !StatsJson) {
+    std::fprintf(stderr, "amopt: unknown stats format '%s'\n",
+                 StatsValue.c_str());
+    return usage();
+  }
+  // Last positional wins, as the pre-ArgParser loop behaved.
+  std::string File;
+  if (!Parser.positional().empty())
+    File = Parser.positional().back();
 
   if (!TracePath.empty() && TracePath[0] == '-') {
     std::fprintf(stderr, "amopt: suspicious trace path '%s'\n",
@@ -255,10 +296,11 @@ int main(int argc, char **argv) {
                  "pass\n");
     return usage();
   }
-  if ((VerifyRemarks || EmitRemarks || !Explain.empty()) &&
+  if ((VerifyRemarks || EmitRemarks || !Explain.empty() ||
+       !ReportPath.empty() || !FactsPath.empty()) &&
       !Annotation.empty()) {
     std::fprintf(stderr, "amopt: --annotate does not transform; remark "
-                         "flags have no effect with it\n");
+                         "and report flags have no effect with it\n");
     return usage();
   }
 
@@ -308,8 +350,12 @@ int main(int argc, char **argv) {
   // Remark collection: number the input's instructions up front so every
   // original occurrence has a stable id before any pass observes it.
   // --verify-remarks manages the sink itself (it clears and renumbers),
-  // so only the direct collection paths prime it here.
-  bool CollectRemarks = EmitRemarks || !Explain.empty() || VerifyRemarks;
+  // so only the direct collection paths prime it here.  --report/--facts
+  // imply collection: the report anchors remarks on snapshot instructions
+  // and the diffs key on the ids the sink assigns.
+  bool Record = !ReportPath.empty() || !FactsPath.empty();
+  bool CollectRemarks =
+      EmitRemarks || !Explain.empty() || VerifyRemarks || Record;
   std::optional<remarks::CollectionScope> RemarkScope;
   if (CollectRemarks) {
     RemarkScope.emplace(true);
@@ -317,6 +363,27 @@ int main(int argc, char **argv) {
       remarks::Sink::get().clear();
       ensureInstrIds(Input);
     }
+  }
+
+  // Flight recorder behind --report/--facts.  While installed, the
+  // transforms snapshot every pipeline phase and AM round and capture the
+  // Tables 1-3 facts at each analysis run (see report/Recorder.h).  The
+  // AM_DISABLE_STATS environment variable demonstrates the degraded mode:
+  // the report is still produced, with its counter panels marked
+  // unavailable instead of showing half-recorded numbers.
+  report::RecorderSession Recorder;
+  bool StatsAvailable = true;
+#ifdef AM_DISABLE_STATS
+  StatsAvailable = false;
+#endif
+  if (Record) {
+    if (!StatsAvailable || std::getenv("AM_DISABLE_STATS")) {
+      stats::Registry::get().setEnabled(false);
+      Recorder.setCaptureCounters(false);
+      StatsAvailable = false;
+    }
+    Recorder.install();
+    Recorder.snapshot(Input, "input");
   }
 
   FlowGraph Output;
@@ -357,6 +424,13 @@ int main(int argc, char **argv) {
     Output.splitCriticalEdges();
     runPartialDeadCodeElim(Output);
     Output = simplified(Output);
+  }
+
+  // Close the recording before anything downstream (verify interpreters,
+  // stats dumps) can run more solves against it.
+  if (Record) {
+    Recorder.snapshot(Output, "final");
+    Recorder.uninstall();
   }
 
   if (TraceSession) {
@@ -420,6 +494,37 @@ int main(int argc, char **argv) {
     Out << remarks::Sink::get().toJsonString() << "\n";
   } else if (EmitRemarks) {
     std::fprintf(stderr, "%s\n", remarks::Sink::get().toJsonString().c_str());
+  }
+
+  // The recording artifacts, likewise persisted before any verification
+  // verdict can fail the process.
+  if (!FactsPath.empty()) {
+    std::ofstream Out(FactsPath);
+    if (!Out) {
+      std::fprintf(stderr, "amopt: cannot write facts '%s'\n",
+                   FactsPath.c_str());
+      return 1;
+    }
+    Out << Recorder.toJsonString(&AllRemarks) << "\n";
+  }
+  if (!ReportPath.empty()) {
+    report::ReportMeta Meta;
+    Meta.Title = File.empty() ? "<stdin>" : File;
+    Meta.PassSpec = Passes.empty() ? Pass : Passes;
+    Meta.InputText = printGraph(Input);
+    Meta.OutputText = printGraph(Output);
+    Meta.Remarks = AllRemarks;
+    Meta.StatsAvailable = StatsAvailable;
+    std::ofstream Out(ReportPath);
+    if (!Out) {
+      std::fprintf(stderr, "amopt: cannot write report '%s'\n",
+                   ReportPath.c_str());
+      return 1;
+    }
+    Out << report::renderHtmlReport(Recorder, Meta);
+    if (!(EmitStats && StatsJson))
+      std::fprintf(stderr, "amopt: report written to %s\n",
+                   ReportPath.c_str());
   }
 
   if (VerifyRemarks) {

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Counter-regression gate over the bundled example programs.
+
+Runs ``amopt --stats=json`` for every preset in ``bench/BENCH_baseline.json``
+and compares the solver/transform counters against the committed baseline.
+Counters are machine-independent (they count work items, never time), so
+any growth beyond the tolerance is a real algorithmic regression — more
+solves, more sweeps, more words touched — and fails the check.  Wall time
+is recorded per preset for context but never enforced: CI machines are too
+noisy for wall-clock gates.
+
+Usage:
+  tools/bench_check.py --amopt build/tools/amopt            # check
+  tools/bench_check.py --amopt build/tools/amopt --update   # rewrite baseline
+
+Exit codes: 0 ok, 1 regression or preset failure, 2 usage/environment.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+# Machine-independent counters gated by the check.  Timers and the
+# "which solver strategy ran" breakdown counters are excluded on purpose:
+# the former are time, the latter may legitimately shift between equally
+# good strategies.
+GATED_COUNTERS = [
+    "dfa.solves",
+    "dfa.sweeps",
+    "dfa.blocks_processed",
+    "dfa.words_touched",
+    "dfa.transfers_recomputed",
+    "am.rounds",
+    "am.hoist_rounds",
+    "am.eliminated",
+    "flush.inits_deleted",
+    "flush.inits_sunk",
+]
+
+# Regression tolerance: a gated counter may grow by at most this factor
+# over the baseline before the check fails.
+TOLERANCE = 1.15
+
+# preset name -> amopt arguments (before the input file)
+PRESETS = {
+    "uniform/running_example": ["examples/programs/running_example.am"],
+    "uniform/filter_kernel": ["examples/programs/filter_kernel.am"],
+    "uniform/blocked_motion": ["examples/programs/blocked_motion.am"],
+    "uniform/matrix_sum": ["examples/programs/matrix_sum.am"],
+    "am/irreducible": ["--pass=am", "examples/programs/irreducible.am"],
+    "pde/running_example": ["--pass=pde",
+                            "examples/programs/running_example.am"],
+}
+
+
+def run_preset(amopt, args, repo_root):
+    """Runs one preset; returns (counters dict, wall_ns)."""
+    cmd = [amopt, "--stats=json"] + args
+    start = time.monotonic_ns()
+    proc = subprocess.run(cmd, cwd=repo_root, capture_output=True, text=True)
+    wall_ns = time.monotonic_ns() - start
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    stats = json.loads(proc.stderr)
+    counters = stats["registry"]["counters"]
+    return {k: counters.get(k, 0) for k in GATED_COUNTERS}, wall_ns
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--amopt", required=True,
+                        help="path to the amopt binary")
+    parser.add_argument("--baseline", default="bench/BENCH_baseline.json",
+                        help="baseline file (default: %(default)s)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    amopt = os.path.abspath(args.amopt)
+    if not os.path.exists(amopt):
+        print(f"bench_check: no such binary: {amopt}", file=sys.stderr)
+        return 2
+    baseline_path = os.path.join(repo_root, args.baseline)
+
+    results = {}
+    for name, preset_args in PRESETS.items():
+        try:
+            counters, wall_ns = run_preset(amopt, preset_args, repo_root)
+        except (RuntimeError, json.JSONDecodeError, KeyError) as err:
+            print(f"bench_check: preset {name} failed: {err}",
+                  file=sys.stderr)
+            return 1
+        results[name] = {"wall_ns": wall_ns, "counters": counters}
+
+    if args.update:
+        doc = {
+            "_comment": "Machine-independent solver/transform counters per "
+                        "preset; tools/bench_check.py fails CI when a gated "
+                        "counter grows >15% over this baseline.  wall_ns is "
+                        "context only (never enforced).  Regenerate with "
+                        "tools/bench_check.py --amopt <amopt> --update.",
+            "tolerance": TOLERANCE,
+            "presets": results,
+        }
+        with open(baseline_path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"bench_check: baseline written to {args.baseline} "
+              f"({len(results)} presets)")
+        return 0
+
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    except OSError as err:
+        print(f"bench_check: cannot read baseline: {err}", file=sys.stderr)
+        return 2
+    tolerance = baseline.get("tolerance", TOLERANCE)
+
+    failures = []
+    for name, entry in baseline["presets"].items():
+        if name not in results:
+            failures.append(f"{name}: preset missing from this run")
+            continue
+        new = results[name]["counters"]
+        for counter, old_value in entry["counters"].items():
+            new_value = new.get(counter, 0)
+            limit = old_value * tolerance
+            marker = ""
+            if old_value and new_value > limit:
+                failures.append(
+                    f"{name}: {counter} regressed {old_value} -> {new_value} "
+                    f"(limit {limit:.0f})")
+                marker = "  <-- REGRESSION"
+            elif old_value == 0 and new_value > 0:
+                failures.append(
+                    f"{name}: {counter} regressed 0 -> {new_value}")
+                marker = "  <-- REGRESSION"
+            elif new_value < old_value:
+                marker = "  (improved)"
+            if marker:
+                print(f"  {name}: {counter} {old_value} -> {new_value}"
+                      f"{marker}")
+        wall = results[name]["wall_ns"]
+        print(f"bench_check: {name}: wall {wall / 1e6:.1f} ms "
+              f"(baseline {entry['wall_ns'] / 1e6:.1f} ms, not enforced)")
+
+    for name in results:
+        if name not in baseline["presets"]:
+            print(f"bench_check: note: preset {name} has no baseline entry "
+                  f"(run --update)")
+
+    if failures:
+        print("bench_check: FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench_check: OK ({len(baseline['presets'])} presets within "
+          f"{(tolerance - 1) * 100:.0f}% of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

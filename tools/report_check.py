@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Well-formedness check for amopt's --report / --facts artifacts.
+
+CI generates a report.html + facts.json pair for every bundled example
+program; this script is the lightweight gate over them:
+
+  * the HTML parses and every non-void tag closes in order (a report is a
+    single self-contained document — one unbalanced <div> garbles every
+    panel after it);
+  * the HTML carries each expected panel heading;
+  * the facts JSON parses and every remark's instruction ids (instr_id,
+    parents, new_ids) resolve to an instruction of some snapshot — a
+    dangling id means a remark the report cannot anchor;
+  * every fact-table bit string is exactly as wide as its universe, and
+    every diff/solve cross-reference points inside the document.
+
+Usage: tools/report_check.py report.html facts.json [more pairs...]
+Exit codes: 0 ok, 1 malformed artifact, 2 usage.
+"""
+
+import json
+import sys
+from html.parser import HTMLParser
+
+# https://html.spec.whatwg.org/#void-elements — never closed.
+VOID_TAGS = {"area", "base", "br", "col", "embed", "hr", "img", "input",
+             "link", "meta", "source", "track", "wbr"}
+
+EXPECTED_PANELS = ["Timeline", "Convergence", "Phase steps",
+                   "Dataflow facts", "Dataflow solves", "Input program",
+                   "Optimized program"]
+
+
+class TagBalanceChecker(HTMLParser):
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.errors = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in VOID_TAGS:
+            self.stack.append((tag, self.getpos()))
+
+    def handle_endtag(self, tag):
+        if tag in VOID_TAGS:
+            return
+        if not self.stack:
+            self.errors.append(f"line {self.getpos()[0]}: </{tag}> with no "
+                               f"open tag")
+            return
+        open_tag, pos = self.stack.pop()
+        if open_tag != tag:
+            self.errors.append(
+                f"line {self.getpos()[0]}: </{tag}> closes <{open_tag}> "
+                f"opened at line {pos[0]}")
+
+
+def check_html(path):
+    errors = []
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    checker = TagBalanceChecker()
+    checker.feed(text)
+    checker.close()
+    errors += checker.errors
+    for tag, pos in checker.stack:
+        errors.append(f"<{tag}> opened at line {pos[0]} never closed")
+    for panel in EXPECTED_PANELS:
+        if panel not in text:
+            errors.append(f"missing panel heading '{panel}'")
+    if "<script" in text.lower() or "http://" in text or "https://" in text:
+        errors.append("report must be self-contained: no scripts or "
+                      "external references")
+    return errors
+
+
+def check_facts(path):
+    errors = []
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+
+    snapshot_ids = set()
+    for snap in doc.get("snapshots", []):
+        for block in snap["blocks"]:
+            for instr in block["instrs"]:
+                if instr["id"]:
+                    snapshot_ids.add(instr["id"])
+    n_snapshots = len(doc.get("snapshots", []))
+
+    for i, remark in enumerate(doc.get("remarks", [])):
+        cited = [remark.get("instr_id", 0)]
+        cited += remark.get("parents", [])
+        cited += remark.get("new_ids", [])
+        for rid in cited:
+            if rid and rid not in snapshot_ids:
+                errors.append(f"remark #{i} ({remark.get('kind')}): id {rid} "
+                              f"resolves to no snapshot instruction")
+
+    for t, table in enumerate(doc.get("facts", [])):
+        width = len(table["universe"])
+        for row in table["blocks"]:
+            for key, value in row.items():
+                if key == "block":
+                    continue
+                if len(value) != width:
+                    errors.append(
+                        f"fact table #{t} ({table['analysis']}): block "
+                        f"{row['block']} {key} is {len(value)} bits, "
+                        f"universe has {width}")
+
+    for d, diff in enumerate(doc.get("diffs", [])):
+        for key in ("from", "to"):
+            if not 0 <= diff[key] < n_snapshots:
+                errors.append(f"diff #{d}: {key}={diff[key]} is not a "
+                              f"snapshot index")
+        for change in diff["changes"].get("inserted", []):
+            if change["id"] not in snapshot_ids:
+                errors.append(f"diff #{d}: inserted id {change['id']} "
+                              f"resolves to no snapshot instruction")
+
+    labels = {(s["label"], s.get("round", 0))
+              for s in doc.get("snapshots", [])}
+    for s, solve in enumerate(doc.get("solves", [])):
+        if (solve["label"], solve.get("round", 0)) not in labels:
+            errors.append(f"solve #{s}: attributed to unknown phase "
+                          f"{solve['label']!r} round {solve.get('round', 0)}")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) % 2 == 0:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for i in range(1, len(argv), 2):
+        html_path, facts_path = argv[i], argv[i + 1]
+        for path, checker in ((html_path, check_html),
+                              (facts_path, check_facts)):
+            try:
+                errors = checker(path)
+            except (OSError, json.JSONDecodeError, KeyError) as err:
+                errors = [f"unreadable or malformed: {err!r}"]
+            if errors:
+                failed = True
+                print(f"report_check: {path}: FAILED", file=sys.stderr)
+                for line in errors:
+                    print(f"  {line}", file=sys.stderr)
+            else:
+                print(f"report_check: {path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
