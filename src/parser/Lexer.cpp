@@ -7,6 +7,7 @@
 #include "parser/Lexer.h"
 
 #include <cctype>
+#include <cstdint>
 
 using namespace am;
 
@@ -88,8 +89,18 @@ private:
       std::string Digits(1, C);
       while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
         Digits.push_back(advance());
+      // Accumulate with an explicit overflow check: std::stoll throws on
+      // out-of-range input, which would escape as an uncaught exception.
+      int64_t Value = 0;
+      for (char D : Digits) {
+        int64_t Digit = D - '0';
+        if (Value > (INT64_MAX - Digit) / 10)
+          return make(TokKind::Error,
+                      "number literal '" + Digits + "' is too large");
+        Value = Value * 10 + Digit;
+      }
       Token T = make(TokKind::Number, Digits);
-      T.Value = std::stoll(Digits);
+      T.Value = Value;
       return T;
     }
 
@@ -144,9 +155,21 @@ private:
         return make(TokKind::Ne);
       }
       return make(TokKind::Error, "stray '!'");
-    default:
-      return make(TokKind::Error,
-                  std::string("unexpected character '") + C + "'");
+    default: {
+      // Non-printable and non-ASCII bytes are rendered as hex escapes so
+      // the diagnostic stays one clean line of printable text.
+      unsigned char U = static_cast<unsigned char>(C);
+      std::string Shown;
+      if (U >= 0x20 && U < 0x7F) {
+        Shown = std::string("'") + C + "'";
+      } else {
+        static const char Hex[] = "0123456789abcdef";
+        Shown = "byte 0x";
+        Shown += Hex[U >> 4];
+        Shown += Hex[U & 0xF];
+      }
+      return make(TokKind::Error, "unexpected character " + Shown);
+    }
     }
   }
 

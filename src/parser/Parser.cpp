@@ -97,8 +97,18 @@ protected:
   void fail(const Token &At, std::string Msg) {
     if (!Error.empty())
       return;
+    ErrLine = At.Line;
+    ErrCol = At.Col;
+    RawMsg = Msg;
     Error = "line " + std::to_string(At.Line) + ":" + std::to_string(At.Col) +
             ": " + std::move(Msg);
+  }
+
+  /// The failure as a structured diagnostic (empty if the parse is fine).
+  diag::Diagnostic takeDiag() const {
+    if (Error.empty())
+      return diag::Diagnostic();
+    return diag::Diagnostic::error("parse", RawMsg, ErrLine, ErrCol);
   }
 
   /// Parses an identifier that is a variable name (not a keyword).
@@ -197,6 +207,9 @@ protected:
   std::vector<Token> Toks;
   size_t Pos = 0;
   std::string Error;
+  std::string RawMsg;
+  unsigned ErrLine = 0;
+  unsigned ErrCol = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -214,6 +227,7 @@ public:
     if (!failed())
       finalize(R.Graph);
     R.Error = Error;
+    R.Diag = takeDiag();
     return R;
   }
 
@@ -430,6 +444,19 @@ private:
     return G.Vars.getOrCreate(Name);
   }
 
+  /// Recursion ceiling for nested expressions and statement blocks: deep
+  /// enough for any sane program, shallow enough that adversarial nesting
+  /// (ten thousand '('s) fails with a diagnostic instead of exhausting the
+  /// stack.
+  static constexpr unsigned MaxNesting = 256;
+  unsigned Depth = 0;
+
+  struct DepthGuard {
+    unsigned &D;
+    explicit DepthGuard(unsigned &D) : D(D) { ++D; }
+    ~DepthGuard() { --D; }
+  };
+
   /// Emits `Dst := T` into \p Cur and returns Dst as an operand.
   Operand spill(FlowGraph &G, BlockId Cur, const Term &T) {
     VarId Dst = freshDecompVar(G);
@@ -441,6 +468,12 @@ private:
   /// into fresh assignments appended to \p Cur.
   std::optional<Operand> parseAtom(FlowGraph &G, BlockId Cur) {
     if (accept(TokKind::LParen)) {
+      DepthGuard Guard(Depth);
+      if (Depth > MaxNesting) {
+        fail(peek(), "expression nesting too deep (limit " +
+                         std::to_string(MaxNesting) + ")");
+        return std::nullopt;
+      }
       auto T = parseExpr(G, Cur);
       if (!T || !expect(TokKind::RParen, "')'"))
         return std::nullopt;
@@ -515,6 +548,7 @@ public:
         break;
       }
     R.Error = Error;
+    R.Diag = takeDiag();
     return R;
   }
 
@@ -535,6 +569,12 @@ private:
   }
 
   BlockId parseStmt(FlowGraph &G, BlockId Cur) {
+    DepthGuard Guard(Depth);
+    if (Depth > MaxNesting) {
+      fail(peek(), "statement nesting too deep (limit " +
+                       std::to_string(MaxNesting) + ")");
+      return Cur;
+    }
     if (acceptIdent("skip")) {
       expect(TokKind::Semi, "';'");
       G.block(Cur).Instrs.push_back(Instr::skip());

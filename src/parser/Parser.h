@@ -23,6 +23,7 @@
 #define AM_PARSER_PARSER_H
 
 #include "ir/FlowGraph.h"
+#include "support/Diag.h"
 
 #include <string>
 #include <string_view>
@@ -33,6 +34,9 @@ namespace am {
 struct ParseResult {
   FlowGraph Graph;
   std::string Error;
+  /// Structured form of Error: component "parse" with the 1-based line
+  /// and column of the offending token.
+  diag::Diagnostic Diag;
 
   bool ok() const { return Error.empty(); }
 };

@@ -15,6 +15,7 @@
 #ifndef AM_SUPPORT_BITVECTOR_H
 #define AM_SUPPORT_BITVECTOR_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -129,18 +130,27 @@ public:
     clearUnusedBits();
   }
 
+  // The binary operations require matching sizes (asserted).  Release
+  // builds clamp to the common word prefix and treat the missing bits of
+  // the shorter operand as zero, so a size mismatch that slips past the
+  // asserts stays in-bounds instead of reading off the end.
+
   /// In-place intersection.  Sizes must match.
   BitVector &operator&=(const BitVector &RHS) {
     assert(NumBits == RHS.NumBits && "size mismatch");
-    for (size_t I = 0, E = Words.size(); I != E; ++I)
+    size_t Common = std::min(Words.size(), RHS.Words.size());
+    for (size_t I = 0; I != Common; ++I)
       Words[I] &= RHS.Words[I];
+    for (size_t I = Common, E = Words.size(); I != E; ++I)
+      Words[I] = 0;
     return *this;
   }
 
   /// In-place union.  Sizes must match.
   BitVector &operator|=(const BitVector &RHS) {
     assert(NumBits == RHS.NumBits && "size mismatch");
-    for (size_t I = 0, E = Words.size(); I != E; ++I)
+    for (size_t I = 0, E = std::min(Words.size(), RHS.Words.size()); I != E;
+         ++I)
       Words[I] |= RHS.Words[I];
     return *this;
   }
@@ -148,7 +158,8 @@ public:
   /// In-place symmetric difference.  Sizes must match.
   BitVector &operator^=(const BitVector &RHS) {
     assert(NumBits == RHS.NumBits && "size mismatch");
-    for (size_t I = 0, E = Words.size(); I != E; ++I)
+    for (size_t I = 0, E = std::min(Words.size(), RHS.Words.size()); I != E;
+         ++I)
       Words[I] ^= RHS.Words[I];
     return *this;
   }
@@ -156,7 +167,8 @@ public:
   /// In-place set difference: this &= ~RHS.  Sizes must match.
   BitVector &andNot(const BitVector &RHS) {
     assert(NumBits == RHS.NumBits && "size mismatch");
-    for (size_t I = 0, E = Words.size(); I != E; ++I)
+    for (size_t I = 0, E = std::min(Words.size(), RHS.Words.size()); I != E;
+         ++I)
       Words[I] &= ~RHS.Words[I];
     return *this;
   }
@@ -192,8 +204,12 @@ public:
   /// Returns true if this is a subset of \p RHS (sizes must match).
   bool isSubsetOf(const BitVector &RHS) const {
     assert(NumBits == RHS.NumBits && "size mismatch");
-    for (size_t I = 0, E = Words.size(); I != E; ++I)
+    size_t Common = std::min(Words.size(), RHS.Words.size());
+    for (size_t I = 0; I != Common; ++I)
       if ((Words[I] & ~RHS.Words[I]) != 0)
+        return false;
+    for (size_t I = Common, E = Words.size(); I != E; ++I)
+      if (Words[I] != 0)
         return false;
     return true;
   }
@@ -201,7 +217,8 @@ public:
   /// Returns true if this and \p RHS share at least one set bit.
   bool intersects(const BitVector &RHS) const {
     assert(NumBits == RHS.NumBits && "size mismatch");
-    for (size_t I = 0, E = Words.size(); I != E; ++I)
+    for (size_t I = 0, E = std::min(Words.size(), RHS.Words.size()); I != E;
+         ++I)
       if ((Words[I] & RHS.Words[I]) != 0)
         return true;
     return false;

@@ -1,0 +1,45 @@
+//===- support/Diag.cpp - Recoverable diagnostics ---------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+using namespace am;
+
+const char *diag::severityName(Severity S) {
+  switch (S) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "?";
+}
+
+std::string diag::Diagnostic::render() const {
+  std::string Out;
+  if (!Component.empty()) {
+    Out += Component;
+    if (Line != 0) {
+      Out += ':';
+      Out += std::to_string(Line);
+      Out += ':';
+      Out += std::to_string(Col);
+    }
+    Out += ": ";
+  } else if (Line != 0) {
+    Out += "line " + std::to_string(Line) + ":" + std::to_string(Col) + ": ";
+  }
+  Out += severityName(Sev);
+  Out += ": ";
+  Out += Message;
+  for (const std::string &N : Notes) {
+    Out += "\n  note: ";
+    Out += N;
+  }
+  return Out;
+}

@@ -1,0 +1,114 @@
+//===- support/Diag.h - Recoverable diagnostics ----------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recoverable error model for the library's entry points.  A
+/// `Diagnostic` is a structured, renderable description of what went wrong
+/// (component, severity, message, optional source location, optional
+/// notes); `Expected<T>` carries either a value or a Diagnostic.  The
+/// parser, the pipeline's spec/limits parsers and the guarded pipeline all
+/// report failures through this model instead of asserting, so malformed
+/// input or internal inconsistency surfaces as a message with context
+/// rather than a crash.
+///
+/// Diagnostics are plain values: cheap to construct, copy and hand across
+/// layer boundaries, and rendered only when someone wants text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_SUPPORT_DIAG_H
+#define AM_SUPPORT_DIAG_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace am::diag {
+
+enum class Severity : uint8_t { Note, Warning, Error };
+
+const char *severityName(Severity S);
+
+/// One structured diagnostic.  `Component` names the subsystem that
+/// produced it ("parser", "pipeline", "limits", "verifier", ...); Line/Col
+/// are 1-based source coordinates, 0 when there is no source location.
+struct Diagnostic {
+  Severity Sev = Severity::Error;
+  std::string Component;
+  std::string Message;
+  unsigned Line = 0;
+  unsigned Col = 0;
+  /// Extra context lines rendered as indented "note:" lines.
+  std::vector<std::string> Notes;
+
+  bool empty() const { return Message.empty(); }
+
+  Diagnostic &note(std::string N) {
+    Notes.push_back(std::move(N));
+    return *this;
+  }
+
+  /// Renders as "component:line:col: error: message" (location and
+  /// component omitted when absent), one indented note line per note.
+  std::string render() const;
+
+  static Diagnostic error(std::string Component, std::string Message,
+                          unsigned Line = 0, unsigned Col = 0) {
+    Diagnostic D;
+    D.Sev = Severity::Error;
+    D.Component = std::move(Component);
+    D.Message = std::move(Message);
+    D.Line = Line;
+    D.Col = Col;
+    return D;
+  }
+};
+
+/// Either a value or the Diagnostic explaining why there is none.
+/// Deliberately minimal: the library's entry points need "value or
+/// located error", not a general monad.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Val(std::move(Value)) {}
+  Expected(Diagnostic D) : D(std::move(D)) {
+    assert(!this->D.empty() && "error Expected needs a message");
+  }
+
+  bool ok() const { return Val.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T &operator*() const {
+    assert(ok() && "dereferencing an error Expected");
+    return *Val;
+  }
+  T &operator*() {
+    assert(ok() && "dereferencing an error Expected");
+    return *Val;
+  }
+  const T *operator->() const { return &**this; }
+  T *operator->() { return &**this; }
+
+  /// Moves the value out (valid once, after checking ok()).
+  T take() {
+    assert(ok() && "taking from an error Expected");
+    return std::move(*Val);
+  }
+
+  const Diagnostic &diagnostic() const {
+    assert(!ok() && "no diagnostic on a success Expected");
+    return D;
+  }
+
+private:
+  std::optional<T> Val;
+  Diagnostic D;
+};
+
+} // namespace am::diag
+
+#endif // AM_SUPPORT_DIAG_H

@@ -30,6 +30,8 @@ const char *remarks::kindName(Kind K) {
     return "reconstruct";
   case Kind::Blocked:
     return "blocked";
+  case Kind::Rollback:
+    return "rollback";
   }
   return "unknown";
 }

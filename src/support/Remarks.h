@@ -59,6 +59,8 @@ enum class Kind : uint8_t {
                ///< expression.
   Blocked,     ///< aht: an occurrence that could not move (a preceding
                ///< blocker in its block).
+  Rollback,    ///< guarded pipeline: a pass's result was discarded and its
+               ///< input restored (the "reason" fact says why).
 };
 
 const char *kindName(Kind K);

@@ -11,6 +11,7 @@
 #include "report/Recorder.h"
 #include "support/Remarks.h"
 #include "transform/AssignmentMotion.h"
+#include "verify/FaultInjector.h"
 
 using namespace am;
 
@@ -90,7 +91,13 @@ bool am::runAssignmentHoisting(FlowGraph &G, AmContext &Ctx,
       for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
         size_t Pat = Pats.occurrence(BB.Instrs[Idx]);
         if (Pat != AssignPatternTable::npos && Allowed.test(Pat)) {
-          if (!BlockedSoFar.test(Pat)) {
+          bool Blocked = BlockedSoFar.test(Pat);
+          if (Blocked)
+            if (fault::FaultInjector *FI = fault::FaultInjector::current())
+              // aht-skip-block: skip one blockage check, hoisting the
+              // occurrence past its in-block blocker.
+              Blocked = !FI->fire(fault::FaultClass::AhtSkipBlockage);
+          if (!Blocked) {
             D.RemoveInstr[Idx] = true;
           } else if (AM_REMARKS_ENABLED()) {
             // The occurrence stays put this round: something earlier in
@@ -199,9 +206,17 @@ bool am::runAssignmentHoisting(FlowGraph &G, AmContext &Ctx,
     // Predecessor-exit insertions precede this block's own entry point.
     for (auto [Pat, Pred] : D.FromPreds)
       Emit(Pat, remarks::Placement::FromPred, Pred, "X-INSERT");
-    for (size_t Pat : D.AtEntry)
+    std::vector<size_t> Misplaced;
+    for (size_t Pat : D.AtEntry) {
+      if (fault::FaultInjector *FI = fault::FaultInjector::current())
+        // aht-misplace: realize one entry insertion at the block *end*.
+        if (FI->fire(fault::FaultClass::AhtMisplaceInsert)) {
+          Misplaced.push_back(Pat);
+          continue;
+        }
       Emit(Pat, remarks::Placement::Entry, static_cast<BlockId>(-1),
            "N-INSERT");
+    }
     const Instr *Br = BB.branchInstr();
     for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
       if (D.RemoveInstr[Idx]) {
@@ -233,6 +248,9 @@ bool am::runAssignmentHoisting(FlowGraph &G, AmContext &Ctx,
     for (size_t Pat : D.AtEnd)
       Emit(Pat, remarks::Placement::Exit, static_cast<BlockId>(-1),
            "X-INSERT");
+    for (size_t Pat : Misplaced)
+      Emit(Pat, remarks::Placement::Entry, static_cast<BlockId>(-1),
+           "N-INSERT");
 
     if (NewInstrs != BB.Instrs) {
       BB.Instrs = std::move(NewInstrs);

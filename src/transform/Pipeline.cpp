@@ -5,8 +5,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "transform/Pipeline.h"
+#include "interp/Equivalence.h"
 #include "report/Recorder.h"
 #include "support/Json.h"
+#include "support/Remarks.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 #include "transform/AssignmentHoisting.h"
@@ -21,8 +23,11 @@
 #include "transform/PartialDeadCodeElim.h"
 #include "transform/RedundantAssignElim.h"
 #include "transform/UniformEmAm.h"
+#include "verify/FaultInjector.h"
+#include "verify/GraphVerifier.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
 
 using namespace am;
@@ -132,7 +137,133 @@ void ensureSplit(FlowGraph &G, PipelineResult &R) {
   R.Records.push_back(Scope.finish(G, std::move(Detail)));
 }
 
+/// Runs one named pass over R.Graph, appending its record and log line.
+/// \p Limits carries the per-pass AM round cap (0 = unlimited).
+void runOnePass(const std::string &Name, PipelineResult &R,
+                const PipelineLimits &Limits) {
+  std::ostringstream Line;
+  if (Name == "uniform") {
+    PassScope Scope(Name, R.Graph);
+    UniformOptions UO;
+    UO.MaxAmIterations = Limits.MaxAmRounds;
+    UniformStats Stats;
+    R.Graph = runUniformEmAm(R.Graph, UO, &Stats);
+    Line << Stats.AmPhase.Iterations << " AM iterations, "
+         << Stats.AmPhase.Eliminated << " eliminated";
+    R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+  } else if (Name == "am") {
+    PassScope Scope(Name, R.Graph);
+    UniformOptions UO;
+    UO.RunInitialization = false;
+    UO.RunFinalFlush = false;
+    UO.MaxAmIterations = Limits.MaxAmRounds;
+    UniformStats Stats;
+    R.Graph = runUniformEmAm(R.Graph, UO, &Stats);
+    Line << Stats.AmPhase.Iterations << " AM iterations, "
+         << Stats.AmPhase.Eliminated << " eliminated";
+    R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+  } else if (Name == "init") {
+    ensureSplit(R.Graph, R);
+    PassScope Scope(Name, R.Graph);
+    Line << runInitializationPhase(R.Graph) << " decompositions";
+    R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+  } else if (Name == "rae") {
+    PassScope Scope(Name, R.Graph);
+    Line << runRedundantAssignmentElimination(R.Graph) << " eliminated";
+    R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+  } else if (Name == "aht") {
+    ensureSplit(R.Graph, R);
+    PassScope Scope(Name, R.Graph);
+    Line << (runAssignmentHoisting(R.Graph) ? "changed" : "no change");
+    R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+  } else if (Name == "flush") {
+    ensureSplit(R.Graph, R);
+    PassScope Scope(Name, R.Graph);
+    Line << (runFinalFlush(R.Graph) ? "changed" : "no change");
+    R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+  } else if (Name == "lcm") {
+    PassScope Scope(Name, R.Graph);
+    R.Graph = runLazyCodeMotion(R.Graph);
+    Line << "done";
+    R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+  } else if (Name == "bcm") {
+    PassScope Scope(Name, R.Graph);
+    R.Graph = runBusyCodeMotion(R.Graph);
+    Line << "done";
+    R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+  } else if (Name == "cp") {
+    PassScope Scope(Name, R.Graph);
+    Line << runCopyPropagation(R.Graph) << " uses rewritten";
+    R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+  } else if (Name == "lvn") {
+    PassScope Scope(Name, R.Graph);
+    Line << runLocalValueNumbering(R.Graph) << " reuses";
+    R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+  } else if (Name == "pde") {
+    ensureSplit(R.Graph, R);
+    PassScope Scope(Name, R.Graph);
+    PdeStats Stats = runPartialDeadCodeElim(R.Graph);
+    Line << Stats.Rounds << " rounds, net " << Stats.Removed << " removed";
+    R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+  } else if (Name == "split") {
+    PassScope Scope(Name, R.Graph);
+    Line << R.Graph.splitCriticalEdges() << " edges split";
+    R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+  } else { // simplify
+    PassScope Scope(Name, R.Graph);
+    R.Graph = simplified(R.Graph);
+    Line << "done";
+    R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+  }
+  R.Log.push_back(Line.str().empty() ? Name : (Name + ": " + Line.str()));
+}
+
+/// The edge-corrupt fault class fires here, between the pass body and the
+/// guard checks: rewire one successor edge without touching the matching
+/// predecessor list — exactly the asymmetry GraphVerifier must catch.
+void maybeCorruptEdge(FlowGraph &G) {
+  fault::FaultInjector *FI = fault::FaultInjector::current();
+  if (!FI || !FI->armedFor(fault::FaultClass::CorruptEdge))
+    return;
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    auto &Succs = G.block(B).Succs;
+    if (Succs.empty())
+      continue;
+    if (!FI->fire(fault::FaultClass::CorruptEdge))
+      continue;
+    // Redirect to any other block; the end node is a safe target (a
+    // non-end block pointing at it stays in range but breaks symmetry).
+    BlockId To = Succs[0] == G.end() ? G.start() : G.end();
+    Succs[0] = To;
+    G.touchBlock(B);
+    return;
+  }
+}
+
+/// Pseudo-random input battery shared with `amopt --verify`: small signed
+/// values, deterministic in (round, variable index).
+std::unordered_map<std::string, int64_t>
+equivalenceInputs(const FlowGraph &G, uint64_t Round) {
+  std::unordered_map<std::string, int64_t> Inputs;
+  for (uint32_t V = 0; V < G.Vars.size(); ++V)
+    Inputs[G.Vars.name(makeVarId(V))] =
+        static_cast<int64_t>((Round * 2654435761u + V * 40503u) % 41) - 20;
+  return Inputs;
+}
+
 } // namespace
+
+const char *am::passStatusName(PassStatus S) {
+  switch (S) {
+  case PassStatus::Ok:
+    return "ok";
+  case PassStatus::RolledBack:
+    return "rolled-back";
+  case PassStatus::LimitExhausted:
+    return "limit-exhausted";
+  }
+  return "?";
+}
 
 bool am::isKnownPass(const std::string &Name) {
   static const char *Known[] = {"uniform", "am",   "init",  "rae",  "aht",
@@ -144,104 +275,196 @@ bool am::isKnownPass(const std::string &Name) {
   return false;
 }
 
-PipelineResult am::runPipeline(const FlowGraph &G, const std::string &Spec) {
-  PipelineResult R;
+diag::Expected<std::vector<std::string>>
+am::parsePassSpec(const std::string &Spec) {
   std::vector<std::string> Names = splitSpec(Spec);
-  for (const std::string &Name : Names) {
-    if (!isKnownPass(Name)) {
-      R.Error = "unknown pass '" + Name + "'";
-      return R;
+  for (const std::string &Name : Names)
+    if (!isKnownPass(Name))
+      return diag::Diagnostic::error("pipeline",
+                                     "unknown pass '" + Name + "'");
+  if (Names.empty())
+    return diag::Diagnostic::error("pipeline", "empty pipeline");
+  return Names;
+}
+
+diag::Expected<PipelineLimits> am::parseLimitsSpec(const std::string &Spec) {
+  PipelineLimits L;
+  for (const std::string &Item : splitSpec(Spec)) {
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos || Eq + 1 == Item.size())
+      return diag::Diagnostic::error(
+          "limits", "expected key=value, got '" + Item + "'");
+    std::string Key = Item.substr(0, Eq);
+    std::string Val = Item.substr(Eq + 1);
+    char *End = nullptr;
+    double Num = std::strtod(Val.c_str(), &End);
+    if (End == Val.c_str() || *End != '\0' || Num < 0)
+      return diag::Diagnostic::error(
+          "limits", "value '" + Val + "' for '" + Key +
+                        "' is not a non-negative number");
+    if (Key == "am-rounds")
+      L.MaxAmRounds = static_cast<unsigned>(Num);
+    else if (Key == "growth")
+      L.MaxInstrGrowth = Num;
+    else if (Key == "sweeps")
+      L.MaxSolverSweeps = static_cast<uint64_t>(Num);
+    else if (Key == "wall-ms")
+      L.MaxWallMs = Num;
+    else {
+      diag::Diagnostic D = diag::Diagnostic::error(
+          "limits", "unknown limit '" + Key + "'");
+      D.note("known limits: am-rounds, growth, sweeps, wall-ms");
+      return D;
     }
   }
-  if (Names.empty()) {
-    R.Error = "empty pipeline";
+  return L;
+}
+
+PipelineResult am::runPipeline(const FlowGraph &G, const std::string &Spec) {
+  return runPipeline(G, Spec, PipelineOptions());
+}
+
+PipelineResult am::runPipeline(const FlowGraph &G, const std::string &Spec,
+                               const PipelineOptions &Opts) {
+  PipelineResult R;
+  diag::Expected<std::vector<std::string>> Parsed = parsePassSpec(Spec);
+  if (!Parsed.ok()) {
+    R.Diag = Parsed.diagnostic();
+    R.Error = R.Diag.Message;
     return R;
   }
+  const std::vector<std::string> &Names = *Parsed;
+  const bool Guarded = Opts.Guarded;
+  const bool VerifyIR = Opts.VerifyIR || Guarded;
 
   AM_STAT_COUNTER(NumPipelines, "pipeline.runs");
   AM_STAT_COUNTER(NumPasses, "pipeline.passes");
+  AM_STAT_COUNTER(NumRollbacks, "pipeline.rollbacks");
   AM_STAT_INC(NumPipelines);
   trace::TraceSpan PipeSpan("pipeline.run");
   PipeSpan.arg("spec", Spec);
 
+  if (VerifyIR) {
+    // A broken *input* is the caller's bug, not a pass's: report it as an
+    // error instead of blaming (and rolling back) the first pass.
+    VerifyResult VR = verifyGraph(G);
+    if (!VR.ok()) {
+      R.Diag = diag::Diagnostic::error(
+          "pipeline", "input graph fails IR verification: " +
+                          VR.renderText());
+      R.Error = R.Diag.Message;
+      return R;
+    }
+  }
+
   R.Graph = G;
+  const uint64_t InputInstrs = G.numInstrs();
+  auto &Reg = stats::Registry::get();
+  const uint64_t Sweeps0 = Reg.counterValue("dfa.sweeps");
+  const auto RunStart = std::chrono::steady_clock::now();
+
   for (const std::string &Name : Names) {
     AM_STAT_INC(NumPasses);
-    std::ostringstream Line;
-    if (Name == "uniform") {
-      PassScope Scope(Name, R.Graph);
-      UniformStats Stats;
-      R.Graph = runUniformEmAm(R.Graph, UniformOptions(), &Stats);
-      Line << Stats.AmPhase.Iterations << " AM iterations, "
-           << Stats.AmPhase.Eliminated << " eliminated";
-      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
-    } else if (Name == "am") {
-      PassScope Scope(Name, R.Graph);
-      UniformStats Stats;
-      R.Graph = runAssignmentMotionOnly(R.Graph, &Stats);
-      Line << Stats.AmPhase.Iterations << " AM iterations, "
-           << Stats.AmPhase.Eliminated << " eliminated";
-      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
-    } else if (Name == "init") {
-      ensureSplit(R.Graph, R);
-      PassScope Scope(Name, R.Graph);
-      Line << runInitializationPhase(R.Graph) << " decompositions";
-      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
-    } else if (Name == "rae") {
-      PassScope Scope(Name, R.Graph);
-      Line << runRedundantAssignmentElimination(R.Graph) << " eliminated";
-      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
-    } else if (Name == "aht") {
-      ensureSplit(R.Graph, R);
-      PassScope Scope(Name, R.Graph);
-      Line << (runAssignmentHoisting(R.Graph) ? "changed" : "no change");
-      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
-    } else if (Name == "flush") {
-      ensureSplit(R.Graph, R);
-      PassScope Scope(Name, R.Graph);
-      Line << (runFinalFlush(R.Graph) ? "changed" : "no change");
-      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
-    } else if (Name == "lcm") {
-      PassScope Scope(Name, R.Graph);
-      R.Graph = runLazyCodeMotion(R.Graph);
-      Line << "done";
-      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
-    } else if (Name == "bcm") {
-      PassScope Scope(Name, R.Graph);
-      R.Graph = runBusyCodeMotion(R.Graph);
-      Line << "done";
-      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
-    } else if (Name == "cp") {
-      PassScope Scope(Name, R.Graph);
-      Line << runCopyPropagation(R.Graph) << " uses rewritten";
-      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
-    } else if (Name == "lvn") {
-      PassScope Scope(Name, R.Graph);
-      Line << runLocalValueNumbering(R.Graph) << " reuses";
-      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
-    } else if (Name == "pde") {
-      ensureSplit(R.Graph, R);
-      PassScope Scope(Name, R.Graph);
-      PdeStats Stats = runPartialDeadCodeElim(R.Graph);
-      Line << Stats.Rounds << " rounds, net " << Stats.Removed << " removed";
-      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
-    } else if (Name == "split") {
-      PassScope Scope(Name, R.Graph);
-      Line << R.Graph.splitCriticalEdges() << " edges split";
-      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
-    } else { // simplify
-      PassScope Scope(Name, R.Graph);
-      R.Graph = simplified(R.Graph);
-      Line << "done";
-      R.Records.push_back(Scope.finish(R.Graph, Line.str()));
+
+    FlowGraph Snapshot;
+    if (Guarded)
+      Snapshot = R.Graph;
+
+    runOnePass(Name, R, Opts.Limits);
+    PassRecord &Rec = R.Records.back();
+    maybeCorruptEdge(R.Graph);
+
+    // Guard checks: structural invariants first (a corrupt graph must not
+    // reach the interpreter), then a semantic spot-check against the
+    // snapshot.
+    std::string Why;
+    if (VerifyIR) {
+      VerifyResult VR = verifyGraph(R.Graph);
+      if (!VR.ok())
+        Why = "IR verification failed: " + VR.renderText();
     }
-    R.Log.push_back(Line.str().empty() ? Name
-                                       : (Name + ": " + Line.str()));
+    if (Why.empty() && Guarded) {
+      for (uint64_t Round = 0; Round < Opts.EquivalenceRounds; ++Round) {
+        Interpreter::Options IOpts;
+        IOpts.MaxSteps = Opts.EquivalenceMaxSteps;
+        EquivalenceReport Rep =
+            checkEquivalent(Snapshot, R.Graph,
+                            equivalenceInputs(Snapshot, Round), Round, IOpts);
+        if (!Rep.Equivalent) {
+          Why = "semantic check failed (round " + std::to_string(Round) +
+                "): " + Rep.Detail;
+          break;
+        }
+      }
+    }
+
+    if (!Why.empty()) {
+      if (!Guarded) {
+        // --verify-ir without rollback: stop at the first violation.
+        R.Diag = diag::Diagnostic::error(
+            "pipeline", "after pass '" + Name + "': " + Why);
+        R.Error = R.Diag.Message;
+        return R;
+      }
+      R.Graph = std::move(Snapshot);
+      Rec.Status = PassStatus::RolledBack;
+      Rec.Violation = Why;
+      ++R.RollbackCount;
+      AM_STAT_INC(NumRollbacks);
+      R.Log.back() = Name + ": ROLLED BACK (" + Why + ")";
+      if (AM_REMARKS_ENABLED()) {
+        remarks::Remark Rem;
+        Rem.K = remarks::Kind::Rollback;
+        Rem.Pass = Name;
+        Rem.fact("reason", Why);
+        remarks::Sink::get().add(std::move(Rem));
+      }
+    }
+
     // The composite drivers snapshot their internal phases themselves;
     // this generic capture records every pass boundary, so single-pass
     // specs ("rae", "cp", ...) show up in the report too.
-    if (report::RecorderSession *Rec = report::RecorderSession::current())
-      Rec->snapshot(R.Graph, Name);
+    if (report::RecorderSession *Rec2 = report::RecorderSession::current())
+      Rec2->snapshot(R.Graph, Name);
+
+    // Resource budgets, checked at pass boundaries: the pass that tripped
+    // one commits (or rolls back) normally, then the pipeline stops with
+    // a diagnostic and the partial records.
+    if (Opts.Limits.any()) {
+      std::string Exhausted;
+      if (Opts.Limits.MaxInstrGrowth > 0.0 && InputInstrs > 0 &&
+          static_cast<double>(R.Graph.numInstrs()) >
+              Opts.Limits.MaxInstrGrowth * static_cast<double>(InputInstrs))
+        Exhausted = "instruction growth " +
+                    std::to_string(R.Graph.numInstrs()) + " exceeds " +
+                    std::to_string(Opts.Limits.MaxInstrGrowth) + "x input (" +
+                    std::to_string(InputInstrs) + ")";
+      else if (Opts.Limits.MaxSolverSweeps != 0 &&
+               Reg.counterValue("dfa.sweeps") - Sweeps0 >
+                   Opts.Limits.MaxSolverSweeps)
+        Exhausted = "solver sweep budget " +
+                    std::to_string(Opts.Limits.MaxSolverSweeps) + " exceeded";
+      else if (Opts.Limits.MaxWallMs > 0.0) {
+        double Ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - RunStart)
+                        .count();
+        if (Ms > Opts.Limits.MaxWallMs)
+          Exhausted = "wall-clock budget " +
+                      std::to_string(Opts.Limits.MaxWallMs) + " ms exceeded";
+      }
+      if (!Exhausted.empty()) {
+        Rec.Status = PassStatus::LimitExhausted;
+        if (Rec.Violation.empty())
+          Rec.Violation = Exhausted;
+        R.LimitsExhausted = true;
+        R.Diag = diag::Diagnostic::error(
+            "pipeline",
+            "resource budget exhausted after pass '" + Name + "': " +
+                Exhausted);
+        R.Error = R.Diag.Message;
+        return R;
+      }
+    }
   }
   return R;
 }
@@ -255,6 +478,9 @@ std::string am::passRecordsJson(const std::vector<PassRecord> &Records) {
     W.key("name").value(Rec.Name);
     W.key("detail").value(Rec.Detail);
     W.key("wall_ms").value(Rec.WallMs);
+    W.key("status").value(passStatusName(Rec.Status));
+    if (!Rec.Violation.empty())
+      W.key("violation").value(Rec.Violation);
     W.key("blocks_before").value(Rec.BlocksBefore);
     W.key("blocks_after").value(Rec.BlocksAfter);
     W.key("instrs_before").value(Rec.InstrsBefore);

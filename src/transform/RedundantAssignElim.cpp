@@ -11,6 +11,7 @@
 #include "report/Recorder.h"
 #include "support/Remarks.h"
 #include "transform/AssignmentMotion.h"
+#include "verify/FaultInjector.h"
 
 using namespace am;
 
@@ -79,7 +80,13 @@ unsigned am::runRedundantAssignmentElimination(FlowGraph &G, AmContext &Ctx) {
       size_t Pat = Pats.occurrence(Instrs[Idx]);
       if (Pat == AssignPatternTable::npos)
         continue;
-      if (Facts.Before[Idx].test(Pat)) {
+      bool Redundant = Facts.Before[Idx].test(Pat);
+      if (!Redundant)
+        if (fault::FaultInjector *FI = fault::FaultInjector::current())
+          // rae-flip: treat one non-redundant occurrence as redundant, as
+          // if a N-REDUNDANT dataflow bit were flipped.
+          Redundant = FI->fire(fault::FaultClass::RaeFlipBit);
+      if (Redundant) {
         Remove[Idx] = true;
         ++RemovedHere;
         if (AM_REMARKS_ENABLED()) {

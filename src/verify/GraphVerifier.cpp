@@ -1,0 +1,350 @@
+//===- verify/GraphVerifier.cpp - IR invariant checker ---------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/GraphVerifier.h"
+#include "ir/Patterns.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace am;
+
+const char *am::violationKindName(ViolationKind K) {
+  switch (K) {
+  case ViolationKind::StartEnd:
+    return "start-end";
+  case ViolationKind::Adjacency:
+    return "adjacency";
+  case ViolationKind::Reachability:
+    return "reachability";
+  case ViolationKind::BranchPlacement:
+    return "branch-placement";
+  case ViolationKind::VarRef:
+    return "var-ref";
+  case ViolationKind::ExprRef:
+    return "expr-ref";
+  case ViolationKind::DuplicateInstrId:
+    return "duplicate-instr-id";
+  case ViolationKind::CriticalEdge:
+    return "critical-edge";
+  case ViolationKind::PatternTable:
+    return "pattern-table";
+  }
+  return "?";
+}
+
+std::string VerifyResult::renderText(size_t MaxItems) const {
+  std::string Out;
+  size_t N = std::min(MaxItems, Violations.size());
+  for (size_t I = 0; I < N; ++I) {
+    if (!Out.empty())
+      Out += "; ";
+    Out += violationKindName(Violations[I].K);
+    Out += ": ";
+    Out += Violations[I].Message;
+  }
+  if (Violations.size() > N)
+    Out += " (+" + std::to_string(Violations.size() - N) + " more)";
+  return Out;
+}
+
+namespace {
+
+class Verifier {
+public:
+  Verifier(const FlowGraph &G, const VerifierOptions &Opts)
+      : G(G), Opts(Opts) {}
+
+  VerifyResult run() {
+    if (!checkStartEnd())
+      return std::move(R); // no usable anchor blocks; stop here
+    checkAdjacency();
+    checkReachability();
+    checkBranchPlacement();
+    checkReferences();
+    checkInstrIds();
+    if (Opts.RequireSplitEdges)
+      checkCriticalEdges();
+    return std::move(R);
+  }
+
+private:
+  bool full() const { return R.Violations.size() >= Opts.MaxViolations; }
+
+  void add(ViolationKind K, std::string Msg, BlockId B = InvalidBlock,
+           uint32_t Idx = 0xFFFFFFFFu) {
+    if (full())
+      return;
+    Violation V;
+    V.K = K;
+    V.Message = std::move(Msg);
+    V.Block = B;
+    V.InstrIndex = Idx;
+    R.Violations.push_back(std::move(V));
+  }
+
+  /// Returns false if start/end are unusable (later traversals would be
+  /// meaningless).
+  bool checkStartEnd() {
+    bool Ok = true;
+    if (G.start() == InvalidBlock || G.start() >= G.numBlocks()) {
+      add(ViolationKind::StartEnd, "start node is not set or out of range");
+      Ok = false;
+    }
+    if (G.end() == InvalidBlock || G.end() >= G.numBlocks()) {
+      add(ViolationKind::StartEnd, "end node is not set or out of range");
+      Ok = false;
+    }
+    if (!Ok)
+      return false;
+    if (!G.block(G.start()).Preds.empty())
+      add(ViolationKind::StartEnd, "start node has predecessors",
+          G.start());
+    if (!G.block(G.end()).Succs.empty())
+      add(ViolationKind::StartEnd, "end node has successors", G.end());
+    return true;
+  }
+
+  void checkAdjacency() {
+    for (BlockId B = 0; B < G.numBlocks() && !full(); ++B) {
+      const BasicBlock &BB = G.block(B);
+      for (BlockId S : BB.Succs) {
+        if (S >= G.numBlocks()) {
+          add(ViolationKind::Adjacency,
+              "block " + std::to_string(B) + " has out-of-range successor " +
+                  std::to_string(S),
+              B);
+          continue;
+        }
+        const auto &P = G.block(S).Preds;
+        auto CountS =
+            std::count(BB.Succs.begin(), BB.Succs.end(), S);
+        if (std::count(P.begin(), P.end(), B) != CountS)
+          add(ViolationKind::Adjacency,
+              "edge " + std::to_string(B) + "->" + std::to_string(S) +
+                  " has asymmetric adjacency lists",
+              B);
+      }
+      for (BlockId P : BB.Preds) {
+        if (P >= G.numBlocks()) {
+          add(ViolationKind::Adjacency,
+              "block " + std::to_string(B) +
+                  " has out-of-range predecessor " + std::to_string(P),
+              B);
+          continue;
+        }
+        const auto &S = G.block(P).Succs;
+        if (std::count(S.begin(), S.end(), B) == 0)
+          add(ViolationKind::Adjacency,
+              "block " + std::to_string(B) + " lists predecessor " +
+                  std::to_string(P) + " that does not list it back",
+              B);
+      }
+      if (B != G.end() && BB.Succs.empty())
+        add(ViolationKind::Adjacency,
+            "non-end block " + std::to_string(B) + " has no successors", B);
+    }
+  }
+
+  void checkReachability() {
+    std::vector<bool> FromStart(G.numBlocks(), false),
+        ToEnd(G.numBlocks(), false);
+    std::vector<BlockId> Work{G.start()};
+    FromStart[G.start()] = true;
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      for (BlockId S : G.block(B).Succs)
+        if (S < G.numBlocks() && !FromStart[S]) {
+          FromStart[S] = true;
+          Work.push_back(S);
+        }
+    }
+    Work.push_back(G.end());
+    ToEnd[G.end()] = true;
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      for (BlockId P : G.block(B).Preds)
+        if (P < G.numBlocks() && !ToEnd[P]) {
+          ToEnd[P] = true;
+          Work.push_back(P);
+        }
+    }
+    for (BlockId B = 0; B < G.numBlocks() && !full(); ++B) {
+      if (!FromStart[B])
+        add(ViolationKind::Reachability,
+            "block " + std::to_string(B) + " unreachable from start", B);
+      else if (!ToEnd[B])
+        add(ViolationKind::Reachability,
+            "block " + std::to_string(B) + " cannot reach end", B);
+    }
+  }
+
+  void checkBranchPlacement() {
+    for (BlockId B = 0; B < G.numBlocks() && !full(); ++B) {
+      const auto &Instrs = G.block(B).Instrs;
+      for (size_t I = 0; I < Instrs.size(); ++I)
+        if (Instrs[I].isBranch() && I + 1 != Instrs.size())
+          add(ViolationKind::BranchPlacement,
+              "block " + std::to_string(B) +
+                  " has a branch condition before its last instruction",
+              B, static_cast<uint32_t>(I));
+      if (!Instrs.empty() && Instrs.back().isBranch() &&
+          G.block(B).Succs.size() < 2)
+        add(ViolationKind::BranchPlacement,
+            "block " + std::to_string(B) +
+                " has a branch condition but fewer than two successors",
+            B, static_cast<uint32_t>(Instrs.size() - 1));
+    }
+  }
+
+  bool varOk(VarId V) const {
+    return isValid(V) && index(V) < G.Vars.size();
+  }
+
+  void checkTermVars(const Term &T, BlockId B, uint32_t Idx,
+                     const char *What) {
+    T.forEachVar([&](VarId V) {
+      if (!varOk(V))
+        add(ViolationKind::VarRef,
+            "block " + std::to_string(B) + "[" + std::to_string(Idx) +
+                "]: " + What + " references unknown variable id " +
+                std::to_string(index(V)),
+            B, Idx);
+    });
+  }
+
+  void checkReferences() {
+    for (BlockId B = 0; B < G.numBlocks() && !full(); ++B) {
+      const auto &Instrs = G.block(B).Instrs;
+      for (size_t I = 0; I < Instrs.size(); ++I) {
+        uint32_t Idx = static_cast<uint32_t>(I);
+        const Instr &In = Instrs[I];
+        switch (In.K) {
+        case Instr::Kind::Assign:
+          if (!varOk(In.Lhs))
+            add(ViolationKind::VarRef,
+                "block " + std::to_string(B) + "[" + std::to_string(Idx) +
+                    "]: assignment to unknown variable id " +
+                    std::to_string(index(In.Lhs)),
+                B, Idx);
+          checkTermVars(In.Rhs, B, Idx, "right-hand side");
+          break;
+        case Instr::Kind::Out:
+          for (VarId V : In.OutVars)
+            if (!varOk(V))
+              add(ViolationKind::VarRef,
+                  "block " + std::to_string(B) + "[" + std::to_string(Idx) +
+                      "]: out() of unknown variable id " +
+                      std::to_string(index(V)),
+                  B, Idx);
+          break;
+        case Instr::Kind::Branch:
+          checkTermVars(In.CondL, B, Idx, "condition");
+          checkTermVars(In.CondR, B, Idx, "condition");
+          break;
+        case Instr::Kind::Skip:
+          break;
+        }
+      }
+    }
+    // Temporaries must point at interned expression patterns.
+    for (uint32_t V = 0; V < G.Vars.size() && !full(); ++V) {
+      VarId Id = makeVarId(V);
+      if (!G.Vars.isTemp(Id))
+        continue;
+      ExprId E = G.Vars.tempFor(Id);
+      if (isValid(E) && index(E) >= G.Exprs.size())
+        add(ViolationKind::ExprRef,
+            "temporary '" + G.Vars.name(Id) +
+                "' references unknown expression pattern id " +
+                std::to_string(index(E)));
+    }
+  }
+
+  void checkInstrIds() {
+    std::unordered_map<uint32_t, std::pair<BlockId, uint32_t>> Seen;
+    for (BlockId B = 0; B < G.numBlocks() && !full(); ++B) {
+      const auto &Instrs = G.block(B).Instrs;
+      for (size_t I = 0; I < Instrs.size(); ++I) {
+        uint32_t Id = Instrs[I].Id;
+        if (Id == 0)
+          continue;
+        auto [It, Inserted] =
+            Seen.emplace(Id, std::make_pair(B, static_cast<uint32_t>(I)));
+        if (!Inserted)
+          add(ViolationKind::DuplicateInstrId,
+              "instruction id " + std::to_string(Id) + " appears at block " +
+                  std::to_string(It->second.first) + "[" +
+                  std::to_string(It->second.second) + "] and block " +
+                  std::to_string(B) + "[" + std::to_string(I) + "]",
+              B, static_cast<uint32_t>(I));
+      }
+    }
+  }
+
+  void checkCriticalEdges() {
+    for (BlockId B = 0; B < G.numBlocks() && !full(); ++B) {
+      if (G.block(B).Succs.size() < 2)
+        continue;
+      for (BlockId S : G.block(B).Succs)
+        if (S < G.numBlocks() && G.block(S).Preds.size() > 1)
+          add(ViolationKind::CriticalEdge,
+              "critical edge " + std::to_string(B) + "->" +
+                  std::to_string(S) + " is not split",
+              B);
+    }
+  }
+
+  const FlowGraph &G;
+  const VerifierOptions &Opts;
+  VerifyResult R;
+};
+
+} // namespace
+
+VerifyResult am::verifyGraph(const FlowGraph &G, const VerifierOptions &Opts) {
+  return Verifier(G, Opts).run();
+}
+
+VerifyResult am::verifyPatternCoherence(const FlowGraph &G,
+                                        const AssignPatternTable &Pats) {
+  VerifyResult R;
+  std::vector<bool> Occurs(Pats.size(), false);
+  for (BlockId B = 0; B < G.numBlocks(); ++B) {
+    const auto &Instrs = G.block(B).Instrs;
+    for (size_t I = 0; I < Instrs.size(); ++I) {
+      const Instr &In = Instrs[I];
+      if (!In.isAssign() || In.Rhs.isVarAtom(In.Lhs))
+        continue;
+      size_t Pat = Pats.occurrence(In);
+      if (Pat == AssignPatternTable::npos) {
+        Violation V;
+        V.K = ViolationKind::PatternTable;
+        V.Message = "assignment occurrence at block " + std::to_string(B) +
+                    "[" + std::to_string(I) +
+                    "] resolves to no pattern (stale table?)";
+        V.Block = B;
+        V.InstrIndex = static_cast<uint32_t>(I);
+        R.Violations.push_back(std::move(V));
+      } else if (Pat < Occurs.size()) {
+        Occurs[Pat] = true;
+      }
+    }
+  }
+  for (size_t Pat = 0; Pat < Occurs.size(); ++Pat) {
+    if (Occurs[Pat])
+      continue;
+    Violation V;
+    V.K = ViolationKind::PatternTable;
+    V.Message = "pattern " + std::to_string(Pat) +
+                " has no occurrence in the graph (stale table?)";
+    R.Violations.push_back(std::move(V));
+  }
+  return R;
+}

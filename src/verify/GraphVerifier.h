@@ -1,0 +1,101 @@
+//===- verify/GraphVerifier.h - IR invariant checker -----------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structural and semantic invariant checker for FlowGraphs, returning
+/// *structured violations* instead of aborting.  The guarded pipeline runs
+/// it after every pass to notice when a transform corrupted the IR; tests
+/// use it to pin down exactly which invariant a deliberately injected
+/// fault breaks.
+///
+/// Checked invariants:
+///  * unique start node without predecessors, unique end node without
+///    successors;
+///  * edge-list symmetry: Succs/Preds adjacency lists agree (with
+///    multiplicity) and never reference out-of-range blocks;
+///  * every block lies on a start-to-end path (Section 2 assumption);
+///  * branch conditions only as the last instruction of a block with at
+///    least two successors;
+///  * every VarId referenced by any instruction (Lhs, term operands, out
+///    arguments, condition operands) resolves in the graph's VarTable,
+///    and every temporary's associated ExprId resolves in its ExprTable;
+///  * nonzero provenance ids (Instr::Id) are unique across the graph;
+///  * optionally: no critical edges (for passes that require split input);
+///  * optionally: a pattern table is coherent with the graph (see
+///    verifyPatternCoherence) — the check an AM round needs when it trusts
+///    a table built at an earlier graph tick.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_VERIFY_GRAPHVERIFIER_H
+#define AM_VERIFY_GRAPHVERIFIER_H
+
+#include "ir/FlowGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace am {
+
+class AssignPatternTable;
+
+/// Which invariant a violation breaks.
+enum class ViolationKind : uint8_t {
+  StartEnd,        ///< start/end missing, dangling, or with wrong degree
+  Adjacency,       ///< Succs/Preds asymmetry or out-of-range edge
+  Reachability,    ///< block off every start-to-end path
+  BranchPlacement, ///< branch condition not last / too few successors
+  VarRef,          ///< instruction references an unknown VarId
+  ExprRef,         ///< temporary references an unknown ExprId
+  DuplicateInstrId, ///< nonzero Instr::Id appears twice
+  CriticalEdge,    ///< unsplit critical edge where a pass requires none
+  PatternTable,    ///< pattern table incoherent with the graph
+};
+
+const char *violationKindName(ViolationKind K);
+
+/// One broken invariant, located as precisely as the check allows.
+struct Violation {
+  ViolationKind K = ViolationKind::StartEnd;
+  std::string Message;
+  BlockId Block = InvalidBlock;       ///< InvalidBlock if not block-local.
+  uint32_t InstrIndex = 0xFFFFFFFFu;  ///< ~0 if not instruction-local.
+};
+
+struct VerifierOptions {
+  /// Also flag unsplit critical edges (passes like aht/init/flush assume
+  /// split input).
+  bool RequireSplitEdges = false;
+  /// Cap on collected violations; further ones are dropped (a corrupted
+  /// graph can violate thousands of instances of one invariant).
+  size_t MaxViolations = 64;
+};
+
+/// Result of one verification run.
+struct VerifyResult {
+  std::vector<Violation> Violations;
+
+  bool ok() const { return Violations.empty(); }
+
+  /// First \p MaxItems violations as "kind: message" lines.
+  std::string renderText(size_t MaxItems = 8) const;
+};
+
+/// Checks every invariant listed above over \p G.  Never mutates, never
+/// asserts; a graph too broken to traverse reports what it can.
+VerifyResult verifyGraph(const FlowGraph &G,
+                         const VerifierOptions &Opts = VerifierOptions());
+
+/// Checks that \p Pats is coherent with \p G: every assignment occurrence
+/// in the graph resolves to a pattern, and every pattern has at least one
+/// occurrence.  An AM round that reuses a table built at an earlier graph
+/// tick relies on exactly this.
+VerifyResult verifyPatternCoherence(const FlowGraph &G,
+                                    const AssignPatternTable &Pats);
+
+} // namespace am
+
+#endif // AM_VERIFY_GRAPHVERIFIER_H

@@ -128,6 +128,10 @@ private:
     case Kind::Reconstruct:
       checkReconstruct(Stage, R, Before);
       return;
+    case Kind::Rollback:
+      // Administrative: records that a guarded pipeline discarded a pass's
+      // result.  No position or facts to cross-check against the graphs.
+      return;
     }
   }
 

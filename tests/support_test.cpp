@@ -248,3 +248,80 @@ TEST(Rng, RangeStaysInBounds) {
   for (int I = 0; I < 100; ++I)
     EXPECT_LT(R.index(4), 4u);
 }
+
+//===----------------------------------------------------------------------===//
+// BitVector hardening: word-boundary sizes and mismatched-size behaviour.
+//===----------------------------------------------------------------------===//
+
+TEST(BitVectorEdge, WordBoundarySizes) {
+  for (size_t N : {size_t(63), size_t(64), size_t(65), size_t(127),
+                   size_t(128), size_t(129)}) {
+    BitVector V(N, true);
+    EXPECT_EQ(V.count(), N) << N;
+    EXPECT_TRUE(V.all()) << N;
+    V.flipAll();
+    EXPECT_TRUE(V.none()) << N;
+    V.set(N - 1);
+    EXPECT_EQ(V.findFirst(), N - 1) << N;
+    EXPECT_EQ(V.findNext(N - 1), N - 1) << N;
+    EXPECT_EQ(V.findNext(N), N) << N;
+  }
+}
+
+TEST(BitVectorEdge, ResizeAcrossWordBoundaries) {
+  BitVector V(10, true);
+  V.resize(64, true);
+  EXPECT_EQ(V.count(), 64u);
+  V.resize(65, true);
+  EXPECT_EQ(V.count(), 65u);
+  EXPECT_TRUE(V.test(64));
+  // Shrinking must clear the abandoned tail so a later grow-with-false
+  // does not resurrect stale bits.
+  V.resize(3);
+  V.resize(130, false);
+  EXPECT_EQ(V.count(), 3u);
+  EXPECT_FALSE(V.test(64));
+  EXPECT_FALSE(V.test(129));
+}
+
+TEST(BitVectorEdge, ForEachSetBitVisitsTrailingWordBits) {
+  BitVector V(131);
+  const size_t Expected[] = {0, 63, 64, 127, 128, 130};
+  for (size_t I : Expected)
+    V.set(I);
+  std::vector<size_t> Seen;
+  V.forEachSetBit([&](size_t I) { Seen.push_back(I); });
+  EXPECT_EQ(Seen, std::vector<size_t>(std::begin(Expected),
+                                      std::end(Expected)));
+  EXPECT_EQ(V.setBits(), Seen);
+}
+
+TEST(BitVectorEdge, MismatchedSizesAssertInDebugAndClampInRelease) {
+  // The binary ops assert matching sizes; release builds clamp to the
+  // common word prefix instead of reading out of bounds.  The death-test
+  // macro checks the assert fires in debug builds and that the statement
+  // is well-behaved (no crash) under NDEBUG.
+  BitVector Big(130, true), Small(40, true);
+  EXPECT_DEBUG_DEATH(
+      {
+        BitVector B = Big;
+        B &= Small;
+        // Clamp semantics: bits beyond the shorter operand read as zero.
+        EXPECT_EQ(B.count(), 40u);
+      },
+      "size mismatch");
+  EXPECT_DEBUG_DEATH(
+      {
+        BitVector B = Big;
+        B.andNot(Small);
+        EXPECT_EQ(B.count(), 130u - 40u);
+      },
+      "size mismatch");
+  EXPECT_DEBUG_DEATH(
+      {
+        BitVector S = Small;
+        EXPECT_FALSE(Big.isSubsetOf(S));
+        EXPECT_TRUE(S.isSubsetOf(Big));
+      },
+      "size mismatch");
+}

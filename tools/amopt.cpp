@@ -12,6 +12,7 @@
 //         [--remarks[=out.json]] [--explain=<var|instr-id>]
 //         [--report=out.html] [--facts=out.json]
 //         [--verify] [--verify-remarks]
+//         [--guarded] [--verify-ir] [--limits=k=v,...] [--inject=class[:site]]
 //         [--annotate=redundancy|hoist|flush|live] [FILE]
 //
 // Reads FILE (or stdin) containing a `program { ... }` or `graph { ... }`
@@ -41,7 +42,7 @@
 //   --verify-remarks
 //                  re-run the uniform pipeline with remark collection on
 //                  and replay every remark's cited facts against fresh
-//                  analyses; exit 4 if any justification fails.
+//                  analyses; exit 3 if any justification fails.
 //   --report=F     flight-record the run (per-phase/per-round IR
 //                  snapshots, Table 1-3 fact tables, one record per
 //                  dataflow solve) and render it as a single
@@ -49,6 +50,23 @@
 //                  diffs with remarks anchored on the exact instruction,
 //                  per-block fact tables, convergence sparklines.
 //   --facts=F      the same recording as machine-readable JSON.
+//
+// Robustness (docs/robustness.md):
+//   --guarded      run the passes through the guarded pipeline: snapshot
+//                  each pass's input, verify IR invariants and spot-check
+//                  semantic equivalence afterwards, and roll a failing
+//                  pass back instead of letting it poison the run.
+//   --verify-ir    verify IR invariants after every pass (no rollback;
+//                  the run stops at the first violation).
+//   --limits=SPEC  resource budgets, e.g.
+//                  "am-rounds=8,growth=2.5,sweeps=100000,wall-ms=5000".
+//   --inject=C[:N] arm deterministic fault class C (rae-flip,
+//                  aht-skip-block, aht-misplace, edge-corrupt) at its N-th
+//                  opportunity, to demonstrate the guards catch it.
+//
+// Exit codes: 0 success; 1 usage or I/O error; 2 parse or input-graph
+// error; 3 a verification failed or a guarded pass was rolled back; 4 a
+// resource budget was exhausted.
 //
 //===----------------------------------------------------------------------===//
 
@@ -72,6 +90,7 @@
 #include "transform/Pipeline.h"
 #include "transform/RestrictedAssignmentMotion.h"
 #include "transform/UniformEmAm.h"
+#include "verify/FaultInjector.h"
 #include "verify/RemarkVerifier.h"
 
 #include <cctype>
@@ -122,8 +141,18 @@ int usage() {
                "HTML optimization report (per-round snapshots, diffs, "
                "Tables 1-3 facts);\n"
                "--facts writes the same recording as machine-readable "
-               "JSON.\n");
-  return 2;
+               "JSON.\n"
+               "--guarded snapshots each pass, verifies the result and "
+               "rolls failing passes\n"
+               "back; --verify-ir checks IR invariants without rollback; "
+               "--limits bounds\n"
+               "am-rounds/growth/sweeps/wall-ms; --inject arms a "
+               "deterministic fault class\n"
+               "(rae-flip|aht-skip-block|aht-misplace|edge-corrupt[:site]) "
+               "for guard testing.\n"
+               "Exit codes: 0 ok, 1 usage/io, 2 parse, 3 verify failure or "
+               "rollback, 4 limits.\n");
+  return 1;
 }
 
 /// Final-position hook for remarks::explainId: renders "bB[i]: <instr>"
@@ -186,8 +215,11 @@ int main(int argc, char **argv) {
   std::string ReportPath;
   std::string FactsPath;
   std::string StatsValue;
+  std::string LimitsSpec;
+  std::string InjectSpec;
   bool EmitDot = false, EmitStats = false, Verify = false;
   bool EmitRemarks = false, VerifyRemarks = false;
+  bool Guarded = false, VerifyIR = false;
 
   support::ArgParser Parser(
       "amopt",
@@ -228,8 +260,19 @@ int main(int argc, char **argv) {
               "interpret input and output on random inputs; exit 3 on "
               "divergence");
   Parser.flag("--verify-remarks", VerifyRemarks,
-              "replay every remark's facts against fresh analyses; exit 4 "
+              "replay every remark's facts against fresh analyses; exit 3 "
               "on failure");
+  Parser.flag("--guarded", Guarded,
+              "snapshot each pass, verify its result, roll failures back; "
+              "exit 3 if any pass was rolled back");
+  Parser.flag("--verify-ir", VerifyIR,
+              "verify IR invariants after every pass (no rollback)");
+  Parser.option("--limits", LimitsSpec,
+                "resource budgets; exceeded budgets exit 4",
+                "am-rounds=N,growth=F,sweeps=N,wall-ms=F");
+  Parser.option("--inject", InjectSpec,
+                "arm a deterministic fault class for guard testing",
+                "rae-flip|aht-skip-block|aht-misplace|edge-corrupt[:site]");
   if (!Parser.parse(argc, argv)) {
     std::fprintf(stderr, "amopt: %s\n", Parser.error().c_str());
     return usage();
@@ -268,19 +311,53 @@ int main(int argc, char **argv) {
   }
   if (!Passes.empty()) {
     // Validate the pipeline spec before touching stdin.
-    std::string Cur;
-    for (char C : Passes + ",") {
-      if (C != ',') {
-        if (C != ' ')
-          Cur.push_back(C);
-        continue;
-      }
-      if (!Cur.empty() && !isKnownPass(Cur)) {
-        std::fprintf(stderr, "amopt: unknown pass '%s'\n", Cur.c_str());
-        return usage();
-      }
-      Cur.clear();
+    diag::Expected<std::vector<std::string>> Spec = parsePassSpec(Passes);
+    if (!Spec.ok()) {
+      std::fprintf(stderr, "amopt: %s\n", Spec.diagnostic().render().c_str());
+      return usage();
     }
+  }
+  PipelineLimits Limits;
+  if (!LimitsSpec.empty()) {
+    diag::Expected<PipelineLimits> L = parseLimitsSpec(LimitsSpec);
+    if (!L.ok()) {
+      std::fprintf(stderr, "amopt: %s\n", L.diagnostic().render().c_str());
+      return usage();
+    }
+    Limits = *L;
+  }
+  fault::FaultInjector Injector;
+  bool Injecting = false;
+  if (!InjectSpec.empty()) {
+    auto F = fault::parseFaultSpec(InjectSpec);
+    if (!F.ok()) {
+      std::fprintf(stderr, "amopt: %s\n", F.diagnostic().render().c_str());
+      return usage();
+    }
+    Injector.arm(F->first, F->second);
+    Injector.install();
+    Injecting = true;
+  }
+  // Guarded execution (and --verify-ir / --limits) routes through the
+  // pipeline; translate a --pass selection into a one-pass pipeline spec.
+  const bool UsePipeline =
+      !Passes.empty() || Guarded || VerifyIR || Limits.any();
+  std::string EffectiveSpec = Passes;
+  if (UsePipeline && EffectiveSpec.empty()) {
+    if (!isKnownPass(Pass)) {
+      std::fprintf(stderr,
+                   "amopt: pass '%s' cannot run under "
+                   "--guarded/--verify-ir/--limits (no pipeline "
+                   "equivalent)\n",
+                   Pass.c_str());
+      return usage();
+    }
+    EffectiveSpec = Pass;
+  }
+  if (UsePipeline && VerifyRemarks) {
+    std::fprintf(stderr, "amopt: --verify-remarks cannot combine with "
+                         "--guarded/--verify-ir/--limits/--passes\n");
+    return usage();
   }
   AnnotationKind AnnotKind = AnnotationKind::Redundancy;
   if (!Annotation.empty() && !parseAnnotationKind(Annotation, AnnotKind)) {
@@ -316,7 +393,7 @@ int main(int argc, char **argv) {
     ParseResult R = parseProgram(Buf.str());
     if (!R.ok()) {
       std::fprintf(stderr, "amopt: %s: %s\n", File.c_str(), R.Error.c_str());
-      return 1;
+      return 2;
     }
     Input = std::move(R.Graph);
   } else if (!isatty(STDIN_FILENO)) {
@@ -325,7 +402,7 @@ int main(int argc, char **argv) {
     ParseResult R = parseProgram(Buf.str());
     if (!R.ok()) {
       std::fprintf(stderr, "amopt: <stdin>: %s\n", R.Error.c_str());
-      return 1;
+      return 2;
     }
     Input = std::move(R.Graph);
   } else {
@@ -389,22 +466,42 @@ int main(int argc, char **argv) {
   FlowGraph Output;
   UniformStats Stats;
   std::vector<PassRecord> Records;
+  unsigned RollbackCount = 0;
+  bool LimitsExhausted = false;
   RemarkVerifyReport RemarkReport;
   if (VerifyRemarks) {
     RemarkReport = verifyUniformRemarks(Input);
     Output = RemarkReport.Output;
-  } else if (!Passes.empty()) {
-    PipelineResult R = runPipeline(Input, Passes);
-    if (!R.ok()) {
+  } else if (UsePipeline) {
+    PipelineOptions POpts;
+    POpts.Guarded = Guarded;
+    POpts.VerifyIR = VerifyIR;
+    POpts.Limits = Limits;
+    PipelineResult R = runPipeline(Input, EffectiveSpec, POpts);
+    Records = std::move(R.Records);
+    RollbackCount = R.RollbackCount;
+    LimitsExhausted = R.LimitsExhausted;
+    if (!R.ok() && !R.LimitsExhausted) {
       if (TraceSession)
         TraceSession->close(); // flush what the partial run recorded
-      std::fprintf(stderr, "amopt: %s\n", R.Error.c_str());
-      return usage();
+      std::fprintf(stderr, "amopt: %s\n",
+                   R.Diag.empty() ? R.Error.c_str()
+                                  : R.Diag.render().c_str());
+      // Spec errors were caught up front; what remains is a bad input
+      // graph (nothing ran: exit 2) or a --verify-ir violation after some
+      // pass (exit 3).
+      return Records.empty() ? 2 : 3;
     }
+    if (LimitsExhausted)
+      std::fprintf(stderr, "amopt: %s\n", R.Diag.render().c_str());
+    if (!(EmitStats && StatsJson))
+      for (const PassRecord &Rec : Records)
+        if (Rec.Status == PassStatus::RolledBack)
+          std::fprintf(stderr, "amopt: pass '%s' rolled back: %s\n",
+                       Rec.Name.c_str(), Rec.Violation.c_str());
     if (EmitStats && !StatsJson)
       for (const std::string &Line : R.Log)
         std::fprintf(stderr, "amopt: %s\n", Line.c_str());
-    Records = std::move(R.Records);
     Output = std::move(R.Graph);
   } else if (Pass == "uniform") {
     Output = runUniformEmAm(Input, UniformOptions(), &Stats);
@@ -531,7 +628,7 @@ int main(int argc, char **argv) {
     for (const std::string &Line : RemarkReport.Failures)
       std::fprintf(stderr, "amopt: REMARK VERIFY FAILED: %s\n", Line.c_str());
     if (!RemarkReport.ok())
-      return 4;
+      return 3;
     if (!(EmitStats && StatsJson))
       std::fprintf(stderr,
                    "amopt: remark verify OK (%u remarks replayed against "
@@ -578,6 +675,14 @@ int main(int argc, char **argv) {
     std::fputs(Reg.str().c_str(), stderr);
   }
 
+  if (Injecting && Injector.firedCount() == 0 && !(EmitStats && StatsJson))
+    std::fprintf(stderr,
+                 "amopt: note: injected fault '%s' never fired (no "
+                 "opportunity in this run)\n",
+                 InjectSpec.c_str());
+  // Guarded outcomes dominate the exit code once every artifact is out.
+  const int GuardRc = LimitsExhausted ? 4 : (RollbackCount != 0 ? 3 : 0);
+
   if (!Explain.empty()) {
     // Provenance chains replace the program on stdout.
     remarks::Provenance Prov = remarks::Provenance::build(AllRemarks);
@@ -608,7 +713,7 @@ int main(int argc, char **argv) {
               .c_str(),
           stdout);
     }
-    return 0;
+    return GuardRc;
   }
 
   if (EmitDot && CollectRemarks) {
@@ -618,11 +723,11 @@ int main(int argc, char **argv) {
       return It == Notes.end() ? std::string() : It->second;
     };
     std::fputs(printDot(Output, Pass, Note).c_str(), stdout);
-    return 0;
+    return GuardRc;
   }
 
   std::fputs(EmitDot ? printDot(Output, Pass).c_str()
                      : printGraph(Output).c_str(),
              stdout);
-  return 0;
+  return GuardRc;
 }
