@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/PaperAnalyses.h"
+#include "support/Profiler.h"
 
 using namespace am;
 
@@ -128,6 +129,7 @@ private:
 
 RedundancyAnalysis RedundancyAnalysis::run(const FlowGraph &G,
                                            const AssignPatternTable &Pats) {
+  AM_PROF_SCOPE("analysis.redundancy");
   RedundancyAnalysis A;
   A.Problem = std::make_unique<RedundancyProblem>(Pats);
   A.Result = solve(G, *A.Problem, SolverKind::Worklist);
@@ -138,6 +140,7 @@ RedundancyAnalysis RedundancyAnalysis::run(const FlowGraph &G,
                                            const AssignPatternTable &Pats,
                                            DataflowSolver &Solver,
                                            uint64_t PatsGen) {
+  AM_PROF_SCOPE("analysis.redundancy");
   RedundancyAnalysis A;
   A.Problem = std::make_unique<RedundancyProblem>(Pats);
   A.Result = Solver.solve(G, *A.Problem, SolverKind::Worklist, PatsGen);
@@ -193,6 +196,7 @@ void HoistLocalPredicates::refresh(const FlowGraph &G,
 
 HoistabilityAnalysis HoistabilityAnalysis::run(const FlowGraph &G,
                                                const AssignPatternTable &Pats) {
+  AM_PROF_SCOPE("analysis.hoistability");
   HoistabilityAnalysis A;
   A.G = &G;
   A.Problem = std::make_unique<HoistabilityProblem>(Pats);
@@ -208,6 +212,7 @@ HoistabilityAnalysis HoistabilityAnalysis::run(const FlowGraph &G,
                                                DataflowSolver &Solver,
                                                HoistLocalPredicates &Locals,
                                                uint64_t PatsGen) {
+  AM_PROF_SCOPE("analysis.hoistability");
   HoistabilityAnalysis A;
   A.G = &G;
   A.Problem = std::make_unique<HoistabilityProblem>(Pats);
@@ -308,8 +313,14 @@ FlushAnalysis FlushAnalysis::run(const FlowGraph &G) {
   A.UniversePtr->build(G);
   A.DelayProblem = std::make_unique<DelayabilityProblem>(*A.UniversePtr);
   A.UsableProblem = std::make_unique<UsabilityProblem>(*A.UniversePtr);
-  A.Delay = solve(G, *A.DelayProblem, SolverKind::Worklist);
-  A.Usable = solve(G, *A.UsableProblem, SolverKind::Worklist);
+  {
+    AM_PROF_SCOPE("analysis.delayability");
+    A.Delay = solve(G, *A.DelayProblem, SolverKind::Worklist);
+  }
+  {
+    AM_PROF_SCOPE("analysis.usability");
+    A.Usable = solve(G, *A.UsableProblem, SolverKind::Worklist);
+  }
   return A;
 }
 

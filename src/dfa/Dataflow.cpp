@@ -29,6 +29,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dfa/Dataflow.h"
+#include "support/Profiler.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -42,11 +43,12 @@ namespace {
 /// DataflowResult::SolveSerial).
 std::atomic<uint64_t> GlobalSolveSerial{0};
 
-/// Process-wide solve observer (see setSolveObserver).  Plain pointers:
-/// the contract forbids racing install against solves, and the check in
-/// the hot path must stay one load + branch.
-void (*ObserverFn)(const SolveInfo &, void *) = nullptr;
-void *ObserverCtx = nullptr;
+/// Per-thread solve observer (see setSolveObserver).  Thread-local so
+/// concurrent optimization jobs — one telemetry session per worker
+/// thread — observe only their own solves; the check in the hot path
+/// stays one load + branch.
+thread_local void (*ObserverFn)(const SolveInfo &, void *) = nullptr;
+thread_local void *ObserverCtx = nullptr;
 
 void notifyObserver(const SolveInfo &Info) {
   if (ObserverFn)
@@ -119,6 +121,7 @@ DataflowResult DataflowSolver::solve(const FlowGraph &G,
   else
     AM_STAT_INC(NumSolvesWorklist);
   AM_STAT_TIME_SCOPE(SolveTimer);
+  AM_PROF_SCOPE("dfa.solve");
 
   trace::TraceSpan Span("dfa.solve");
   Span.arg("bits", Bits);

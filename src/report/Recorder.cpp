@@ -11,6 +11,7 @@
 #include "ir/Printer.h"
 #include "support/Json.h"
 #include "support/Stats.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -19,8 +20,6 @@
 using namespace am;
 using namespace am::report;
 
-std::atomic<RecorderSession *> RecorderSession::Active{nullptr};
-
 RecorderSession::RecorderSession() = default;
 
 RecorderSession::~RecorderSession() {
@@ -28,21 +27,29 @@ RecorderSession::~RecorderSession() {
     uninstall();
 }
 
+RecorderSession *RecorderSession::current() {
+  return telemetry::Session::current().recorder();
+}
+
 void RecorderSession::install() {
-  assert(!Active.load(std::memory_order_relaxed) &&
-         "a recorder session is already installed");
+  telemetry::Session &S = telemetry::Session::current();
+  assert(!S.recorder() && "a recorder session is already installed");
   Installed = true;
+  Attached = &S;
   CounterBase.clear();
 #ifndef AM_DISABLE_STATS
   for (const std::string &Name : counterNames())
     CounterBase.push_back(stats::Registry::get().counterValue(Name));
 #endif
   setSolveObserver(&RecorderSession::onSolve, this);
-  Active.store(this, std::memory_order_relaxed);
+  S.setRecorder(this);
 }
 
 void RecorderSession::uninstall() {
-  Active.store(nullptr, std::memory_order_relaxed);
+  if (Attached) {
+    Attached->setRecorder(nullptr);
+    Attached = nullptr;
+  }
   setSolveObserver(nullptr, nullptr);
   Installed = false;
 }

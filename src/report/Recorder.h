@@ -56,6 +56,10 @@ class FlushAnalysis;
 class AssignPatternTable;
 } // namespace am
 
+namespace am::telemetry {
+class Session;
+} // namespace am::telemetry
+
 namespace am::report {
 
 /// One instruction of a snapshot: its stable provenance id (0 when the
@@ -180,16 +184,16 @@ public:
   RecorderSession(const RecorderSession &) = delete;
   RecorderSession &operator=(const RecorderSession &) = delete;
 
-  /// Makes this the process-wide active session (and registers the dfa
-  /// solve observer).  At most one session may be installed at a time.
+  /// Attaches this recorder to the calling thread's telemetry session
+  /// (and registers the dfa solve observer).  At most one recorder may be
+  /// attached to a session at a time.
   void install();
   void uninstall();
 
-  /// The active session, or nullptr — one relaxed atomic load, so the
-  /// hooks in the transforms are free when recording is off.
-  static RecorderSession *current() {
-    return Active.load(std::memory_order_relaxed);
-  }
+  /// The recorder attached to the calling thread's telemetry session, or
+  /// nullptr — two thread-local reads, so the hooks in the transforms are
+  /// cheap when recording is off.
+  static RecorderSession *current();
 
   /// Runtime switch for counter capture (amopt turns it off under
   /// AM_DISABLE_STATS in the environment so reports stay deterministic
@@ -265,7 +269,9 @@ private:
   void captureCounters(Snapshot &S) const;
   void attributeSolve(uint64_t Serial, const char *Pass, uint32_t Round);
 
-  static std::atomic<RecorderSession *> Active;
+  /// The telemetry session this recorder is attached to (install()
+  /// through uninstall()); null while detached.
+  telemetry::Session *Attached = nullptr;
 
   StringInterner Strings;
   std::vector<Snapshot> Snapshots;

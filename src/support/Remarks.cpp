@@ -7,6 +7,7 @@
 #include "support/Remarks.h"
 
 #include "support/Json.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <mutex>
@@ -69,16 +70,15 @@ struct Sink::Impl {
   std::vector<Remark> Remarks;
 };
 
-Sink &Sink::get() {
-  // Leaked intentionally, like stats::Registry: instrumentation may fire
-  // from static destructors.
-  static Sink *S = new Sink();
-  return *S;
-}
+Sink::Sink() : I(std::make_unique<Impl>()) {}
 
-Sink::Impl &Sink::impl() const {
-  static Impl *I = new Impl();
-  return *I;
+Sink::~Sink() = default;
+
+Sink &Sink::get() {
+  // The process-default session's sink is leaked (see
+  // telemetry::Session::processDefault): instrumentation may fire from
+  // static destructors.
+  return telemetry::Session::current().remarks();
 }
 
 void Sink::clear() {

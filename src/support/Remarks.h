@@ -40,6 +40,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -131,10 +132,17 @@ struct Remark {
   const std::string &factValue(const std::string &Name) const;
 };
 
-/// The process-wide remark sink.  Mirrors stats::Registry: a singleton,
-/// cheap to consult when disabled, never deallocated.
+/// One session's remark sink.  Mirrors stats::Registry: `get()` resolves
+/// to the calling thread's current telemetry session, cheap to consult
+/// when disabled; the process-default sink is never deallocated.
 class Sink {
 public:
+  Sink();
+  ~Sink();
+  Sink(const Sink &) = delete;
+  Sink &operator=(const Sink &) = delete;
+
+  /// The calling thread's session sink (telemetry::Session::current).
   static Sink &get();
 
   /// Runtime switch.  When off (the default), add() drops remarks and
@@ -174,11 +182,10 @@ public:
   uint32_t round() const { return CurrentRound; }
 
 private:
-  Sink() = default;
-
   struct Impl;
-  Impl &impl() const;
+  Impl &impl() const { return *I; }
 
+  std::unique_ptr<Impl> I;
   std::atomic<bool> Enabled{false};
   std::atomic<uint32_t> NextId{1};
   const char *CurrentPass = "";

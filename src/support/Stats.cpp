@@ -6,6 +6,7 @@
 
 #include "support/Stats.h"
 #include "support/Json.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <deque>
@@ -82,7 +83,7 @@ void Timer::reset() {
 //===----------------------------------------------------------------------===//
 
 /// Instruments live in deques so that creating a new one never moves an
-/// existing one — the macros cache references for the process lifetime.
+/// existing one — the macros cache references for the registry lifetime.
 struct Registry::Impl {
   mutable std::mutex Mu;
   std::deque<Counter> Counters;
@@ -93,16 +94,23 @@ struct Registry::Impl {
   std::map<std::string, Timer *> TimerByName;
 };
 
-Registry &Registry::get() {
-  static Registry R;
-  return R;
-}
+namespace {
+// Generation 0 is reserved as "never resolved" in the macro caches.
+std::atomic<uint64_t> NextGeneration{1};
+} // namespace
 
-Registry::Impl &Registry::impl() const {
-  // Leaked on purpose: instrument references must outlive every static
-  // destructor that might still fire an increment.
-  static Impl *I = new Impl();
-  return *I;
+Registry::Registry()
+    : I(std::make_unique<Impl>()),
+      Generation(NextGeneration.fetch_add(1, std::memory_order_relaxed)) {}
+
+Registry::~Registry() = default;
+
+Registry &Registry::get() {
+  // The process-default session's registry is leaked (see
+  // telemetry::Session::processDefault), so default-session instrument
+  // references outlive every static destructor that might still fire an
+  // increment — the pre-session contract.
+  return telemetry::Session::current().stats();
 }
 
 Counter &Registry::counter(const std::string &Name) {

@@ -1,14 +1,19 @@
-//===- support/Stats.h - Process-wide statistics registry ------*- C++ -*-===//
+//===- support/Stats.h - Session-scoped statistics registry ----*- C++ -*-===//
 //
 // Part of the assignment-motion reproduction library.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A process-wide registry of named monotonic counters, gauges and timer
-/// histograms, built so that the paper's empirical claims (near-linear
-/// dataflow sweeps, a quickly stabilizing AM fixpoint, a final flush that
-/// deletes unjustified initializations) are observable on every run.
+/// A registry of named monotonic counters, gauges and timer histograms,
+/// built so that the paper's empirical claims (near-linear dataflow
+/// sweeps, a quickly stabilizing AM fixpoint, a final flush that deletes
+/// unjustified initializations) are observable on every run.  One
+/// registry belongs to one telemetry session (support/Telemetry.h);
+/// `Registry::get()` resolves to the calling thread's current session, so
+/// concurrent optimization jobs count into disjoint registries.  Code
+/// that never installs a session sees the leaked process-default
+/// registry — the pre-session singleton behavior, unchanged.
 ///
 /// Usage inside library code:
 ///
@@ -24,14 +29,16 @@
 ///   { am::stats::TimerScope T(SolveTimer); ...hot work... }
 /// \endcode
 ///
-/// Cost model: `AM_STAT_COUNTER` resolves its registry slot once per call
-/// site (a function-local static reference), so the steady-state cost of
-/// an increment is a single relaxed atomic add — no map lookups, no
-/// locks, no allocation.  Compiling with `-DAM_DISABLE_STATS` turns every
-/// macro into nothing at all (branch-free: the counter update is not
-/// conditionally skipped, it does not exist).  Timer scopes additionally
-/// honor the runtime `Registry::setEnabled(false)` switch so the clock is
-/// never read when observation is off.
+/// Cost model: `AM_STAT_COUNTER` declares a function-local thread-local
+/// cache of the instrument, keyed on the current registry's generation
+/// id.  The registry lookup (lock + map) happens once per call site per
+/// session; the steady-state cost of an increment is a thread-local read,
+/// one integer compare and a single relaxed atomic add — no map lookups,
+/// no locks, no allocation.  Compiling with `-DAM_DISABLE_STATS` turns
+/// every macro into nothing at all (branch-free: the counter update is
+/// not conditionally skipped, it does not exist).  Timer scopes
+/// additionally honor the runtime `Registry::setEnabled(false)` switch so
+/// the clock is never read when observation is off.
 ///
 /// Counter naming convention: lower-case dotted paths,
 /// `<subsystem>.<quantity>[_<unit>]` — e.g. `dfa.sweeps`,
@@ -47,6 +54,7 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -115,12 +123,26 @@ private:
   std::atomic<uint64_t> Buckets[NumBuckets] = {};
 };
 
-/// The process-wide registry.  Instruments register lazily on first use
-/// (under a lock) and are never deallocated, so references handed out by
-/// the AM_STAT_* macros stay valid for the life of the process.
+/// One session's registry.  Instruments register lazily on first use
+/// (under a lock) and live as long as their registry; the process-default
+/// registry is leaked, so its instrument references stay valid for the
+/// life of the process (the pre-session contract every existing caller
+/// relies on).
 class Registry {
 public:
+  Registry();
+  ~Registry();
+  Registry(const Registry &) = delete;
+  Registry &operator=(const Registry &) = delete;
+
+  /// The calling thread's session registry (telemetry::Session::current).
   static Registry &get();
+
+  /// A process-unique id, distinct even across destroy/recreate at the
+  /// same address — the cache key of the AM_STAT_* macros (see Cached*
+  /// below), so a cached instrument pointer can never dangle into a dead
+  /// registry.
+  uint64_t generation() const { return Generation; }
 
   /// Returns the uniquely named instrument, creating it on first use.
   /// Thread-safe; the returned reference is stable forever.
@@ -155,12 +177,95 @@ public:
   uint64_t counterValue(const std::string &Name) const;
 
 private:
-  Registry() = default;
-
   struct Impl;
-  Impl &impl() const;
+  Impl &impl() const { return *I; }
 
+  std::unique_ptr<Impl> I;
   std::atomic<bool> Enabled{true};
+  uint64_t Generation;
+};
+
+//===----------------------------------------------------------------------===//
+// Per-call-site instrument caches (the AM_STAT_* macro storage)
+//===----------------------------------------------------------------------===//
+
+/// A per-call-site, per-thread cache of one named counter.  Re-resolves
+/// through `Registry::get()` only when the thread's current registry has
+/// a different generation than the cached one, so the steady-state cost
+/// of an update is a compare plus the relaxed atomic op.  Constant-
+/// initializable, so the `static thread_local` the macros declare needs
+/// no init guard.  Implicitly convertible to the underlying instrument
+/// for call sites that want the reference itself.
+class CachedCounter {
+public:
+  explicit constexpr CachedCounter(const char *Name) : Name(Name) {}
+
+  Counter &ref() {
+    Registry &R = Registry::get();
+    if (Gen != R.generation()) {
+      Ptr = &R.counter(Name);
+      Gen = R.generation();
+    }
+    return *Ptr;
+  }
+  operator Counter &() { return ref(); }
+
+  void add(uint64_t Delta) { ref().add(Delta); }
+  uint64_t get() { return ref().get(); }
+  void reset() { ref().reset(); }
+
+private:
+  const char *Name;
+  uint64_t Gen = 0; // 0 never matches a live registry
+  Counter *Ptr = nullptr;
+};
+
+/// As CachedCounter, for gauges.
+class CachedGauge {
+public:
+  explicit constexpr CachedGauge(const char *Name) : Name(Name) {}
+
+  Gauge &ref() {
+    Registry &R = Registry::get();
+    if (Gen != R.generation()) {
+      Ptr = &R.gauge(Name);
+      Gen = R.generation();
+    }
+    return *Ptr;
+  }
+  operator Gauge &() { return ref(); }
+
+  void set(int64_t V) { ref().set(V); }
+  int64_t get() { return ref().get(); }
+  void reset() { ref().reset(); }
+
+private:
+  const char *Name;
+  uint64_t Gen = 0;
+  Gauge *Ptr = nullptr;
+};
+
+/// As CachedCounter, for timers.
+class CachedTimer {
+public:
+  explicit constexpr CachedTimer(const char *Name) : Name(Name) {}
+
+  Timer &ref() {
+    Registry &R = Registry::get();
+    if (Gen != R.generation()) {
+      Ptr = &R.timer(Name);
+      Gen = R.generation();
+    }
+    return *Ptr;
+  }
+  operator Timer &() { return ref(); }
+
+  void record(uint64_t Ns) { ref().record(Ns); }
+
+private:
+  const char *Name;
+  uint64_t Gen = 0;
+  Timer *Ptr = nullptr;
 };
 
 /// RAII wall-clock scope feeding a Timer.  Does not touch the clock when
@@ -195,20 +300,21 @@ private:
 
 #ifndef AM_DISABLE_STATS
 
-/// Declares a function-local static reference to the named counter.  The
-/// registry lookup happens once per call site; increments after that are
-/// a single relaxed atomic add.
+/// Declares a function-local per-thread cache of the named counter,
+/// resolved against the calling thread's current session registry.  The
+/// registry lookup happens once per call site per session; increments
+/// after that are a generation compare plus a single relaxed atomic add.
 #define AM_STAT_COUNTER(Var, Name)                                             \
-  static ::am::stats::Counter &Var = ::am::stats::Registry::get().counter(Name)
+  static thread_local ::am::stats::CachedCounter Var{Name}
 #define AM_STAT_INC(Var) (Var).add(1)
 #define AM_STAT_ADD(Var, Delta) (Var).add(Delta)
 
 #define AM_STAT_GAUGE(Var, Name)                                               \
-  static ::am::stats::Gauge &Var = ::am::stats::Registry::get().gauge(Name)
+  static thread_local ::am::stats::CachedGauge Var{Name}
 #define AM_STAT_SET(Var, Value) (Var).set(static_cast<int64_t>(Value))
 
 #define AM_STAT_TIMER(Var, Name)                                               \
-  static ::am::stats::Timer &Var = ::am::stats::Registry::get().timer(Name)
+  static thread_local ::am::stats::CachedTimer Var{Name}
 /// RAII: times the rest of the enclosing scope into timer \p Var.
 #define AM_STAT_TIME_SCOPE(Var)                                                \
   ::am::stats::TimerScope am_stat_scope_##Var(Var)

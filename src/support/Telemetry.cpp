@@ -1,0 +1,50 @@
+//===- support/Telemetry.cpp - Per-job telemetry session -----------------===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+#include "support/Profiler.h"
+#include "support/Remarks.h"
+#include "support/Stats.h"
+
+#include <atomic>
+
+using namespace am;
+using namespace am::telemetry;
+
+namespace {
+
+thread_local Session *CurrentSession = nullptr;
+
+} // namespace
+
+Session::Session()
+    : Stats(std::make_unique<stats::Registry>()),
+      Remarks(std::make_unique<remarks::Sink>()),
+      Prof(std::make_unique<prof::Profiler>()) {}
+
+Session::~Session() = default;
+
+stats::Registry &Session::stats() { return *Stats; }
+remarks::Sink &Session::remarks() { return *Remarks; }
+prof::Profiler &Session::profiler() { return *Prof; }
+
+Session &Session::current() {
+  Session *S = CurrentSession;
+  return S ? *S : processDefault();
+}
+
+Session &Session::processDefault() {
+  // Leaked on purpose: instruments handed out through the default session
+  // must outlive every static destructor that might still fire an update.
+  static Session *S = new Session();
+  return *S;
+}
+
+SessionScope::SessionScope(Session &S) : Prev(CurrentSession) {
+  CurrentSession = &S;
+}
+
+SessionScope::~SessionScope() { CurrentSession = Prev; }

@@ -94,6 +94,8 @@ std::string renderJson(std::vector<Event> Events) {
 
 bool trace::enabled() { return TracingOn.load(std::memory_order_relaxed); }
 
+uint64_t trace::epochNowUs() { return nowUs(); }
+
 void trace::start() {
   Collector &C = collector();
   std::lock_guard<std::mutex> Lock(C.Mu);

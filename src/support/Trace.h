@@ -66,6 +66,14 @@ struct Arg {
 /// True while events are being collected.  One relaxed atomic load.
 bool enabled();
 
+/// Microseconds since the tracer's timestamp origin (the most recent
+/// `start()`).  The phase profiler (support/Profiler.h) stamps its nodes
+/// with this clock, so a `--profile` tree and a `--trace` file from the
+/// same run align span for span.  Before the first start() the origin is
+/// the steady clock's own epoch; offsets are then only self-consistent,
+/// not trace-aligned.
+uint64_t epochNowUs();
+
 /// Starts collecting (clears any previously collected events; resets the
 /// timestamp origin).
 void start();

@@ -9,6 +9,7 @@
 #include "ir/InstrNumbering.h"
 #include "ir/Printer.h"
 #include "report/Recorder.h"
+#include "support/Profiler.h"
 #include "support/Remarks.h"
 #include "transform/AssignmentMotion.h"
 #include "verify/FaultInjector.h"
@@ -34,6 +35,7 @@ bool am::runAssignmentHoisting(FlowGraph &G, AmContext &Ctx,
                                const HoistFilter &Filter) {
   assert(!G.hasCriticalEdges() &&
          "assignment hoisting requires split critical edges");
+  AM_PROF_SCOPE("aht");
   AM_REMARK_PASS_SCOPE("aht");
   if (AM_REMARKS_ENABLED())
     ensureInstrIds(G);

@@ -6,6 +6,7 @@
 
 #include "transform/AssignmentMotion.h"
 #include "report/Recorder.h"
+#include "support/Profiler.h"
 #include "support/Remarks.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
@@ -27,6 +28,7 @@ AmPhaseStats am::runAssignmentMotionPhase(FlowGraph &G, AmContext &Ctx,
   AM_STAT_TIMER(FixpointTimer, "am.fixpoint_ns");
   AM_STAT_INC(NumFixpoints);
   AM_STAT_TIME_SCOPE(FixpointTimer);
+  AM_PROF_SCOPE("am.fixpoint");
   trace::TraceSpan Span("am.fixpoint");
 
   // The phase provably terminates (Section 4.5); the hard cap below is a

@@ -9,6 +9,7 @@
 #include "ir/InstrNumbering.h"
 #include "ir/Printer.h"
 #include "report/Recorder.h"
+#include "support/Profiler.h"
 #include "support/Remarks.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
@@ -56,6 +57,7 @@ struct PendingRemark {
 bool am::runFinalFlush(FlowGraph &G) {
   assert(!G.hasCriticalEdges() &&
          "the final flush requires split critical edges");
+  AM_PROF_SCOPE("flush");
   AM_REMARK_PASS_SCOPE("flush");
   if (AM_REMARKS_ENABLED())
     ensureInstrIds(G);

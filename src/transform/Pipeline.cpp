@@ -8,8 +8,10 @@
 #include "interp/Equivalence.h"
 #include "report/Recorder.h"
 #include "support/Json.h"
+#include "support/Profiler.h"
 #include "support/Remarks.h"
 #include "support/Stats.h"
+#include "support/Telemetry.h"
 #include "support/Trace.h"
 #include "transform/AssignmentHoisting.h"
 #include "transform/AssignmentMotion.h"
@@ -28,6 +30,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 
 using namespace am;
@@ -66,7 +69,7 @@ uint64_t countAssignments(const FlowGraph &G) {
 class PassScope {
 public:
   PassScope(const std::string &Name, const FlowGraph &G)
-      : Rec(), Span("pipeline.pass") {
+      : Rec(), Prof(Name), Span("pipeline.pass") {
     Rec.Name = Name;
     Rec.BlocksBefore = G.numBlocks();
     Rec.InstrsBefore = G.numInstrs();
@@ -118,6 +121,10 @@ public:
 
 private:
   PassRecord Rec;
+  /// Profiler node for this pass; the transform's own AM_PROF_SCOPE
+  /// ("rae", "analysis.redundancy", ...) nests beneath it, so the phase
+  /// tree mirrors the pipeline structure.
+  prof::Scope Prof;
   trace::TraceSpan Span;
   std::chrono::steady_clock::time_point Start;
   uint64_t DfaSolves0 = 0, DfaSweeps0 = 0, DfaBlocks0 = 0;
@@ -326,6 +333,15 @@ PipelineResult am::runPipeline(const FlowGraph &G, const std::string &Spec) {
 
 PipelineResult am::runPipeline(const FlowGraph &G, const std::string &Spec,
                                const PipelineOptions &Opts) {
+  // When the caller owns a telemetry session, make it current for the
+  // whole run so every AM_STAT_* / remark / profiler scope below lands in
+  // it; otherwise inherit whatever session is already installed (or the
+  // process default).
+  std::optional<telemetry::SessionScope> SessionGuard;
+  if (Opts.Telemetry)
+    SessionGuard.emplace(*Opts.Telemetry);
+  AM_PROF_SCOPE("pipeline");
+
   PipelineResult R;
   diag::Expected<std::vector<std::string>> Parsed = parsePassSpec(Spec);
   if (!Parsed.ok()) {

@@ -51,6 +51,10 @@
 
 namespace am {
 
+namespace telemetry {
+class Session;
+} // namespace telemetry
+
 /// How one pass of a run ended.
 enum class PassStatus : uint8_t {
   Ok,             ///< Ran and committed.
@@ -142,6 +146,12 @@ struct PipelineOptions {
   /// within a few hundred steps, so a small budget loses no detection.
   unsigned EquivalenceRounds = 4;
   uint64_t EquivalenceMaxSteps = 20000;
+  /// Telemetry session to run under.  When set, runPipeline installs it
+  /// for the duration of the run, so stats, remarks, profiler scopes and
+  /// the recorder hook all land in this job's session instead of the
+  /// calling thread's current one.  Null inherits the caller's session
+  /// (or the process default) — the pre-session behaviour.
+  telemetry::Session *Telemetry = nullptr;
 };
 
 /// Outcome of a pipeline run.

@@ -9,6 +9,7 @@
 #include "ir/InstrNumbering.h"
 #include "ir/Printer.h"
 #include "report/Recorder.h"
+#include "support/Profiler.h"
 #include "support/Remarks.h"
 #include "transform/AssignmentMotion.h"
 #include "verify/FaultInjector.h"
@@ -43,6 +44,7 @@ std::string describeDefiner(const FlowGraph &G, BlockId B, size_t Idx,
 } // namespace
 
 unsigned am::runRedundantAssignmentElimination(FlowGraph &G, AmContext &Ctx) {
+  AM_PROF_SCOPE("rae");
   AM_REMARK_PASS_SCOPE("rae");
   if (AM_REMARKS_ENABLED())
     ensureInstrIds(G);

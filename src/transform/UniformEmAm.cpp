@@ -6,6 +6,7 @@
 
 #include "transform/UniformEmAm.h"
 #include "report/Recorder.h"
+#include "support/Profiler.h"
 #include "transform/FinalFlush.h"
 #include "transform/Initialization.h"
 #include "transform/Normalize.h"
@@ -14,14 +15,17 @@ using namespace am;
 
 FlowGraph am::runUniformEmAm(const FlowGraph &G, const UniformOptions &Options,
                              UniformStats *Stats) {
+  AM_PROF_SCOPE("uniform");
   UniformStats Local;
   UniformStats &S = Stats ? *Stats : Local;
   report::RecorderSession *Rec = report::RecorderSession::current();
 
   FlowGraph Work = G;
   removeSkips(Work);
-  if (Options.SplitCriticalEdges)
+  if (Options.SplitCriticalEdges) {
+    AM_PROF_SCOPE("split");
     S.EdgesSplit = Work.splitCriticalEdges();
+  }
   if (Rec)
     Rec->snapshot(Work, "split");
 

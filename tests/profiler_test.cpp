@@ -1,0 +1,236 @@
+//===- tests/profiler_test.cpp - Self-profiler tests -----------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The hierarchical self-profiler (support/Profiler.h): phase-tree
+// construction, determinism of the tree shape across runs, zero cost when
+// disabled or compiled out, tolerance of unbalanced instrumentation, and
+// the JSON / collapsed-stack renderings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "figures/PaperFigures.h"
+#include "ir/Printer.h"
+#include "support/Json.h"
+#include "support/Profiler.h"
+#include "support/Stats.h"
+#include "support/Telemetry.h"
+#include "transform/UniformEmAm.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace am;
+
+namespace am::test {
+size_t profileCompiledOutScopes(); // profiler_disabled_helper.cpp
+} // namespace am::test
+
+namespace {
+
+/// A fresh session with its profiler switched on, installed for the
+/// test's duration.
+struct ProfiledSession {
+  telemetry::Session S;
+  telemetry::SessionScope Scope;
+  ProfiledSession() : Scope(S) { S.profiler().setEnabled(true); }
+  prof::Profiler &prof() { return S.profiler(); }
+};
+
+TEST(ProfilerTest, DisabledByDefaultCreatesNoNodes) {
+  telemetry::Session S;
+  telemetry::SessionScope Scope(S);
+  {
+    AM_PROF_SCOPE("never");
+  }
+  EXPECT_EQ(S.profiler().numNodes(), 1u); // just the root
+  EXPECT_EQ(S.profiler().treeShape(), "root");
+}
+
+TEST(ProfilerTest, BuildsTheTreeInFirstEntryOrder) {
+  ProfiledSession P;
+  for (int I = 0; I < 2; ++I) {
+    AM_PROF_SCOPE("outer");
+    {
+      AM_PROF_SCOPE("first");
+    }
+    {
+      AM_PROF_SCOPE("second");
+    }
+  }
+  {
+    AM_PROF_SCOPE("tail");
+  }
+  EXPECT_EQ(P.prof().treeShape(),
+            "root{outer(2){first(2),second(2)},tail(1)}");
+}
+
+TEST(ProfilerTest, SameNameUnderDifferentParentsIsDifferentNodes) {
+  ProfiledSession P;
+  {
+    AM_PROF_SCOPE("a");
+    AM_PROF_SCOPE("solve");
+  }
+  {
+    AM_PROF_SCOPE("b");
+    AM_PROF_SCOPE("solve");
+  }
+  EXPECT_EQ(P.prof().treeShape(), "root{a(1){solve(1)},b(1){solve(1)}}");
+  EXPECT_EQ(P.prof().numNodes(), 5u);
+}
+
+TEST(ProfilerTest, AccumulatesWallTimeAndCalls) {
+  ProfiledSession P;
+  for (int I = 0; I < 3; ++I) {
+    AM_PROF_SCOPE("work");
+    // Touch the heap so the allocation delta is visibly attributed.
+    std::vector<int> V(1024, I);
+    ASSERT_EQ(V.size(), 1024u);
+  }
+  ASSERT_EQ(P.prof().numNodes(), 2u);
+  const prof::Profiler::Node &N = P.prof().node(1);
+  EXPECT_EQ(N.Name, "work");
+  EXPECT_EQ(N.Calls, 3u);
+  EXPECT_GT(N.WallNs, 0u);
+  if (prof::allocTrackingAvailable()) {
+    EXPECT_GE(N.AllocBytes, 3 * 1024 * sizeof(int));
+    EXPECT_GE(N.AllocCalls, 3u);
+  }
+  EXPECT_GE(N.LastEndUs, N.FirstStartUs);
+}
+
+TEST(ProfilerTest, UnbalancedLeaveIsIgnored) {
+  ProfiledSession P;
+  P.prof().leave(); // no matching enter
+  P.prof().leave();
+  EXPECT_EQ(P.prof().depth(), 0u);
+  {
+    AM_PROF_SCOPE("ok");
+  }
+  P.prof().leave(); // unbalanced again, after real traffic
+  EXPECT_EQ(P.prof().treeShape(), "root{ok(1)}");
+}
+
+TEST(ProfilerTest, DanglingEnterSurvivesReset) {
+  ProfiledSession P;
+  P.prof().enter("left_open");
+  EXPECT_EQ(P.prof().depth(), 1u);
+  P.prof().reset();
+  EXPECT_EQ(P.prof().depth(), 0u);
+  EXPECT_EQ(P.prof().numNodes(), 1u);
+  EXPECT_EQ(P.prof().treeShape(), "root");
+}
+
+TEST(ProfilerTest, ScopeCapturesProfilerAtEntry) {
+  // Disabling mid-scope must not unbalance the stack: Scope latched the
+  // enabled decision at construction.
+  ProfiledSession P;
+  {
+    AM_PROF_SCOPE("latch");
+    P.prof().setEnabled(false);
+  }
+  EXPECT_EQ(P.prof().depth(), 0u);
+  EXPECT_EQ(P.prof().node(1).Calls, 1u);
+}
+
+TEST(ProfilerTest, TreeShapeIsDeterministicAcrossRuns) {
+  // The acceptance bar: profiling the same optimization twice (fresh
+  // session each time) yields byte-identical tree shapes, and the
+  // optimized program is byte-identical with profiling on or off.
+  FlowGraph Input = figure4();
+  auto RunProfiled = [&](std::string &Shape) {
+    telemetry::Session S;
+    telemetry::SessionScope Scope(S);
+    S.profiler().setEnabled(true);
+    FlowGraph Out = runUniformEmAm(Input);
+    Shape = S.profiler().treeShape();
+    return Out;
+  };
+  std::string ShapeA, ShapeB;
+  FlowGraph OutA = RunProfiled(ShapeA);
+  FlowGraph OutB = RunProfiled(ShapeB);
+  EXPECT_EQ(ShapeA, ShapeB);
+  EXPECT_NE(ShapeA.find("uniform"), std::string::npos) << ShapeA;
+  EXPECT_NE(ShapeA.find("init"), std::string::npos) << ShapeA;
+  EXPECT_NE(ShapeA.find("rae"), std::string::npos) << ShapeA;
+  EXPECT_NE(ShapeA.find("aht"), std::string::npos) << ShapeA;
+  EXPECT_NE(ShapeA.find("flush"), std::string::npos) << ShapeA;
+  EXPECT_NE(ShapeA.find("dfa.solve"), std::string::npos) << ShapeA;
+
+  // Profiling never perturbs the optimization itself.
+  telemetry::Session Plain;
+  telemetry::SessionScope PlainScope(Plain);
+  FlowGraph OutPlain = runUniformEmAm(Input);
+  EXPECT_EQ(printGraph(OutA), printGraph(OutPlain));
+  EXPECT_EQ(printGraph(OutA), printGraph(OutB));
+}
+
+TEST(ProfilerTest, CompiledOutScopesCreateNothingEvenWhenEnabled) {
+  ProfiledSession P;
+  EXPECT_EQ(am::test::profileCompiledOutScopes(), 0u);
+  EXPECT_EQ(P.prof().treeShape(), "root");
+}
+
+TEST(ProfilerTest, JsonIsValidAndCarriesTheSchema) {
+  ProfiledSession P;
+  {
+    AM_PROF_SCOPE("phase");
+    AM_PROF_SCOPE("sub");
+  }
+  std::string J = P.prof().toJsonString();
+  std::string Error;
+  EXPECT_TRUE(json::validate(J, &Error)) << Error << "\n" << J;
+  EXPECT_NE(J.find("\"schema\":\"amprof-v1\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"shape\":"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"collapsed\":"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"name\":\"phase\""), std::string::npos) << J;
+}
+
+TEST(ProfilerTest, CollapsedStacksJoinThePathWithSemicolons) {
+  ProfiledSession P;
+  {
+    AM_PROF_SCOPE("a");
+    AM_PROF_SCOPE("b");
+  }
+  std::string Folded = P.prof().toCollapsedString();
+  EXPECT_NE(Folded.find("a "), std::string::npos) << Folded;
+  EXPECT_NE(Folded.find("a;b "), std::string::npos) << Folded;
+}
+
+TEST(ProfilerTest, MemoryIntrospectionIsHonest) {
+  if (prof::allocTrackingAvailable()) {
+    uint64_t Bytes0 = prof::allocatedBytes();
+    uint64_t Calls0 = prof::allocationCount();
+    std::vector<char> *V = new std::vector<char>(4096);
+    EXPECT_GE(prof::allocatedBytes() - Bytes0, 4096u);
+    EXPECT_GE(prof::allocationCount() - Calls0, 1u);
+    delete V;
+    // Monotonic: deallocation never subtracts.
+    EXPECT_GE(prof::allocatedBytes(), Bytes0 + 4096);
+  }
+#ifdef __linux__
+  EXPECT_GT(prof::peakRssBytes(), 0u);
+#endif
+}
+
+TEST(ProfilerTest, MemoryGaugesOnlyAppearWhereAvailable) {
+  stats::Registry R;
+  prof::recordMemoryGauges(R);
+  if (prof::allocTrackingAvailable()) {
+    ASSERT_NE(R.findGauge("mem.alloc_bytes"), nullptr);
+    EXPECT_GT(R.findGauge("mem.alloc_bytes")->get(), 0);
+    ASSERT_NE(R.findGauge("mem.alloc_count"), nullptr);
+  } else {
+    EXPECT_EQ(R.findGauge("mem.alloc_bytes"), nullptr);
+  }
+#ifdef __linux__
+  ASSERT_NE(R.findGauge("mem.peak_rss_bytes"), nullptr);
+  EXPECT_GT(R.findGauge("mem.peak_rss_bytes")->get(), 0);
+#endif
+}
+
+} // namespace

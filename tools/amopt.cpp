@@ -9,6 +9,7 @@
 //
 //   amopt [--pass=uniform|am|lcm|bcm|restricted|cp|pde]
 //         [--passes=p1,p2,...] [--dot] [--stats[=json]] [--trace=out.json]
+//         [--profile=out.json]
 //         [--remarks[=out.json]] [--explain=<var|instr-id>]
 //         [--report=out.html] [--facts=out.json]
 //         [--verify] [--verify-remarks]
@@ -29,6 +30,12 @@
 //                  about:tracing or https://ui.perfetto.dev — one span
 //                  per pass, nested spans per dataflow solve, instant
 //                  events per AM fixpoint round.
+//   --profile=F    write the hierarchical self-profile as JSON: a phase
+//                  tree (parse, each pass, each analysis, each dataflow
+//                  solve, emission) with wall time, call counts and
+//                  allocation deltas per node, plus collapsed-stack lines
+//                  for flamegraph tools.  The optimized output is
+//                  byte-identical with or without profiling.
 //   --remarks[=F]  collect optimization remarks: one typed record per
 //                  decomposition, hoist, elimination, init sink/delete
 //                  and reconstruction, with the justifying dataflow
@@ -80,8 +87,10 @@
 #include "report/Recorder.h"
 #include "support/ArgParser.h"
 #include "support/Json.h"
+#include "support/Profiler.h"
 #include "support/Remarks.h"
 #include "support/Stats.h"
+#include "support/Telemetry.h"
 #include "support/Trace.h"
 #include "transform/BusyCodeMotion.h"
 #include "transform/CopyPropagation.h"
@@ -116,7 +125,8 @@ int usage() {
                "usage: amopt [--pass=uniform|am|lcm|bcm|restricted|cp|pde] "
                "[--passes=p1,p2,...] [--dot]\n"
                "             [--stats[=json]] [--trace=out.json] "
-               "[--remarks[=out.json]]\n"
+               "[--profile=out.json]\n"
+               "             [--remarks[=out.json]]\n"
                "             [--report=out.html] [--facts=out.json]\n"
                "             [--explain=<var|instr-id>] [--verify] "
                "[--verify-remarks]\n"
@@ -130,7 +140,10 @@ int usage() {
                "counters on stderr\n"
                "(machine-readable with --stats=json).  --trace writes "
                "Chrome trace_event JSON\n"
-               "for about:tracing / Perfetto.  --remarks records every "
+               "for about:tracing / Perfetto.  --profile writes the "
+               "optimizer's self-profile\n"
+               "(phase tree + collapsed stacks) as JSON.  --remarks "
+               "records every "
                "transformation decision\n"
                "with its justifying dataflow facts; --explain renders an "
                "instruction's (or a\n"
@@ -210,6 +223,7 @@ int main(int argc, char **argv) {
   std::string Passes;
   std::string Annotation;
   std::string TracePath;
+  std::string ProfilePath;
   std::string RemarksPath;
   std::string Explain;
   std::string ReportPath;
@@ -237,6 +251,10 @@ int main(int argc, char **argv) {
                        "json");
   Parser.option("--trace", TracePath,
                 "write Chrome trace_event JSON for about:tracing / Perfetto",
+                "out.json");
+  Parser.option("--profile", ProfilePath,
+                "write the optimizer's self-profile (phase tree + "
+                "collapsed stacks) as JSON",
                 "out.json");
   Parser.optionalValue("--remarks", EmitRemarks, RemarksPath,
                        "record every transformation decision (stderr, or "
@@ -295,6 +313,11 @@ int main(int argc, char **argv) {
   if (!TracePath.empty() && TracePath[0] == '-') {
     std::fprintf(stderr, "amopt: suspicious trace path '%s'\n",
                  TracePath.c_str());
+    return usage();
+  }
+  if (!ProfilePath.empty() && ProfilePath[0] == '-') {
+    std::fprintf(stderr, "amopt: suspicious profile path '%s'\n",
+                 ProfilePath.c_str());
     return usage();
   }
 
@@ -381,34 +404,49 @@ int main(int argc, char **argv) {
     return usage();
   }
 
+  // One telemetry session per optimization job: the stats registry,
+  // remark sink, recorder hook and profiler below all belong to this run
+  // rather than to the process, so embedding amopt's logic elsewhere (or
+  // a future daemon serving many jobs) gets isolated observability for
+  // free.
+  telemetry::Session Job;
+  telemetry::SessionScope JobScope(Job);
+  if (!ProfilePath.empty())
+    prof::Profiler::get().setEnabled(true);
+
   FlowGraph Input;
-  if (!File.empty()) {
-    std::ifstream In(File);
-    if (!In) {
-      std::fprintf(stderr, "amopt: cannot open '%s'\n", File.c_str());
-      return 1;
+  {
+    AM_PROF_SCOPE("parse");
+    if (!File.empty()) {
+      std::ifstream In(File);
+      if (!In) {
+        std::fprintf(stderr, "amopt: cannot open '%s'\n", File.c_str());
+        return 1;
+      }
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      ParseResult R = parseProgram(Buf.str());
+      if (!R.ok()) {
+        std::fprintf(stderr, "amopt: %s: %s\n", File.c_str(),
+                     R.Error.c_str());
+        return 2;
+      }
+      Input = std::move(R.Graph);
+    } else if (!isatty(STDIN_FILENO)) {
+      std::ostringstream Buf;
+      Buf << std::cin.rdbuf();
+      ParseResult R = parseProgram(Buf.str());
+      if (!R.ok()) {
+        std::fprintf(stderr, "amopt: <stdin>: %s\n", R.Error.c_str());
+        return 2;
+      }
+      Input = std::move(R.Graph);
+    } else {
+      std::fprintf(
+          stderr,
+          "amopt: no input; optimizing the paper's running example\n");
+      Input = figure4();
     }
-    std::ostringstream Buf;
-    Buf << In.rdbuf();
-    ParseResult R = parseProgram(Buf.str());
-    if (!R.ok()) {
-      std::fprintf(stderr, "amopt: %s: %s\n", File.c_str(), R.Error.c_str());
-      return 2;
-    }
-    Input = std::move(R.Graph);
-  } else if (!isatty(STDIN_FILENO)) {
-    std::ostringstream Buf;
-    Buf << std::cin.rdbuf();
-    ParseResult R = parseProgram(Buf.str());
-    if (!R.ok()) {
-      std::fprintf(stderr, "amopt: <stdin>: %s\n", R.Error.c_str());
-      return 2;
-    }
-    Input = std::move(R.Graph);
-  } else {
-    std::fprintf(stderr,
-                 "amopt: no input; optimizing the paper's running example\n");
-    Input = figure4();
   }
 
   if (!Annotation.empty()) {
@@ -477,6 +515,7 @@ int main(int argc, char **argv) {
     POpts.Guarded = Guarded;
     POpts.VerifyIR = VerifyIR;
     POpts.Limits = Limits;
+    POpts.Telemetry = &Job;
     PipelineResult R = runPipeline(Input, EffectiveSpec, POpts);
     Records = std::move(R.Records);
     RollbackCount = R.RollbackCount;
@@ -636,6 +675,11 @@ int main(int argc, char **argv) {
                    RemarkReport.Checked);
   }
 
+  // Fold process-memory gauges (peak RSS, cumulative allocations) into
+  // the registry right before it is dumped; on platforms without the
+  // sources the gauges are simply absent.
+  if (EmitStats)
+    prof::recordMemoryGauges(stats::Registry::get());
   if (EmitStats && StatsJson) {
     // One JSON object on stderr so the optimized program on stdout stays
     // pipeable: {"input": {...}, "output": {...}, "passes": [...],
@@ -683,6 +727,23 @@ int main(int argc, char **argv) {
   // Guarded outcomes dominate the exit code once every artifact is out.
   const int GuardRc = LimitsExhausted ? 4 : (RollbackCount != 0 ? 3 : 0);
 
+  // The profile is written after the "emit" scope closes so the phase
+  // tree covers emission too.  It goes to its own file: the program on
+  // stdout is byte-identical with or without --profile.
+  auto WriteProfile = [&]() -> bool {
+    if (ProfilePath.empty())
+      return true;
+    if (!prof::Profiler::get().writeJsonFile(ProfilePath)) {
+      std::fprintf(stderr, "amopt: cannot write profile '%s'\n",
+                   ProfilePath.c_str());
+      return false;
+    }
+    if (!(EmitStats && StatsJson))
+      std::fprintf(stderr, "amopt: profile written to %s\n",
+                   ProfilePath.c_str());
+    return true;
+  };
+
   if (!Explain.empty()) {
     // Provenance chains replace the program on stdout.
     remarks::Provenance Prov = remarks::Provenance::build(AllRemarks);
@@ -713,6 +774,8 @@ int main(int argc, char **argv) {
               .c_str(),
           stdout);
     }
+    if (!WriteProfile())
+      return 1;
     return GuardRc;
   }
 
@@ -722,12 +785,22 @@ int main(int argc, char **argv) {
       auto It = Notes.find(I.Id);
       return It == Notes.end() ? std::string() : It->second;
     };
-    std::fputs(printDot(Output, Pass, Note).c_str(), stdout);
+    {
+      AM_PROF_SCOPE("emit");
+      std::fputs(printDot(Output, Pass, Note).c_str(), stdout);
+    }
+    if (!WriteProfile())
+      return 1;
     return GuardRc;
   }
 
-  std::fputs(EmitDot ? printDot(Output, Pass).c_str()
-                     : printGraph(Output).c_str(),
-             stdout);
+  {
+    AM_PROF_SCOPE("emit");
+    std::fputs(EmitDot ? printDot(Output, Pass).c_str()
+                       : printGraph(Output).c_str(),
+               stdout);
+  }
+  if (!WriteProfile())
+    return 1;
   return GuardRc;
 }
