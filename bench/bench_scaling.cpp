@@ -149,6 +149,42 @@ void BM_SolverComparison(benchmark::State &State) {
 }
 BENCHMARK(BM_SolverComparison)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+/// The transposed multi-pattern substrate against the classic wide-vector
+/// fixpoint on the large scaling points (10k / 100k blocks with a pattern
+/// universe far wider than one machine word).  Same problem, same unique
+/// fixpoint — only the storage layout and sweep structure differ, so the
+/// ratio isolates the substrate win (see dfa/MultiPattern.h).
+void BM_SolverLayout(benchmark::State &State) {
+  GenOptions Opts;
+  Opts.TargetStmts = static_cast<unsigned>(State.range(0));
+  Opts.NumVars = 24;
+  Opts.PatternPoolSize = 320;
+  FlowGraph G = generateStructuredProgram(61, Opts);
+  AssignPatternTable Pats;
+  Pats.build(G);
+  RedundancyCheckProblem Problem(Pats);
+  bool Transposed = State.range(1) != 0;
+  setSolverLayout(Transposed ? SolverLayout::Transposed
+                             : SolverLayout::Scalar);
+  uint64_t Processed = 0;
+  for (auto _ : State) {
+    DataflowResult R = solve(G, Problem, SolverKind::Worklist);
+    Processed = R.BlocksProcessed;
+    benchmark::DoNotOptimize(R);
+  }
+  setSolverLayout(SolverLayout::Auto);
+  State.counters["blocks"] = static_cast<double>(G.numBlocks());
+  State.counters["patterns"] = static_cast<double>(Pats.size());
+  State.counters["blocks_processed"] = static_cast<double>(Processed);
+  State.SetLabel(Transposed ? "transposed" : "scalar");
+}
+BENCHMARK(BM_SolverLayout)
+    ->Args({20000, 0})
+    ->Args({20000, 1})
+    ->Args({200000, 0})
+    ->Args({200000, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AmPhaseOnly(benchmark::State &State) {
   FlowGraph G = generateStructuredProgram(
       7, structuredOpts(static_cast<unsigned>(State.range(0))));

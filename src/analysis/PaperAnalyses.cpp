@@ -6,6 +6,7 @@
 
 #include "analysis/PaperAnalyses.h"
 #include "support/Profiler.h"
+#include "support/ThreadPool.h"
 
 using namespace am;
 
@@ -24,7 +25,7 @@ public:
   size_t numBits() const override { return Pats.size(); }
 
   void gen(BlockId, size_t, const Instr &I, BitVector &Out) const override {
-    Out = Pats.makeVector();
+    Out.clearAndResize(Pats.size());
     size_t Idx = Pats.occurrence(I);
     // Only patterns `v := t` with v not an operand of t can be redundant
     // (Table 2 precondition).
@@ -56,7 +57,7 @@ public:
   size_t numBits() const override { return Pats.size(); }
 
   void gen(BlockId, size_t, const Instr &I, BitVector &Out) const override {
-    Out = Pats.makeVector();
+    Out.clearAndResize(Pats.size());
     size_t Idx = Pats.occurrence(I);
     if (Idx != AssignPatternTable::npos)
       Out.set(Idx);
@@ -88,7 +89,9 @@ public:
   }
 
   void kill(BlockId, size_t, const Instr &I, BitVector &Out) const override {
-    BitVector Tmp = U.makeVector();
+    // thread_local (not a member): kill() is invoked concurrently from
+    // the transfer-composition workers, which share one problem instance.
+    static thread_local BitVector Tmp;
     U.used(I, Out);
     U.blocked(I, Tmp);
     Out |= Tmp;
@@ -153,7 +156,7 @@ RedundancyAnalysis RedundancyAnalysis::run(const FlowGraph &G,
 
 void HoistLocalPredicates::computeBlock(const FlowGraph &G,
                                         const AssignPatternTable &Pats,
-                                        BlockId B) {
+                                        BlockId B, BitVector &Scratch) {
   size_t Bits = Pats.size();
   BitVector &Hoistable = LocHoistable[B];
   BitVector &BlockedSoFar = LocBlocked[B];
@@ -165,8 +168,8 @@ void HoistLocalPredicates::computeBlock(const FlowGraph &G,
     size_t Idx = Pats.occurrence(I);
     if (Idx != AssignPatternTable::npos && !BlockedSoFar.test(Idx))
       Hoistable.set(Idx);
-    Pats.blockedBy(I, Tmp);
-    BlockedSoFar |= Tmp;
+    Pats.blockedBy(I, Scratch);
+    BlockedSoFar |= Scratch;
   }
 }
 
@@ -179,9 +182,20 @@ void HoistLocalPredicates::refresh(const FlowGraph &G,
                      LocBlocked.size() <= NumBlocks;
   LocBlocked.resize(NumBlocks);
   LocHoistable.resize(NumBlocks);
-  for (BlockId B = 0; B < NumBlocks; ++B) {
-    if (!Incremental || G.blockTick(B) > RefreshTick)
-      computeBlock(G, Pats, B);
+  if (!Incremental) {
+    // Full rebuild: each block's predicates depend only on that block's
+    // instructions and the (const) pattern table, so contiguous block
+    // ranges go to the pool with one scratch vector per range.
+    threads::pool().parallelRanges(NumBlocks, [&](size_t Begin, size_t End) {
+      BitVector Scratch;
+      for (size_t B = Begin; B < End; ++B)
+        computeBlock(G, Pats, static_cast<BlockId>(B), Scratch);
+    });
+  } else {
+    for (BlockId B = 0; B < NumBlocks; ++B) {
+      if (G.blockTick(B) > RefreshTick)
+        computeBlock(G, Pats, B, Tmp);
+    }
   }
   CachedG = &G;
   CachedGen = PatsGen;
@@ -274,7 +288,7 @@ size_t FlushUniverse::indexOfTemp(VarId V) const {
 }
 
 void FlushUniverse::isInst(const Instr &I, BitVector &Out) const {
-  Out = makeVector();
+  Out.clearAndResize(Temps.size());
   if (!I.isAssign())
     return;
   size_t Idx = indexOfTemp(I.Lhs);
@@ -283,7 +297,7 @@ void FlushUniverse::isInst(const Instr &I, BitVector &Out) const {
 }
 
 void FlushUniverse::used(const Instr &I, BitVector &Out) const {
-  Out = makeVector();
+  Out.clearAndResize(Temps.size());
   I.forEachUsedVar([&](VarId V) {
     size_t Idx = indexOfTemp(V);
     if (Idx != npos)
@@ -292,7 +306,7 @@ void FlushUniverse::used(const Instr &I, BitVector &Out) const {
 }
 
 void FlushUniverse::blocked(const Instr &I, BitVector &Out) const {
-  Out = makeVector();
+  Out.clearAndResize(Temps.size());
   VarId Def = I.definedVar();
   if (!isValid(Def))
     return;

@@ -93,7 +93,7 @@ public:
 
 private:
   void computeBlock(const FlowGraph &G, const AssignPatternTable &Pats,
-                    BlockId B);
+                    BlockId B, BitVector &Scratch);
 
   std::vector<BitVector> LocBlocked;
   std::vector<BitVector> LocHoistable;

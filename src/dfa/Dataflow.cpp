@@ -29,12 +29,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "dfa/Dataflow.h"
+#include "dfa/MultiPattern.h"
 #include "support/Profiler.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
 #include <atomic>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 using namespace am;
 
@@ -60,6 +63,39 @@ void am::setSolveObserver(void (*Fn)(const SolveInfo &, void *), void *Ctx) {
   ObserverFn = Fn;
   ObserverCtx = Ctx;
 }
+
+namespace {
+/// -1 = no programmatic override; fall through to AM_SOLVER.
+std::atomic<int> LayoutOverride{-1};
+
+SolverLayout envLayout() {
+  static SolverLayout Cached = [] {
+    const char *Env = std::getenv("AM_SOLVER");
+    if (!Env)
+      return SolverLayout::Auto;
+    if (std::strcmp(Env, "scalar") == 0)
+      return SolverLayout::Scalar;
+    if (std::strcmp(Env, "transposed") == 0)
+      return SolverLayout::Transposed;
+    return SolverLayout::Auto;
+  }();
+  return Cached;
+}
+} // namespace
+
+SolverLayout am::solverLayout() {
+  int V = LayoutOverride.load(std::memory_order_relaxed);
+  return V < 0 ? envLayout() : static_cast<SolverLayout>(V);
+}
+
+void am::setSolverLayout(SolverLayout L) {
+  LayoutOverride.store(static_cast<int>(L), std::memory_order_relaxed);
+}
+
+DataflowSolver::DataflowSolver() = default;
+DataflowSolver::~DataflowSolver() = default;
+DataflowSolver::DataflowSolver(DataflowSolver &&) noexcept = default;
+DataflowSolver &DataflowSolver::operator=(DataflowSolver &&) noexcept = default;
 
 bool DataflowSolver::solutionValid(const FlowGraph &G,
                                    const DataflowProblem &P,
@@ -151,17 +187,92 @@ DataflowResult DataflowSolver::solve(const FlowGraph &G,
     return R;
   }
 
-  Cache.refresh(G, P, ProblemGen);
   refreshOrder(G, Forward);
 
-  Init.clearAndResize(Bits); // optimistic interior initialization
-  if (MeetAll)
-    Init.setAll();
   P.boundary(Boundary);
   assert(Boundary.size() == Bits && "boundary width mismatch");
   BlockId BoundaryBlock = Forward ? G.start() : G.end();
 
   uint64_t BlocksProcessed = 0, Sweeps = 0;
+  bool Incremental = false;
+
+  // Dirty blocks' closure under the dependence direction, shared by both
+  // substrates' incremental restarts.
+  auto ComputeDirtyClosure = [&]() {
+    DirtyScratch.clear();
+    AffectedSet.clearAndResize(NumBlocks);
+    for (BlockId B = 0; B < NumBlocks; ++B) {
+      if (G.blockTick(B) > SolTick) {
+        AffectedSet.set(B);
+        DirtyScratch.push_back(B);
+      }
+    }
+    for (size_t Idx = 0; Idx < DirtyScratch.size(); ++Idx) {
+      BlockId B = DirtyScratch[Idx];
+      const auto &Deps = Forward ? G.block(B).Succs : G.block(B).Preds;
+      for (BlockId D : Deps) {
+        if (!AffectedSet.test(D)) {
+          AffectedSet.set(D);
+          DirtyScratch.push_back(D);
+        }
+      }
+    }
+  };
+
+  // Substrate selection: never a function of the thread count (that
+  // would make work counters scheduling-dependent), only of the layout
+  // policy and the problem width.
+  bool UseTransposed = Kind == SolverKind::Worklist;
+  if (UseTransposed) {
+    switch (solverLayout()) {
+    case SolverLayout::Scalar:
+      UseTransposed = false;
+      break;
+    case SolverLayout::Transposed:
+      UseTransposed = Bits > 0;
+      break;
+    case SolverLayout::Auto:
+      UseTransposed = Bits > 64;
+      break;
+    }
+  }
+
+  if (UseTransposed) {
+    if (!Engine)
+      Engine = std::make_unique<TransposedEngine>();
+    Incremental = PrevValid && Engine->solutionValidFor(G, P, ProblemGen);
+    if (Incremental) {
+      ComputeDirtyClosure();
+      AM_STAT_INC(NumSolvesIncremental);
+      Span.arg("incremental", 1);
+      Span.arg("dirty_closure", DirtyScratch.size());
+    }
+    Span.arg("layout", "transposed");
+    Span.arg("slices", (Bits + 63) / 64);
+    TransposedEngine::SolveRequest Req;
+    Req.G = &G;
+    Req.P = &P;
+    Req.ProblemGen = ProblemGen;
+    Req.Order = &Order;
+    Req.OrderIndex = &OrderIndex;
+    Req.Forward = Forward;
+    Req.MeetAll = MeetAll;
+    Req.BoundaryBlock = BoundaryBlock;
+    Req.Boundary = &Boundary;
+    Req.Incremental = Incremental;
+    Req.Dirty = &DirtyScratch;
+    BlocksProcessed = Engine->solve(Req);
+    Engine->exportSolution(In, Out);
+  } else {
+  // A wide-vector solve leaves the engine's packed solution behind the
+  // mirrors below; drop it so a later transposed solve restarts full.
+  if (Engine)
+    Engine->invalidate();
+  Cache.refresh(G, P, ProblemGen);
+
+  Init.clearAndResize(Bits); // optimistic interior initialization
+  if (MeetAll)
+    Init.setAll();
 
   // Recomputes block B; returns true if its Out side changed.  "In" is
   // the meet side (block entry for forward, block exit for backward);
@@ -213,28 +324,11 @@ DataflowResult DataflowSolver::solve(const FlowGraph &G,
     }
   };
 
-  bool Incremental = Kind == SolverKind::Worklist && PrevValid;
+  Incremental = Kind == SolverKind::Worklist && PrevValid;
   if (Incremental) {
     // Seed only the dirty blocks' dependence closure, reset to the
     // optimistic value; everything outside keeps its converged value.
-    DirtyScratch.clear();
-    AffectedSet.clearAndResize(NumBlocks);
-    for (BlockId B = 0; B < NumBlocks; ++B) {
-      if (G.blockTick(B) > SolTick) {
-        AffectedSet.set(B);
-        DirtyScratch.push_back(B);
-      }
-    }
-    for (size_t Idx = 0; Idx < DirtyScratch.size(); ++Idx) {
-      BlockId B = DirtyScratch[Idx];
-      const auto &Deps = Forward ? G.block(B).Succs : G.block(B).Preds;
-      for (BlockId D : Deps) {
-        if (!AffectedSet.test(D)) {
-          AffectedSet.set(D);
-          DirtyScratch.push_back(D);
-        }
-      }
-    }
+    ComputeDirtyClosure();
     AM_STAT_INC(NumSolvesIncremental);
     Span.arg("incremental", 1);
     Span.arg("dirty_closure", DirtyScratch.size());
@@ -274,6 +368,7 @@ DataflowResult DataflowSolver::solve(const FlowGraph &G,
       Drain();
     }
   }
+  } // scalar substrate
 
   SolG = &G;
   SolTick = G.modTick();
@@ -285,18 +380,21 @@ DataflowResult DataflowSolver::solve(const FlowGraph &G,
   HaveSolution = true;
 
   // Every transfer evaluation touches the meet result, the transferred
-  // vector and both transfer masks, word by word.
-  uint64_t WordsPerBlock = 4 * ((Bits + 63) / 64);
+  // vector and both transfer masks, word by word: all (Bits+63)/64 words
+  // per wide-vector evaluation, one GroupWidth-word run per group
+  // evaluation on the transposed substrate.
+  uint64_t WordsPerEval = UseTransposed ? 4 * PackedLaneMatrix::GroupWidth
+                                        : 4 * ((Bits + 63) / 64);
   AM_STAT_COUNTER(NumSweeps, "dfa.sweeps");
   AM_STAT_COUNTER(NumBlocksProcessed, "dfa.blocks_processed");
   AM_STAT_COUNTER(NumWordsTouched, "dfa.words_touched");
   AM_STAT_ADD(NumSweeps, Sweeps);
   AM_STAT_ADD(NumBlocksProcessed, BlocksProcessed);
-  AM_STAT_ADD(NumWordsTouched, BlocksProcessed * WordsPerBlock);
+  AM_STAT_ADD(NumWordsTouched, BlocksProcessed * WordsPerEval);
 
   Span.arg("sweeps", Sweeps);
   Span.arg("blocks_processed", BlocksProcessed);
-  Span.arg("words_touched", BlocksProcessed * WordsPerBlock);
+  Span.arg("words_touched", BlocksProcessed * WordsPerEval);
 
   DataflowResult R = snapshot(G, P, Forward);
   R.Sweeps = Sweeps;

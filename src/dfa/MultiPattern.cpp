@@ -1,0 +1,453 @@
+//===- dfa/MultiPattern.cpp - Transposed multi-pattern solver --*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfa/MultiPattern.h"
+#include "dfa/Dataflow.h"
+#include "support/Profiler.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace am;
+
+namespace {
+
+/// Folds block \p B's per-instruction transfers into one composed
+/// gen/kill pair — the identical fold TransferCache::compose runs, so
+/// the packed transfers cannot drift from the wide-vector ones.
+/// \p At maps an instruction index to the instruction.
+template <typename InstrAt>
+void composeInto(const DataflowProblem &P, bool Forward, BlockId B,
+                 size_t NumInstrs, InstrAt &&At, BitVector &GenAcc,
+                 BitVector &KillAcc, BitVector &GenScratch,
+                 BitVector &KillScratch) {
+  size_t Bits = P.numBits();
+  GenAcc.clearAndResize(Bits);
+  KillAcc.clearAndResize(Bits);
+  auto Step = [&](size_t Idx) {
+    const Instr &I = At(Idx);
+    P.gen(B, Idx, I, GenScratch);
+    P.kill(B, Idx, I, KillScratch);
+    GenAcc.andNot(KillScratch);
+    GenAcc |= GenScratch;
+    KillAcc |= KillScratch;
+  };
+  if (Forward) {
+    for (size_t Idx = 0; Idx < NumInstrs; ++Idx)
+      Step(Idx);
+  } else {
+    for (size_t Idx = NumInstrs; Idx-- > 0;)
+      Step(Idx);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// MultiPatternTransfers
+//===----------------------------------------------------------------------===//
+
+bool MultiPatternTransfers::refresh(const FlowGraph &G,
+                                    const DataflowProblem &P,
+                                    uint64_t ProblemGen,
+                                    PackedLaneMatrix &Lanes,
+                                    const std::vector<BlockId> &Order,
+                                    const std::vector<size_t> &OrderIndex) {
+  AM_STAT_COUNTER(NumRecomposed, "dfa.transfers_recomputed");
+  size_t Bits = P.numBits();
+  bool Forward = P.direction() == Direction::Forward;
+  size_t NumBlocks = G.numBlocks();
+  size_t NumPos = Order.size();
+
+  // Maps a block to its packed row; unreachable blocks (order index 0
+  // without actually being Order[0]) map to npos.
+  auto PosOf = [&](BlockId B) -> size_t {
+    size_t Idx = OrderIndex[B];
+    if (Idx == 0 && (NumPos == 0 || Order[0] != B))
+      return size_t(-1);
+    return Idx;
+  };
+
+  // A packed matrix cannot grow rows in place (the slice stride changes),
+  // so any block-count change rebuilds everything; so does any structural
+  // change, because both the iteration order and the position-space edge
+  // lists derive from the structure.  Block splitting and edge rewiring
+  // happen before the fixpoint rounds; steady-state refreshes see a
+  // stable structure and stay incremental.  (The engine reshapes Lanes
+  // before calling in, so matching cached dimensions also mean the
+  // gen/kill lanes were not wiped.)
+  bool Incremental = Valid && CachedG == &G && CachedGen == ProblemGen &&
+                     CachedBits == Bits && CachedForward == Forward &&
+                     Lanes.rows() == NumPos + 1 && Lanes.bits() == Bits &&
+                     Flat.structAt() == G.structTick();
+
+  uint64_t Recomposed = 0;
+  if (!Incremental) {
+    Flat.build(G);
+    Recomposed = NumBlocks;
+    // One linear pass over the flat instruction stream, split into
+    // contiguous *position* ranges across the pool (position I is block
+    // Order[I]; unreachable blocks have no position and keep the dummy
+    // row's identity transfer).  Rows are disjoint per position and the
+    // problem's gen/kill are const reads, so the split is free of shared
+    // mutable state; scratch lives per range.  Composed transfers are
+    // staged 64 rows at a time and flushed per tile so the packed
+    // scatter writes each group region in contiguous bursts instead of
+    // one strided cache line per row (see setTransferTile).
+    threads::pool().parallelRanges(
+        NumPos, [&](size_t Begin, size_t End) {
+          constexpr size_t TileRows = 64;
+          BitVector GenS, KillS;
+          BitVector GenT[TileRows], KillT[TileRows];
+          for (size_t TBase = Begin; TBase < End; TBase += TileRows) {
+            size_t TEnd = TBase + TileRows < End ? TBase + TileRows : End;
+            for (size_t I = TBase; I < TEnd; ++I) {
+              BlockId B = Order[I];
+              FlatProgram::Span Sp = Flat.span(B);
+              composeInto(
+                  P, Forward, B, Sp.End - Sp.Begin,
+                  [&](size_t Idx) -> const Instr & {
+                    return *Flat.slot(Sp.Begin + Idx).I;
+                  },
+                  GenT[I - TBase], KillT[I - TBase], GenS, KillS);
+            }
+            Lanes.setTransferTile(TBase, TEnd - TBase, GenT, KillT);
+          }
+        });
+    // Retarget the CSR edge lists into position space.  Meet edges from
+    // an unreachable neighbor read the dummy row; requeue edges into one
+    // are dropped (evaluating the dummy is a no-op by construction).
+    MeetOff.assign(NumPos + 1, 0);
+    DepOff.assign(NumPos + 1, 0);
+    MeetPos.clear();
+    DepPos.clear();
+    for (size_t I = 0; I < NumPos; ++I) {
+      BlockId B = Order[I];
+      FlatProgram::Edges ME = Forward ? Flat.preds(B) : Flat.succs(B);
+      FlatProgram::Edges DE = Forward ? Flat.succs(B) : Flat.preds(B);
+      for (BlockId N : ME) {
+        size_t Pos = PosOf(N);
+        MeetPos.push_back(uint32_t(Pos == size_t(-1) ? NumPos : Pos));
+      }
+      for (BlockId N : DE) {
+        size_t Pos = PosOf(N);
+        if (Pos != size_t(-1))
+          DepPos.push_back(uint32_t(Pos));
+      }
+      MeetOff[I + 1] = uint32_t(MeetPos.size());
+      DepOff[I + 1] = uint32_t(DepPos.size());
+    }
+  } else {
+    for (BlockId B = 0; B < NumBlocks; ++B) {
+      if (G.blockTick(B) > RefreshTick) {
+        size_t Row = PosOf(B);
+        if (Row == size_t(-1))
+          continue;
+        const auto &Instrs = G.block(B).Instrs;
+        composeInto(
+            P, Forward, B, Instrs.size(),
+            [&](size_t Idx) -> const Instr & { return Instrs[Idx]; }, GenAcc,
+            KillAcc, GenScratch, KillScratch);
+        Lanes.setTransfer(Row, GenAcc, KillAcc);
+        ++Recomposed;
+      }
+    }
+  }
+  AM_STAT_ADD(NumRecomposed, Recomposed);
+
+  CachedG = &G;
+  CachedGen = ProblemGen;
+  CachedBits = Bits;
+  CachedForward = Forward;
+  RefreshTick = G.modTick();
+  Valid = true;
+  return Incremental;
+}
+
+//===----------------------------------------------------------------------===//
+// TransposedEngine
+//===----------------------------------------------------------------------===//
+
+bool TransposedEngine::solutionValidFor(const FlowGraph &G,
+                                        const DataflowProblem &P,
+                                        uint64_t ProblemGen) const {
+  return HasSolution && SolG == &G && SolGen == ProblemGen &&
+         SolBits == P.numBits() && SolRows == G.numBlocks() &&
+         SolForward == (P.direction() == Direction::Forward) &&
+         SolMeetAll == (P.meet() == Meet::All);
+}
+
+uint64_t TransposedEngine::drainGroup(size_t Gr, const SolveRequest &R,
+                                      size_t NumPos, size_t BoundaryPos) {
+  // The meet-operator branch selects the template instantiation; the
+  // direction is already folded into the position-space edge lists.
+  if (R.MeetAll)
+    return drainGroupImpl<true>(Gr, R, NumPos, BoundaryPos);
+  return drainGroupImpl<false>(Gr, R, NumPos, BoundaryPos);
+}
+
+template <bool MeetAll>
+uint64_t TransposedEngine::drainGroupImpl(size_t Gr, const SolveRequest &R,
+                                          size_t NumPos, size_t BoundaryPos) {
+  constexpr size_t GW = PackedLaneMatrix::GroupWidth;
+  const uint32_t *MeetOff = Transfers.meetOff();
+  const uint32_t *MeetPos = Transfers.meetPos();
+  const uint32_t *DepOff = Transfers.depOff();
+  const uint32_t *DepPos = Transfers.depPos();
+  uint64_t *Lane = LaneM.groupLanes(Gr);
+  uint64_t *Out = OutM.groupRow(Gr);
+  uint64_t *InP = InM.groupRow(Gr);
+  const size_t NumSlices = LaneM.slices();
+  uint64_t InitW[GW], BoundaryW[GW];
+  for (size_t W = 0; W < GW; ++W) {
+    size_t S = Gr * GW + W;
+    InitW[W] = MeetAll ? LaneM.sliceMask(S) : 0;
+    BoundaryW[W] = S < NumSlices ? R.Boundary->word(S) : 0;
+  }
+  WorklistRing &WL = GroupWork[Gr];
+  uint64_t Processed = 0;
+
+  // Recomputes position I; returns true if its transferred side changed
+  // in any word of the group.  Rows are keyed by iteration position, so
+  // in the sweep below every array this touches — the gen/kill pair,
+  // the in and out planes, the edge offsets and targets — advances
+  // strictly sequentially; only the meet gathers jump, and those stay
+  // inside this group's dense out plane (rows() * GW words), which is
+  // what keeps them cache hits even when the gen/kill stream is far too
+  // large to be resident.  Dead tail words of a partial final group
+  // carry the identity transfer over an all-zero meet, so they never
+  // report a change.
+  auto Eval = [&](size_t I) {
+    const uint64_t *L = Lane + I * 2 * GW;
+    uint64_t NewIn[GW];
+    if (I == BoundaryPos) {
+      for (size_t W = 0; W < GW; ++W)
+        NewIn[W] = BoundaryW[W];
+    } else {
+      uint32_t EI = MeetOff[I], EE = MeetOff[I + 1];
+      if (EI == EE) {
+        for (size_t W = 0; W < GW; ++W)
+          NewIn[W] = InitW[W];
+      } else {
+        const uint64_t *N = Out + size_t(MeetPos[EI]) * GW;
+        for (size_t W = 0; W < GW; ++W)
+          NewIn[W] = N[W];
+        while (++EI != EE) {
+          N = Out + size_t(MeetPos[EI]) * GW;
+          for (size_t W = 0; W < GW; ++W) {
+            if (MeetAll)
+              NewIn[W] &= N[W];
+            else
+              NewIn[W] |= N[W];
+          }
+        }
+      }
+    }
+    uint64_t *InRow = InP + I * GW;
+    uint64_t *OutRow = Out + I * GW;
+    uint64_t Changed = 0;
+    for (size_t W = 0; W < GW; ++W) {
+      uint64_t NewOut = L[W] | (NewIn[W] & ~L[GW + W]);
+      InRow[W] = NewIn[W];
+      Changed |= NewOut ^ OutRow[W];
+      OutRow[W] = NewOut;
+    }
+    return Changed != 0;
+  };
+
+  if (!R.Incremental) {
+    // First cycle as a straight sweep.  With every index pending, a ring
+    // drain pops in iteration order anyway, so this visits the same
+    // positions in the same order — but without a bit-scan pop per
+    // block, and pushing only dependents at or before the cursor (later
+    // ones are reached by the sweep itself and see the new value).  The
+    // per-group payoff: a group whose patterns converge in the sweep
+    // never pushes at all, so its ring drain below is empty.
+    for (size_t I = 0; I < NumPos; ++I) {
+      ++Processed;
+      if (Eval(I)) {
+        for (uint32_t D = DepOff[I], DE = DepOff[I + 1]; D != DE; ++D) {
+          size_t DepIdx = DepPos[D];
+          if (DepIdx <= I)
+            WL.push(DepIdx);
+        }
+      }
+    }
+  }
+
+  while (true) {
+    size_t I = WL.pop();
+    if (I == WorklistRing::npos)
+      break;
+    ++Processed;
+    if (Eval(I)) {
+      for (uint32_t D = DepOff[I], DE = DepOff[I + 1]; D != DE; ++D)
+        WL.push(DepPos[D]);
+    }
+  }
+  return Processed;
+}
+
+uint64_t TransposedEngine::solve(const SolveRequest &R) {
+  const FlowGraph &G = *R.G;
+  const DataflowProblem &P = *R.P;
+  size_t Bits = P.numBits();
+  size_t NumBlocks = G.numBlocks();
+
+  size_t NumPos = R.Order->size();
+  size_t BoundaryPos = (*R.OrderIndex)[R.BoundaryBlock];
+
+  // Reshape before refreshing the transfers: a wiped lane matrix must
+  // never pass the refresh's incremental check (its cached dimensions
+  // would mismatch, forcing the full rebuild that repopulates gen/kill).
+  // Rows are order positions plus the unreachable-block dummy.
+  if (LaneM.rows() != NumPos + 1 || LaneM.bits() != Bits) {
+    LaneM.reshape(NumPos + 1, Bits);
+    OutM.reshape(NumPos + 1, Bits);
+    InM.reshape(NumPos + 1, Bits);
+    HasSolution = false;
+  }
+  Transfers.refresh(G, P, R.ProblemGen, LaneM, *R.Order, *R.OrderIndex);
+
+  constexpr size_t GW = PackedLaneMatrix::GroupWidth;
+  size_t NumGroups = LaneM.groups();
+  if (GroupWork.size() < NumGroups)
+    GroupWork.resize(NumGroups);
+
+  std::vector<uint64_t> Processed(NumGroups, 0);
+
+  // Worker-side profiling goes to private per-group trees (the session
+  // profiler's scope stack is not thread-safe) merged below in group
+  // order — the deterministic fold support/Profiler.h documents.
+  prof::Profiler &SessionProf = prof::Profiler::get();
+  bool Prof = SessionProf.enabled();
+  std::vector<std::unique_ptr<prof::Profiler>> GroupProfs;
+  if (Prof) {
+    GroupProfs.resize(NumGroups);
+    for (auto &Ptr : GroupProfs) {
+      Ptr = std::make_unique<prof::Profiler>();
+      Ptr->setEnabled(true);
+    }
+  }
+
+  auto RunGroup = [&](size_t Gr) {
+    prof::OverrideScope Ov(Prof ? GroupProfs[Gr].get() : nullptr);
+    AM_PROF_SCOPE("dfa.solve.slice");
+    uint64_t *InP = InM.groupRow(Gr);
+    uint64_t *Out = OutM.groupRow(Gr);
+    uint64_t InitW[GW];
+    for (size_t W = 0; W < GW; ++W)
+      InitW[W] = R.MeetAll ? LaneM.sliceMask(Gr * GW + W) : 0;
+    WorklistRing &WL = GroupWork[Gr];
+    WL.reset(NumPos);
+    if (R.Incremental) {
+      for (BlockId B : *R.Dirty) {
+        size_t Pos = (*R.OrderIndex)[B];
+        if (Pos == 0 && (NumPos == 0 || (*R.Order)[0] != B))
+          continue; // unreachable: no packed row, and nothing reads it
+        for (size_t W = 0; W < GW; ++W) {
+          InP[Pos * GW + W] = InitW[W];
+          Out[Pos * GW + W] = InitW[W];
+        }
+        WL.push(Pos);
+      }
+    } else {
+      // No seeding pushes: drainGroup runs the first cycle as a straight
+      // sweep over the iteration order and only the back-edge requeues
+      // enter the ring.  Row NumPos is the dummy, pinned at the initial
+      // value so meets from unreachable neighbors read the same words
+      // the wide solver would.
+      for (size_t Row = 0; Row <= NumPos; ++Row)
+        for (size_t W = 0; W < GW; ++W) {
+          InP[Row * GW + W] = InitW[W];
+          Out[Row * GW + W] = InitW[W];
+        }
+    }
+    Processed[Gr] = drainGroup(Gr, R, NumPos, BoundaryPos);
+  };
+
+  threads::ThreadPool &Pool = threads::pool();
+  if (NumGroups > 1 && Pool.workers() > 1)
+    Pool.parallelFor(NumGroups, RunGroup);
+  else
+    for (size_t Gr = 0; Gr < NumGroups; ++Gr)
+      RunGroup(Gr);
+
+  if (Prof)
+    for (size_t Gr = 0; Gr < NumGroups; ++Gr)
+      SessionProf.merge(*GroupProfs[Gr]);
+
+  SolG = &G;
+  SolGen = R.ProblemGen;
+  SolBits = Bits;
+  SolRows = NumBlocks;
+  SolOrder = R.Order;
+  SolForward = R.Forward;
+  SolMeetAll = R.MeetAll;
+  HasSolution = true;
+
+  uint64_t Total = 0;
+  for (uint64_t C : Processed)
+    Total += C;
+  return Total;
+}
+
+void TransposedEngine::exportSolution(std::vector<BitVector> &In,
+                                      std::vector<BitVector> &Out) const {
+  const std::vector<BlockId> &Order = *SolOrder;
+  size_t NumPos = Order.size();
+  In.resize(SolRows);
+  Out.resize(SolRows);
+  for (size_t B = 0; B < SolRows; ++B) {
+    if (In[B].size() != SolBits)
+      In[B].clearAndResize(SolBits);
+    if (Out[B].size() != SolBits)
+      Out[B].clearAndResize(SolBits);
+  }
+  if (NumPos != SolRows) {
+    // Unreachable blocks have no packed row: they keep the optimistic
+    // initial value, exactly as the wide solver leaves them.
+    BitVector Init;
+    Init.clearAndResize(SolBits);
+    if (SolMeetAll)
+      Init.setAll();
+    std::vector<uint8_t> Mapped(SolRows, 0);
+    for (BlockId B : Order)
+      Mapped[B] = 1;
+    for (size_t B = 0; B < SolRows; ++B)
+      if (!Mapped[B]) {
+        In[B] = Init;
+        Out[B] = Init;
+      }
+  }
+  // Tiled transpose: a naive row-at-a-time gather strides the whole
+  // matrix once per row (rows * 8 bytes between consecutive reads).
+  // Walking 64-row tiles instead keeps each tile's group runs — 64
+  // contiguous lane triples per group — resident while every group
+  // visits them.  Row I belongs to block Order[I]; with the order close
+  // to layout order the scattered side stays nearly sequential too.
+  constexpr size_t GW = PackedLaneMatrix::GroupWidth;
+  const size_t Tile = 64;
+  const size_t NumSlices = LaneM.slices();
+  const size_t NumGroups = LaneM.groups();
+  for (size_t Base = 0; Base < NumPos; Base += Tile) {
+    size_t End = Base + Tile < NumPos ? Base + Tile : NumPos;
+    for (size_t Gr = 0; Gr < NumGroups; ++Gr) {
+      const uint64_t *InP = InM.groupRow(Gr);
+      const uint64_t *OutP = OutM.groupRow(Gr);
+      size_t WEnd = NumSlices - Gr * GW < GW ? NumSlices - Gr * GW : GW;
+      for (size_t I = Base; I < End; ++I) {
+        BlockId B = Order[I];
+        for (size_t W = 0; W < WEnd; ++W) {
+          In[B].setWord(Gr * GW + W, InP[I * GW + W]);
+          Out[B].setWord(Gr * GW + W, OutP[I * GW + W]);
+        }
+      }
+    }
+  }
+}

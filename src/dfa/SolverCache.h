@@ -118,6 +118,7 @@ public:
   }
 
   bool empty() const { return Count == 0; }
+  size_t size() const { return Count; }
 
 private:
   BitVector Pending;

@@ -1,0 +1,137 @@
+//===- ir/FlatProgram.h - Arena-backed flat instruction snapshot -*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat snapshot of a FlowGraph's instruction stream: every instruction
+/// pointer in layout order in one contiguous arena-backed array, grouped
+/// into per-block spans, each slot keyed by the instruction's stable id.
+/// The transposed transfer composer walks this instead of the per-block
+/// vectors — one linear pass over the whole program with no per-block
+/// indirection — and the stable ids key its packed rows back to
+/// instructions when a consumer needs provenance.
+///
+/// A snapshot borrows the graph's instruction storage, so it is valid
+/// only until the next graph mutation; builders stamp the ticks they were
+/// taken at and consumers rebuild when the graph moved on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_IR_FLATPROGRAM_H
+#define AM_IR_FLATPROGRAM_H
+
+#include "ir/FlowGraph.h"
+#include "support/Arena.h"
+
+namespace am {
+
+class FlatProgram {
+public:
+  struct Slot {
+    const Instr *I;
+    uint32_t Id; ///< The instruction's stable id (0 if never assigned).
+  };
+
+  /// Half-open slot range [Begin, End) of one block, in layout order.
+  struct Span {
+    uint32_t Begin = 0;
+    uint32_t End = 0;
+  };
+
+  /// Rebuilds the snapshot from \p G (one arena reset + a handful of bump
+  /// allocations; no per-block heap traffic).
+  void build(const FlowGraph &G) {
+    Mem.reset();
+    size_t NumBlocks = G.numBlocks();
+    size_t Total = 0, PredTotal = 0, SuccTotal = 0;
+    for (BlockId B = 0; B < NumBlocks; ++B) {
+      Total += G.block(B).Instrs.size();
+      PredTotal += G.block(B).Preds.size();
+      SuccTotal += G.block(B).Succs.size();
+    }
+    Spans = Mem.allocate<Span>(NumBlocks);
+    Slots = Mem.allocate<Slot>(Total);
+    PredOff = Mem.allocate<uint32_t>(NumBlocks + 1);
+    SuccOff = Mem.allocate<uint32_t>(NumBlocks + 1);
+    PredList = Mem.allocate<BlockId>(PredTotal);
+    SuccList = Mem.allocate<BlockId>(SuccTotal);
+    NumSlotsVal = Total;
+    NumBlocksVal = NumBlocks;
+    uint32_t Cursor = 0, PredCursor = 0, SuccCursor = 0;
+    for (BlockId B = 0; B < NumBlocks; ++B) {
+      Spans[B].Begin = Cursor;
+      for (const Instr &I : G.block(B).Instrs)
+        Slots[Cursor++] = {&I, I.Id};
+      Spans[B].End = Cursor;
+      PredOff[B] = PredCursor;
+      for (BlockId P : G.block(B).Preds)
+        PredList[PredCursor++] = P;
+      SuccOff[B] = SuccCursor;
+      for (BlockId S : G.block(B).Succs)
+        SuccList[SuccCursor++] = S;
+    }
+    PredOff[NumBlocks] = PredCursor;
+    SuccOff[NumBlocks] = SuccCursor;
+    BuiltAt = G.modTick();
+    StructAt = G.structTick();
+  }
+
+  size_t numBlocks() const { return NumBlocksVal; }
+  size_t numSlots() const { return NumSlotsVal; }
+  Span span(BlockId B) const { return Spans[B]; }
+  const Slot &slot(size_t Idx) const { return Slots[Idx]; }
+
+  /// CSR edge lists: the predecessors / successors of \p B as contiguous
+  /// half-open ranges.  The solver's slice fixpoints walk these instead
+  /// of the Block structs — an eval's control path touches two small flat
+  /// arrays, not one Block object per edge.
+  struct Edges {
+    const BlockId *Begin;
+    const BlockId *End;
+    const BlockId *begin() const { return Begin; }
+    const BlockId *end() const { return End; }
+    bool empty() const { return Begin == End; }
+  };
+  Edges preds(BlockId B) const {
+    return {PredList + PredOff[B], PredList + PredOff[B + 1]};
+  }
+  Edges succs(BlockId B) const {
+    return {SuccList + SuccOff[B], SuccList + SuccOff[B + 1]};
+  }
+
+  /// The raw CSR arrays, for hot loops that hoist the direction branch
+  /// out of their block iteration: block B's edges are
+  /// List[Off[B] .. Off[B + 1]).
+  struct Csr {
+    const uint32_t *Off;
+    const BlockId *List;
+  };
+  Csr predCsr() const { return {PredOff, PredList}; }
+  Csr succCsr() const { return {SuccOff, SuccList}; }
+
+  /// The graph tick the snapshot was taken at; stale once the graph's
+  /// modTick moves past it.
+  Tick builtAt() const { return BuiltAt; }
+  /// The graph's structural tick at build time; the edge lists are stale
+  /// once the graph's structTick moves past it.
+  Tick structAt() const { return StructAt; }
+
+private:
+  support::Arena Mem;
+  Span *Spans = nullptr;
+  Slot *Slots = nullptr;
+  uint32_t *PredOff = nullptr;
+  uint32_t *SuccOff = nullptr;
+  BlockId *PredList = nullptr;
+  BlockId *SuccList = nullptr;
+  size_t NumBlocksVal = 0;
+  size_t NumSlotsVal = 0;
+  Tick BuiltAt = 0;
+  Tick StructAt = 0;
+};
+
+} // namespace am
+
+#endif // AM_IR_FLATPROGRAM_H

@@ -72,6 +72,55 @@ public:
     return N;
   }
 
+  /// Word-level synonym for count(): the name the transposed solver and
+  /// the bulk-op tests use.  One popcount per 64 bits; correct because
+  /// the unused high bits of the last word are invariantly zero.
+  size_t popcount() const { return count(); }
+
+  //===--------------------------------------------------------------------===//
+  // Word-granular access — the transposed ("bit-slice") solver views a
+  // vector of patterns as its sequence of 64-pattern machine words, so it
+  // can gather word columns across many vectors into a PackedBitMatrix
+  // and scatter solved columns back.  The unused-high-bits-are-zero
+  // invariant is maintained by setWord; readers may rely on it.
+  //===--------------------------------------------------------------------===//
+
+  /// Number of backing words, (size() + 63) / 64.
+  size_t numWords() const { return Words.size(); }
+
+  /// The \p WordIdx'th 64-bit word (bit i of the word is logical bit
+  /// WordIdx * 64 + i).
+  uint64_t word(size_t WordIdx) const {
+    assert(WordIdx < Words.size() && "BitVector::word out of range");
+    return Words[WordIdx];
+  }
+
+  /// Overwrites the \p WordIdx'th word.  Bits beyond size() in the last
+  /// word are masked off, preserving the equality/popcount invariant.
+  void setWord(size_t WordIdx, uint64_t W) {
+    assert(WordIdx < Words.size() && "BitVector::setWord out of range");
+    Words[WordIdx] = W;
+    if (WordIdx + 1 == Words.size())
+      clearUnusedBits();
+  }
+
+  /// Mask with the valid (in-size) bits of word \p WordIdx set: all-ones
+  /// for full words, the partial tail mask for the last word of a
+  /// non-multiple-of-64 vector.
+  uint64_t wordMask(size_t WordIdx) const {
+    assert(WordIdx < Words.size() && "BitVector::wordMask out of range");
+    size_t Rem = NumBits % 64;
+    if (WordIdx + 1 == Words.size() && Rem != 0)
+      return (uint64_t(1) << Rem) - 1;
+    return ~uint64_t(0);
+  }
+
+  /// Calls \p F(wordIdx, word) for every backing word in ascending order.
+  template <typename Fn> void forEachWord(Fn F) const {
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      F(I, Words[I]);
+  }
+
   bool test(size_t Idx) const {
     assert(Idx < NumBits && "BitVector::test out of range");
     return (Words[Idx / 64] >> (Idx % 64)) & 1;
@@ -172,6 +221,10 @@ public:
       Words[I] &= ~RHS.Words[I];
     return *this;
   }
+
+  /// Compound-assignment name for andNot(), paired with |= and &= in the
+  /// bulk-op surface (this &= ~RHS; sizes must match).
+  BitVector &andNotAssign(const BitVector &RHS) { return andNot(RHS); }
 
   /// Bitwise complement of the logical bits.
   void flipAll() {

@@ -10,6 +10,7 @@
 #include "support/Telemetry.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -194,7 +195,21 @@ uint64_t nowNs() {
 
 } // namespace
 
-Profiler &Profiler::get() { return telemetry::Session::current().profiler(); }
+namespace {
+thread_local Profiler *ThreadOverride = nullptr;
+} // namespace
+
+Profiler &Profiler::get() {
+  if (ThreadOverride)
+    return *ThreadOverride;
+  return telemetry::Session::current().profiler();
+}
+
+Profiler *Profiler::setThreadOverride(Profiler *P) {
+  Profiler *Prev = ThreadOverride;
+  ThreadOverride = P;
+  return Prev;
+}
 
 void Profiler::reset() {
   Nodes.clear();
@@ -239,6 +254,41 @@ void Profiler::leave() {
   N.AllocBytes += allocatedBytes() - F.StartAllocBytes;
   N.AllocCalls += allocationCount() - F.StartAllocCalls;
   N.LastEndUs = trace::epochNowUs();
+}
+
+void Profiler::mergeNode(uint32_t DstParent, const Profiler &Src,
+                         uint32_t SrcId) {
+  const Node &S = Src.Nodes[SrcId];
+  uint32_t DstId = childNamed(DstParent, S.Name);
+  Node &D = Nodes[DstId];
+  bool Fresh = D.Calls == 0;
+  D.Calls += S.Calls;
+  D.WallNs += S.WallNs;
+  D.AllocBytes += S.AllocBytes;
+  D.AllocCalls += S.AllocCalls;
+  if (Fresh || (S.FirstStartUs != 0 && S.FirstStartUs < D.FirstStartUs))
+    D.FirstStartUs = S.FirstStartUs;
+  if (S.LastEndUs > D.LastEndUs)
+    D.LastEndUs = S.LastEndUs;
+  // Name-sorted recursion: the merged shape is a function of the scope
+  // *sets*, not of the order worker threads happened to enter them.
+  std::vector<uint32_t> Order(S.Children.begin(), S.Children.end());
+  std::sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+    return Src.Nodes[A].Name < Src.Nodes[B].Name;
+  });
+  for (uint32_t Child : Order)
+    mergeNode(DstId, Src, Child);
+}
+
+void Profiler::merge(const Profiler &Worker) {
+  uint32_t DstParent = Stack.empty() ? RootId : Stack.back().NodeId;
+  std::vector<uint32_t> Order(Worker.Nodes[RootId].Children.begin(),
+                              Worker.Nodes[RootId].Children.end());
+  std::sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+    return Worker.Nodes[A].Name < Worker.Nodes[B].Name;
+  });
+  for (uint32_t Child : Order)
+    mergeNode(DstParent, Worker, Child);
 }
 
 std::string Profiler::treeShape() const {

@@ -118,8 +118,16 @@ public:
   Profiler(const Profiler &) = delete;
   Profiler &operator=(const Profiler &) = delete;
 
-  /// The calling thread's session profiler (see telemetry::Session).
+  /// The calling thread's session profiler (see telemetry::Session), or
+  /// the thread-local override installed by OverrideScope — the hook
+  /// worker threads use to profile into a private tree instead of the
+  /// shared (non-thread-safe) session one.
   static Profiler &get();
+
+  /// Installs \p P as this thread's profiler (nullptr removes the
+  /// override and get() falls back to the session profiler).  Returns
+  /// the previous override.  Prefer OverrideScope.
+  static Profiler *setThreadOverride(Profiler *P);
 
   /// Runtime switch.  Off by default; Scope reads it once at entry.
   void setEnabled(bool On) { Enabled.store(On, std::memory_order_relaxed); }
@@ -150,6 +158,17 @@ public:
   /// (tests/profiler_test.cpp locks it in).
   std::string treeShape() const;
 
+  /// Folds \p Worker's phase tree (the children of its root) into the
+  /// innermost open scope of this profiler (the root if none is open):
+  /// call counts, wall time and allocation deltas add; FirstStartUs takes
+  /// the earliest, LastEndUs the latest.  Children of every merged node
+  /// are visited in *name-sorted* order, so the resulting tree shape
+  /// depends only on the set of scopes the workers entered — never on
+  /// thread scheduling — as long as the caller merges its workers in a
+  /// fixed (e.g. batch-index) order.  \p Worker must be quiescent: no
+  /// scope open, no other thread inside it.
+  void merge(const Profiler &Worker);
+
   /// Collapsed-stack ("folded") rendering, one line per tree node:
   /// `parse 1234\nuniform;am;rae 5678\n` — exclusive nanoseconds per
   /// stack, the input format of flamegraph.pl / speedscope / inferno.
@@ -172,10 +191,27 @@ private:
   };
 
   uint32_t childNamed(uint32_t Parent, std::string_view Name);
+  void mergeNode(uint32_t DstParent, const Profiler &Src, uint32_t SrcId);
 
   std::vector<Node> Nodes;
   std::vector<Frame> Stack;
   std::atomic<bool> Enabled{false};
+};
+
+/// RAII thread-profiler override: while alive, AM_PROF_SCOPE on this
+/// thread records into \p P instead of the session profiler.  The worker
+/// pattern: give each parallel task its own Profiler, open scopes inside
+/// the task, and after the join merge() the task profilers into the
+/// session tree in task-index order.
+class OverrideScope {
+public:
+  explicit OverrideScope(Profiler *P) : Prev(Profiler::setThreadOverride(P)) {}
+  ~OverrideScope() { Profiler::setThreadOverride(Prev); }
+  OverrideScope(const OverrideScope &) = delete;
+  OverrideScope &operator=(const OverrideScope &) = delete;
+
+private:
+  Profiler *Prev;
 };
 
 /// RAII scope — the normal way in.  Captures the session profiler and its

@@ -1,0 +1,176 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool ---------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+#include "support/Telemetry.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+using namespace am;
+using namespace am::threads;
+
+unsigned am::threads::hardwareConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+unsigned am::threads::parseThreadSpec(const std::string &Spec,
+                                      std::string *Error) {
+  if (Spec == "max")
+    return hardwareConcurrency();
+  if (Spec.empty() || Spec.find_first_not_of("0123456789") != std::string::npos) {
+    if (Error)
+      *Error = "expected a positive integer or 'max', got '" + Spec + "'";
+    return 0;
+  }
+  unsigned long N = std::strtoul(Spec.c_str(), nullptr, 10);
+  if (N == 0 || N > 4096) {
+    if (Error)
+      *Error = "thread count out of range (1..4096): '" + Spec + "'";
+    return 0;
+  }
+  return static_cast<unsigned>(N);
+}
+
+namespace {
+/// 0 = no explicit override; resolution falls through to AM_THREADS.
+std::atomic<unsigned> ExplicitThreadCount{0};
+
+unsigned envThreadCount() {
+  static unsigned Cached = [] {
+    const char *Env = std::getenv("AM_THREADS");
+    if (!Env || !*Env)
+      return 1u;
+    unsigned N = parseThreadSpec(Env);
+    return N == 0 ? 1u : N;
+  }();
+  return Cached;
+}
+} // namespace
+
+unsigned am::threads::globalThreadCount() {
+  unsigned N = ExplicitThreadCount.load(std::memory_order_relaxed);
+  return N != 0 ? N : envThreadCount();
+}
+
+void am::threads::setGlobalThreadCount(unsigned N) {
+  ExplicitThreadCount.store(N, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(unsigned Workers) : NumWorkers(Workers == 0 ? 1 : Workers) {
+  if (NumWorkers <= 1)
+    return;
+  Threads.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stop = true;
+  }
+  Ready.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Ready.wait(Lock, [this] { return Stop || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (Stop)
+          return;
+        continue;
+      }
+      Task = std::move(Queue.front());
+      Queue.pop();
+    }
+    Task();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> Task) {
+  auto Promise = std::make_shared<std::promise<void>>();
+  std::future<void> Fut = Promise->get_future();
+  // Re-home the task under the submitting thread's telemetry session so
+  // worker-side stat updates land in the owning registry (atomic, safe
+  // to share).  The session must outlive the task — true for the
+  // pipeline, whose SessionScope covers the whole job.
+  telemetry::Session *Owner = &telemetry::Session::current();
+  auto Run = [Promise, Owner, Task = std::move(Task)]() mutable {
+    telemetry::SessionScope Scope(*Owner);
+    try {
+      Task();
+      Promise->set_value();
+    } catch (...) {
+      Promise->set_exception(std::current_exception());
+    }
+  };
+  if (NumWorkers <= 1) {
+    Run();
+    return Fut;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push(std::move(Run));
+  }
+  Ready.notify_one();
+  return Fut;
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Body) {
+  parallelRanges(N, [&Body](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I)
+      Body(I);
+  });
+}
+
+void ThreadPool::parallelRanges(size_t N,
+                                const std::function<void(size_t, size_t)> &Body) {
+  if (N == 0)
+    return;
+  if (NumWorkers <= 1 || N == 1) {
+    Body(0, N);
+    return;
+  }
+  size_t NumRanges = std::min<size_t>(NumWorkers, N);
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(NumRanges);
+  for (size_t R = 0; R < NumRanges; ++R) {
+    size_t Begin = N * R / NumRanges;
+    size_t End = N * (R + 1) / NumRanges;
+    Futures.push_back(submit([&Body, Begin, End] { Body(Begin, End); }));
+  }
+  // Join everything before rethrowing: a throwing body must not leave
+  // other ranges running against state the caller is about to unwind.
+  std::exception_ptr First;
+  for (std::future<void> &F : Futures) {
+    try {
+      F.get();
+    } catch (...) {
+      if (!First)
+        First = std::current_exception();
+    }
+  }
+  if (First)
+    std::rethrow_exception(First);
+}
+
+ThreadPool &am::threads::pool() {
+  static std::mutex PoolMutex;
+  static std::unique_ptr<ThreadPool> Pool;
+  unsigned Want = globalThreadCount();
+  std::lock_guard<std::mutex> Lock(PoolMutex);
+  if (!Pool || Pool->workers() != Want)
+    Pool = std::make_unique<ThreadPool>(Want);
+  return *Pool;
+}

@@ -12,6 +12,7 @@
 #include "support/Remarks.h"
 #include "support/Stats.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
 #include "transform/AssignmentHoisting.h"
 #include "transform/AssignmentMotion.h"
@@ -340,6 +341,8 @@ PipelineResult am::runPipeline(const FlowGraph &G, const std::string &Spec,
   std::optional<telemetry::SessionScope> SessionGuard;
   if (Opts.Telemetry)
     SessionGuard.emplace(*Opts.Telemetry);
+  if (Opts.Threads != 0)
+    threads::setGlobalThreadCount(Opts.Threads);
   AM_PROF_SCOPE("pipeline");
 
   PipelineResult R;

@@ -152,6 +152,12 @@ struct PipelineOptions {
   /// calling thread's current one.  Null inherits the caller's session
   /// (or the process default) — the pre-session behaviour.
   telemetry::Session *Telemetry = nullptr;
+  /// Worker threads for the batch-parallel dataflow solves (see
+  /// support/ThreadPool.h).  0 inherits the process policy (`--threads` /
+  /// AM_THREADS / 1); any other value pins the count for this run.  The
+  /// optimized output and all machine-independent counters are identical
+  /// for every value — threads only change wall-clock.
+  unsigned Threads = 0;
 };
 
 /// Outcome of a pipeline run.

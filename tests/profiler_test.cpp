@@ -201,6 +201,45 @@ TEST(ProfilerTest, CollapsedStacksJoinThePathWithSemicolons) {
   EXPECT_NE(Folded.find("a;b "), std::string::npos) << Folded;
 }
 
+TEST(ProfilerTest, MergedTreeShapeIsSchedulingIndependent) {
+  // The solver merges per-worker profilers in batch-index order, and
+  // merge() visits children name-sorted — so the merged shape must
+  // depend only on the *set* of scopes each worker entered, never on
+  // the order scheduling happened to run them in.  Simulate two
+  // schedules of the same three workers: same scopes per worker,
+  // entered in different orders.
+  auto RunWorker = [](prof::Profiler &P, std::vector<const char *> Scopes) {
+    P.setEnabled(true);
+    for (const char *S : Scopes) {
+      P.enter("dfa.solve.slice");
+      P.enter(S);
+      P.leave();
+      P.leave();
+    }
+  };
+  prof::Profiler A1, A2, A3;
+  RunWorker(A1, {"meet", "transfer"});
+  RunWorker(A2, {"transfer"});
+  RunWorker(A3, {"meet"});
+  prof::Profiler B1, B2, B3;
+  RunWorker(B1, {"transfer", "meet"}); // same scopes, swapped order
+  RunWorker(B2, {"transfer"});
+  RunWorker(B3, {"meet"});
+
+  prof::Profiler SessionA, SessionB;
+  SessionA.setEnabled(true);
+  SessionB.setEnabled(true);
+  for (prof::Profiler *W : {&A1, &A2, &A3})
+    SessionA.merge(*W);
+  for (prof::Profiler *W : {&B1, &B2, &B3})
+    SessionB.merge(*W);
+  EXPECT_EQ(SessionA.treeShape(), SessionB.treeShape());
+  // And the counts aggregated across workers survive the fold.
+  EXPECT_NE(SessionA.treeShape().find("dfa.solve.slice(4)"),
+            std::string::npos)
+      << SessionA.treeShape();
+}
+
 TEST(ProfilerTest, MemoryIntrospectionIsHonest) {
   if (prof::allocTrackingAvailable()) {
     uint64_t Bytes0 = prof::allocatedBytes();

@@ -296,6 +296,77 @@ TEST(BitVectorEdge, ForEachSetBitVisitsTrailingWordBits) {
   EXPECT_EQ(V.setBits(), Seen);
 }
 
+TEST(BitVectorWords, PopcountMatchesCountAtWordBoundaries) {
+  for (size_t N : {size_t(63), size_t(64), size_t(65), size_t(127),
+                   size_t(128), size_t(129)}) {
+    BitVector V(N);
+    V.set(0);
+    V.set(N / 2);
+    V.set(N - 1);
+    EXPECT_EQ(V.popcount(), V.count()) << N;
+    EXPECT_EQ(V.popcount(), 3u) << N;
+    V.setAll();
+    EXPECT_EQ(V.popcount(), N) << N;
+  }
+}
+
+TEST(BitVectorWords, WordAndSetWordRoundTrip) {
+  for (size_t N : {size_t(63), size_t(64), size_t(65), size_t(129)}) {
+    BitVector V(N);
+    EXPECT_EQ(V.numWords(), (N + 63) / 64) << N;
+    for (size_t W = 0; W < V.numWords(); ++W)
+      V.setWord(W, ~uint64_t(0));
+    // setWord masks write beyond the width, preserving the tail-clear
+    // invariant count() and operator== rely on.
+    EXPECT_EQ(V.count(), N) << N;
+    EXPECT_TRUE(V.all()) << N;
+    for (size_t W = 0; W < V.numWords(); ++W)
+      EXPECT_EQ(V.word(W), V.wordMask(W)) << N << " word " << W;
+  }
+}
+
+TEST(BitVectorWords, WordMaskCoversExactlyTheWidth) {
+  BitVector V(65);
+  EXPECT_EQ(V.wordMask(0), ~uint64_t(0));
+  EXPECT_EQ(V.wordMask(1), uint64_t(1));
+  BitVector W(128);
+  EXPECT_EQ(W.wordMask(1), ~uint64_t(0));
+}
+
+TEST(BitVectorWords, ForEachWordVisitsEveryWordInOrder) {
+  BitVector V(130);
+  V.set(0);
+  V.set(64);
+  V.set(129);
+  std::vector<size_t> Idx;
+  std::vector<uint64_t> Words;
+  V.forEachWord([&](size_t I, uint64_t W) {
+    Idx.push_back(I);
+    Words.push_back(W);
+  });
+  ASSERT_EQ(Words.size(), 3u);
+  EXPECT_EQ(Idx, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(Words[0], uint64_t(1));
+  EXPECT_EQ(Words[1], uint64_t(1));
+  EXPECT_EQ(Words[2], uint64_t(1) << 1);
+}
+
+TEST(BitVectorWords, AndNotAssignMatchesPerBitAndNot) {
+  for (size_t N : {size_t(63), size_t(64), size_t(65), size_t(129)}) {
+    BitVector A(N), B(N);
+    for (size_t I = 0; I < N; I += 3)
+      A.set(I);
+    for (size_t I = 0; I < N; I += 2)
+      B.set(I);
+    BitVector Expected(N);
+    for (size_t I = 0; I < N; ++I)
+      if (A.test(I) && !B.test(I))
+        Expected.set(I);
+    A.andNotAssign(B);
+    EXPECT_EQ(A, Expected) << N;
+  }
+}
+
 TEST(BitVectorEdge, MismatchedSizesAssertInDebugAndClampInRelease) {
   // The binary ops assert matching sizes; release builds clamp to the
   // common word prefix instead of reading out of bounds.  The death-test

@@ -1,0 +1,268 @@
+//===- tests/thread_pool_test.cpp - Pool + determinism tests ---*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The worker pool itself (futures, exception propagation, the N=1 inline
+// collapse, partitioning) and the determinism contract of the parallel
+// solves: for every thread count and either solver layout, the optimized
+// program is byte-identical and the machine-independent counters agree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfa/Dataflow.h"
+#include "gen/RandomProgram.h"
+#include "ir/Printer.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+#include "transform/UniformEmAm.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace am;
+
+namespace {
+
+/// Restores the process thread count and solver layout on scope exit so a
+/// failing test cannot poison its neighbors.
+struct PolicyGuard {
+  ~PolicyGuard() {
+    threads::setGlobalThreadCount(0);
+    setSolverLayout(SolverLayout::Auto);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// parseThreadSpec / global thread count
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadSpec, ParsesDecimalsAndMax) {
+  EXPECT_EQ(threads::parseThreadSpec("1"), 1u);
+  EXPECT_EQ(threads::parseThreadSpec("8"), 8u);
+  EXPECT_EQ(threads::parseThreadSpec("4096"), 4096u);
+  EXPECT_EQ(threads::parseThreadSpec("max"), threads::hardwareConcurrency());
+  EXPECT_GE(threads::hardwareConcurrency(), 1u);
+}
+
+TEST(ThreadSpec, RejectsBadInput) {
+  for (const char *Bad : {"", "0", "abc", "4097", "-1", "2x", "max4"}) {
+    std::string Err;
+    EXPECT_EQ(threads::parseThreadSpec(Bad, &Err), 0u) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+  }
+}
+
+TEST(ThreadSpec, GlobalCountOverrideAndRestore) {
+  PolicyGuard Guard;
+  unsigned Default = threads::globalThreadCount();
+  threads::setGlobalThreadCount(7);
+  EXPECT_EQ(threads::globalThreadCount(), 7u);
+  threads::setGlobalThreadCount(0); // back to env/default resolution
+  EXPECT_EQ(threads::globalThreadCount(), Default);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  threads::ThreadPool Pool(1);
+  EXPECT_EQ(Pool.workers(), 1u);
+  std::thread::id Caller = std::this_thread::get_id();
+  std::thread::id Ran;
+  Pool.submit([&] { Ran = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(Ran, Caller);
+}
+
+TEST(ThreadPool, SubmitCompletesOnWorkers) {
+  threads::ThreadPool Pool(4);
+  std::atomic<int> Done{0};
+  std::vector<std::future<void>> Futures;
+  for (int I = 0; I < 32; ++I)
+    Futures.push_back(Pool.submit([&Done] { ++Done; }));
+  for (auto &F : Futures)
+    F.get();
+  EXPECT_EQ(Done.load(), 32);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  for (unsigned Workers : {1u, 4u}) {
+    threads::ThreadPool Pool(Workers);
+    std::future<void> F =
+        Pool.submit([] { throw std::runtime_error("task boom"); });
+    EXPECT_THROW(F.get(), std::runtime_error) << Workers << " workers";
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (unsigned Workers : {1u, 3u, 8u}) {
+    threads::ThreadPool Pool(Workers);
+    for (size_t N : {size_t(0), size_t(1), size_t(5), size_t(100)}) {
+      std::vector<std::atomic<int>> Hits(N);
+      for (auto &H : Hits)
+        H = 0;
+      Pool.parallelFor(N, [&Hits](size_t I) { ++Hits[I]; });
+      for (size_t I = 0; I < N; ++I)
+        EXPECT_EQ(Hits[I].load(), 1)
+            << "index " << I << " of " << N << ", " << Workers << " workers";
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelRangesPartitionIsContiguousAndComplete) {
+  threads::ThreadPool Pool(4);
+  std::mutex M;
+  std::vector<std::pair<size_t, size_t>> Ranges;
+  Pool.parallelRanges(10, [&](size_t Begin, size_t End) {
+    std::lock_guard<std::mutex> Lock(M);
+    Ranges.push_back({Begin, End});
+  });
+  ASSERT_EQ(Ranges.size(), 4u); // min(workers, N) partitions
+  std::sort(Ranges.begin(), Ranges.end());
+  size_t Next = 0;
+  for (auto &R : Ranges) {
+    EXPECT_EQ(R.first, Next);
+    EXPECT_LT(R.first, R.second);
+    Next = R.second;
+  }
+  EXPECT_EQ(Next, 10u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsAfterJoin) {
+  threads::ThreadPool Pool(4);
+  std::atomic<int> Ran{0};
+  EXPECT_THROW(Pool.parallelFor(16,
+                                [&Ran](size_t I) {
+                                  ++Ran;
+                                  if (I == 3)
+                                    throw std::runtime_error("body boom");
+                                }),
+               std::runtime_error);
+  // All ranges joined before the rethrow: every index ran.
+  EXPECT_EQ(Ran.load(), 16);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential determinism sweep
+//===----------------------------------------------------------------------===//
+
+/// The counters that must be invariant across thread counts (all of the
+/// bench gate's counters, including the substrate-dependent dfa.* work
+/// counters: thread count never changes which substrate runs or how much
+/// work it reports).
+const char *AllGated[] = {
+    "dfa.solves",          "dfa.sweeps",         "dfa.blocks_processed",
+    "dfa.words_touched",   "dfa.transfers_recomputed",
+    "am.rounds",           "am.hoist_rounds",    "am.eliminated",
+    "flush.inits_deleted", "flush.inits_sunk",
+};
+
+/// The subset that must also be invariant across solver *layouts*: the
+/// algorithm-level counters.  (dfa.blocks_processed counts slice-block
+/// evaluations on the transposed substrate, whole-block evaluations on
+/// the scalar one, so it and words_touched legitimately differ.)
+const char *LayoutInvariant[] = {
+    "dfa.solves", "am.rounds",           "am.hoist_rounds",
+    "am.eliminated", "flush.inits_deleted", "flush.inits_sunk",
+};
+
+template <size_t N>
+std::map<std::string, uint64_t> counterSnapshot(const char *(&Names)[N]) {
+  std::map<std::string, uint64_t> Out;
+  for (const char *Name : Names) {
+    const stats::Counter *C = stats::Registry::get().findCounter(Name);
+    Out[Name] = C ? C->get() : 0;
+  }
+  return Out;
+}
+
+std::string runUniform(const FlowGraph &In) {
+  FlowGraph Work = In;
+  return printGraph(runUniformEmAm(Work));
+}
+
+TEST(ThreadsDifferential, CorpusIdenticalAcrossThreadCounts) {
+  PolicyGuard Guard;
+  for (uint64_t Seed = 0; Seed < 120; ++Seed) {
+    FlowGraph In = generateStructuredProgram(Seed);
+    std::string Reference;
+    std::map<std::string, uint64_t> ReferenceCounters;
+    for (unsigned Threads : {1u, 2u, 8u}) {
+      threads::setGlobalThreadCount(Threads);
+      stats::Registry::get().resetAll();
+      std::string Out = runUniform(In);
+      std::map<std::string, uint64_t> Counters = counterSnapshot(AllGated);
+      if (Threads == 1) {
+        Reference = Out;
+        ReferenceCounters = Counters;
+      } else {
+        EXPECT_EQ(Out, Reference) << "seed " << Seed << ", " << Threads
+                                  << " threads: output diverged";
+        EXPECT_EQ(Counters, ReferenceCounters)
+            << "seed " << Seed << ", " << Threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ThreadsDifferential, WideUniverseIdenticalAcrossLayoutsAndThreads) {
+  PolicyGuard Guard;
+  // A pattern universe wider than one machine word, so Auto (and forced
+  // Transposed) actually slice; 20 seeds keep the sweep fast.
+  GenOptions Opts;
+  Opts.TargetStmts = 200;
+  Opts.NumVars = 12;
+  Opts.PatternPoolSize = 96;
+  for (uint64_t Seed = 0; Seed < 20; ++Seed) {
+    FlowGraph In = generateStructuredProgram(Seed, Opts);
+    std::string Reference;
+    std::map<std::string, uint64_t> ReferenceCounters;
+    bool First = true;
+    for (SolverLayout Layout : {SolverLayout::Scalar, SolverLayout::Transposed}) {
+      for (unsigned Threads : {1u, 8u}) {
+        setSolverLayout(Layout);
+        threads::setGlobalThreadCount(Threads);
+        stats::Registry::get().resetAll();
+        std::string Out = runUniform(In);
+        std::map<std::string, uint64_t> Counters =
+            counterSnapshot(LayoutInvariant);
+        if (First) {
+          Reference = Out;
+          ReferenceCounters = Counters;
+          First = false;
+        } else {
+          EXPECT_EQ(Out, Reference)
+              << "seed " << Seed << ", layout "
+              << (Layout == SolverLayout::Scalar ? "scalar" : "transposed")
+              << ", " << Threads << " threads: output diverged";
+          EXPECT_EQ(Counters, ReferenceCounters)
+              << "seed " << Seed << ", " << Threads << " threads";
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadsDifferential, ForcedTransposedHandlesNarrowUniverses) {
+  PolicyGuard Guard;
+  // Narrow problems (<= 64 patterns, one slice) through the sliced
+  // engine must match the scalar fixpoint too.
+  setSolverLayout(SolverLayout::Transposed);
+  for (uint64_t Seed = 0; Seed < 30; ++Seed) {
+    FlowGraph In = generateStructuredProgram(Seed);
+    std::string Forced = runUniform(In);
+    setSolverLayout(SolverLayout::Scalar);
+    std::string Ref = runUniform(In);
+    setSolverLayout(SolverLayout::Transposed);
+    EXPECT_EQ(Forced, Ref) << "seed " << Seed;
+  }
+}
+
+} // namespace

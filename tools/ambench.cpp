@@ -32,12 +32,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/PaperAnalyses.h"
 #include "gen/RandomProgram.h"
 #include "interp/Interpreter.h"
 #include "ir/FlowGraph.h"
+#include "ir/Patterns.h"
 #include "support/ArgParser.h"
 #include "support/Json.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 #include "transform/CopyPropagation.h"
 #include "transform/LazyCodeMotion.h"
 #include "transform/PartialDeadCodeElim.h"
@@ -227,6 +230,50 @@ std::vector<Preset> buildPresets() {
     Out.push_back(std::move(P));
   }
 
+  // Solver-scaling points: the Table 1-2 analyses (hoistability,
+  // redundancy) over large structured programs with a pattern universe
+  // far wider than one machine word — the workload the transposed
+  // multi-pattern substrate targets (dfa/MultiPattern.h).  Generation and
+  // pattern-table construction happen in Setup; the timed body is full
+  // dataflow solves only.
+  struct SolvePoint {
+    const char *Name;
+    unsigned TargetStmts;
+    unsigned NumVars;
+    unsigned PatternPool;
+    uint64_t Seed;
+    bool Heavy;
+  };
+  static const SolvePoint SolveScales[] = {
+      {"dfa/solve-10k-blocks", 20'000, 24, 320, 61, false},
+      {"dfa/solve-100k-blocks", 200'000, 32, 640, 62, true},
+  };
+  for (const SolvePoint &SP : SolveScales) {
+    Preset P;
+    P.Name = SP.Name;
+    P.Heavy = SP.Heavy;
+    auto G = std::make_shared<FlowGraph>();
+    auto Pats = std::make_shared<AssignPatternTable>();
+    P.Setup = [G, Pats, SP] {
+      GenOptions Opts;
+      Opts.TargetStmts = SP.TargetStmts;
+      Opts.NumVars = SP.NumVars;
+      Opts.PatternPoolSize = SP.PatternPool;
+      *G = generateStructuredProgram(SP.Seed, Opts);
+      Pats->build(*G);
+      return WorkFacts{{"instrs_in", instrCount(*G)},
+                       {"blocks_in", G->numBlocks()},
+                       {"patterns", Pats->size()}};
+    };
+    P.Body = [G, Pats] {
+      HoistabilityAnalysis H = HoistabilityAnalysis::run(*G, *Pats);
+      RedundancyAnalysis R = RedundancyAnalysis::run(*G, *Pats);
+      return H.entryHoistable(G->start()).count() * 1024 +
+             R.exit(G->start()).count();
+    };
+    Out.push_back(std::move(P));
+  }
+
   {
     Preset P;
     P.Name = "am/irreducible";
@@ -324,7 +371,7 @@ std::vector<Preset> buildPresets() {
 
 int main(int argc, char **argv) {
   std::string OutPath;
-  std::string RepsStr, WarmupStr, Filter;
+  std::string RepsStr, WarmupStr, Filter, ThreadSpec;
   bool Quick = false, List = false;
 
   support::ArgParser Parser(
@@ -344,6 +391,10 @@ int main(int argc, char **argv) {
               "3 reps, 1 warmup, skip the largest scaling points");
   Parser.option("--filter", Filter, "run only presets containing SUBSTR",
                 "SUBSTR");
+  Parser.option("--threads", ThreadSpec,
+                "worker threads for the dataflow solves (wall-clock only; "
+                "results are identical for every value)",
+                "N|max");
   Parser.flag("--list", List, "list preset names and exit");
   if (!Parser.parse(argc, argv)) {
     std::fprintf(stderr, "ambench: %s\n", Parser.error().c_str());
@@ -364,6 +415,15 @@ int main(int argc, char **argv) {
   if (Reps == 0) {
     std::fprintf(stderr, "ambench: --reps must be at least 1\n");
     return 1;
+  }
+  if (!ThreadSpec.empty()) {
+    std::string ThreadsErr;
+    unsigned N = threads::parseThreadSpec(ThreadSpec, &ThreadsErr);
+    if (N == 0) {
+      std::fprintf(stderr, "ambench: --threads: %s\n", ThreadsErr.c_str());
+      return 1;
+    }
+    threads::setGlobalThreadCount(N);
   }
 
   std::vector<Preset> Presets = buildPresets();
@@ -427,6 +487,7 @@ int main(int argc, char **argv) {
   W.key("reps").value(uint64_t(Reps));
   W.key("warmup").value(uint64_t(Warmup));
   W.key("quick").value(Quick);
+  W.key("solver_threads").value(uint64_t(threads::globalThreadCount()));
   W.endObject();
   W.key("calibration").beginObject();
   W.key("spin_ns").value(CalibNs);

@@ -91,6 +91,7 @@
 #include "support/Remarks.h"
 #include "support/Stats.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
 #include "transform/BusyCodeMotion.h"
 #include "transform/CopyPropagation.h"
@@ -130,7 +131,8 @@ int usage() {
                "             [--report=out.html] [--facts=out.json]\n"
                "             [--explain=<var|instr-id>] [--verify] "
                "[--verify-remarks]\n"
-               "             [--annotate=redundancy|hoist|flush|live] [FILE]\n"
+               "             [--annotate=redundancy|hoist|flush|live] "
+               "[--threads=N|max] [FILE]\n"
                "\n"
                "Optimizes a `program { ... }` or `graph { ... }` source "
                "(FILE or stdin).\n"
@@ -231,6 +233,7 @@ int main(int argc, char **argv) {
   std::string StatsValue;
   std::string LimitsSpec;
   std::string InjectSpec;
+  std::string ThreadSpec;
   bool EmitDot = false, EmitStats = false, Verify = false;
   bool EmitRemarks = false, VerifyRemarks = false;
   bool Guarded = false, VerifyIR = false;
@@ -291,6 +294,10 @@ int main(int argc, char **argv) {
   Parser.option("--inject", InjectSpec,
                 "arm a deterministic fault class for guard testing",
                 "rae-flip|aht-skip-block|aht-misplace|edge-corrupt[:site]");
+  Parser.option("--threads", ThreadSpec,
+                "worker threads for the dataflow solves (output is "
+                "identical for every value; default AM_THREADS or 1)",
+                "N|max");
   if (!Parser.parse(argc, argv)) {
     std::fprintf(stderr, "amopt: %s\n", Parser.error().c_str());
     return usage();
@@ -339,6 +346,15 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "amopt: %s\n", Spec.diagnostic().render().c_str());
       return usage();
     }
+  }
+  if (!ThreadSpec.empty()) {
+    std::string ThreadsErr;
+    unsigned N = threads::parseThreadSpec(ThreadSpec, &ThreadsErr);
+    if (N == 0) {
+      std::fprintf(stderr, "amopt: --threads: %s\n", ThreadsErr.c_str());
+      return usage();
+    }
+    threads::setGlobalThreadCount(N);
   }
   PipelineLimits Limits;
   if (!LimitsSpec.empty()) {
