@@ -1,0 +1,61 @@
+//===- report/FleetReport.h - Fleet dashboard & corpus diff ----*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders corpus-level observability as self-contained HTML, the fleet
+/// counterpart of report/HtmlReport.h's single-job report: a dashboard
+/// over one run (status tiles, per-preset throughput, phase-time
+/// histograms, the top-K slowest / most-rolled-back programs with their
+/// per-job facts, the deterministic counter aggregates) and a
+/// differential view comparing two runs' event logs per counter, ranked
+/// by relative magnitude.  Everything is one file: inline CSS and SVG,
+/// no external assets, light and dark mode from one set of role tokens.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_REPORT_FLEETREPORT_H
+#define AM_REPORT_FLEETREPORT_H
+
+#include <cstdint>
+#include <string>
+
+namespace am::fleet {
+struct EventLogFile;
+class Aggregate;
+} // namespace am::fleet
+
+namespace am::report {
+
+struct FleetReportOptions {
+  std::string Title = "fleet report";
+  /// Rows in the slowest / most-rolled-back tables.
+  unsigned TopK = 10;
+  /// End-to-end wall time of the whole batch (all workers), for the
+  /// honest wall-clock throughput tile; 0 hides it and only the
+  /// per-core (sum-of-job-wall) figures are shown.
+  uint64_t RunWallNs = 0;
+  unsigned Threads = 1;
+};
+
+/// The one-run dashboard.  \p Agg must be the aggregate of \p Log's
+/// events (ambatch hands both over; `--report` from an existing log
+/// rebuilds the aggregate first).
+std::string renderFleetDashboard(const fleet::EventLogFile &Log,
+                                 const fleet::Aggregate &Agg,
+                                 const FleetReportOptions &Opts);
+
+/// The two-run differential report: per-counter aggregate comparison
+/// ranked by |relative delta|, status flips, and the per-job movers of
+/// the top-ranked counter.  \p NameA / \p NameB caption the columns
+/// (typically the two file names).
+std::string renderFleetDiff(const fleet::EventLogFile &A,
+                            const fleet::EventLogFile &B,
+                            const std::string &NameA,
+                            const std::string &NameB);
+
+} // namespace am::report
+
+#endif // AM_REPORT_FLEETREPORT_H

@@ -8,9 +8,11 @@
 
 #include <cassert>
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <ostream>
 
 using namespace am;
 
@@ -136,12 +138,26 @@ std::string json::quoted(const std::string &S) {
 // Writer
 //===----------------------------------------------------------------------===//
 
+void json::Writer::put(char C) {
+  if (Str)
+    Str->push_back(C);
+  else
+    OS->put(C);
+}
+
+void json::Writer::append(const std::string &S) {
+  if (Str)
+    *Str += S;
+  else
+    OS->write(S.data(), static_cast<std::streamsize>(S.size()));
+}
+
 void json::Writer::comma() {
   if (Stack.empty())
     return;
   char &Top = Stack.back();
   if (Top == 'O' || Top == 'A')
-    Out.push_back(',');
+    put(',');
   else if (Top == 'o')
     Top = 'O';
   else if (Top == 'a')
@@ -154,7 +170,7 @@ json::Writer &json::Writer::beginObject() {
   comma();
   if (!Stack.empty() && (Stack.back() == 'o' || Stack.back() == 'a'))
     Stack.back() = Stack.back() == 'o' ? 'O' : 'A';
-  Out.push_back('{');
+  put('{');
   Stack.push_back('o');
   return *this;
 }
@@ -162,7 +178,7 @@ json::Writer &json::Writer::beginObject() {
 json::Writer &json::Writer::endObject() {
   assert(!Stack.empty() && (Stack.back() == 'o' || Stack.back() == 'O'));
   Stack.pop_back();
-  Out.push_back('}');
+  put('}');
   return *this;
 }
 
@@ -170,7 +186,7 @@ json::Writer &json::Writer::beginArray() {
   comma();
   if (!Stack.empty() && (Stack.back() == 'o' || Stack.back() == 'a'))
     Stack.back() = Stack.back() == 'o' ? 'O' : 'A';
-  Out.push_back('[');
+  put('[');
   Stack.push_back('a');
   return *this;
 }
@@ -178,22 +194,26 @@ json::Writer &json::Writer::beginArray() {
 json::Writer &json::Writer::endArray() {
   assert(!Stack.empty() && (Stack.back() == 'a' || Stack.back() == 'A'));
   Stack.pop_back();
-  Out.push_back(']');
+  put(']');
   return *this;
 }
 
 json::Writer &json::Writer::key(const std::string &K) {
   assert(!Stack.empty() && (Stack.back() == 'o' || Stack.back() == 'O'));
   comma();
-  appendEscaped(Out, K);
-  Out.push_back(':');
+  std::string Tmp;
+  appendEscaped(Tmp, K);
+  append(Tmp);
+  put(':');
   Stack.push_back('k');
   return *this;
 }
 
 json::Writer &json::Writer::value(const std::string &V) {
   comma();
-  appendEscaped(Out, V);
+  std::string Tmp;
+  appendEscaped(Tmp, V);
+  append(Tmp);
   return *this;
 }
 
@@ -203,49 +223,53 @@ json::Writer &json::Writer::value(const char *V) {
 
 json::Writer &json::Writer::value(int64_t V) {
   comma();
-  Out += std::to_string(V);
+  append(std::to_string(V));
   return *this;
 }
 
 json::Writer &json::Writer::value(uint64_t V) {
   comma();
-  Out += std::to_string(V);
+  append(std::to_string(V));
   return *this;
 }
 
 json::Writer &json::Writer::value(double V) {
   comma();
   if (!std::isfinite(V)) {
-    Out += "null"; // JSON has no inf/nan
+    append("null"); // JSON has no inf/nan
     return *this;
   }
   char Buf[40];
   std::snprintf(Buf, sizeof(Buf), "%.6g", V);
   // %g may print an integer-looking value; that is still valid JSON.
-  Out += Buf;
+  append(Buf);
   return *this;
 }
 
 json::Writer &json::Writer::value(bool V) {
   comma();
-  Out += V ? "true" : "false";
+  append(V ? "true" : "false");
   return *this;
 }
 
 //===----------------------------------------------------------------------===//
-// Validator
+// Validator and value parser
 //===----------------------------------------------------------------------===//
 
 namespace {
 
+/// One recursive-descent pass serving both entry points: with a null
+/// \p Into it only checks syntax (the validator), with a Value it also
+/// builds the tree — a single grammar implementation instead of two that
+/// could drift.
 class Parser {
 public:
   Parser(const std::string &Text, std::string *Error)
       : Text(Text), Error(Error) {}
 
-  bool run() {
+  bool run(json::Value *Into) {
     skipWs();
-    if (!parseValue())
+    if (!parseValue(Into))
       return false;
     skipWs();
     if (Pos != Text.size())
@@ -274,7 +298,41 @@ private:
     return true;
   }
 
-  bool parseString() {
+  static void appendUtf8(std::string &Out, uint32_t Cp) {
+    if (Cp < 0x80) {
+      Out.push_back(static_cast<char>(Cp));
+    } else if (Cp < 0x800) {
+      Out.push_back(static_cast<char>(0xC0 | (Cp >> 6)));
+      Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+    } else if (Cp < 0x10000) {
+      Out.push_back(static_cast<char>(0xE0 | (Cp >> 12)));
+      Out.push_back(static_cast<char>(0x80 | ((Cp >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+    } else {
+      Out.push_back(static_cast<char>(0xF0 | (Cp >> 18)));
+      Out.push_back(static_cast<char>(0x80 | ((Cp >> 12) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | ((Cp >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+    }
+  }
+
+  /// Parses the four hex digits after `\u`; Pos sits on the 'u'.
+  bool hex4(uint32_t &Out) {
+    Out = 0;
+    for (int Hex = 0; Hex < 4; ++Hex) {
+      ++Pos;
+      if (Pos >= Text.size() || !std::isxdigit((unsigned char)Text[Pos]))
+        return fail("bad \\u escape");
+      char C = Text[Pos];
+      uint32_t D = C <= '9'   ? static_cast<uint32_t>(C - '0')
+                   : C <= 'F' ? static_cast<uint32_t>(C - 'A' + 10)
+                              : static_cast<uint32_t>(C - 'a' + 10);
+      Out = (Out << 4) | D;
+    }
+    return true;
+  }
+
+  bool parseString(std::string *Into) {
     if (Text[Pos] != '"')
       return fail("expected string");
     ++Pos;
@@ -292,24 +350,69 @@ private:
           return fail("truncated escape");
         char E = Text[Pos];
         if (E == 'u') {
-          for (int Hex = 0; Hex < 4; ++Hex) {
-            ++Pos;
-            if (Pos >= Text.size() || !std::isxdigit((unsigned char)Text[Pos]))
-              return fail("bad \\u escape");
+          uint32_t Cp;
+          if (!hex4(Cp))
+            return false;
+          if (Cp >= 0xD800 && Cp <= 0xDBFF && Pos + 2 < Text.size() &&
+              Text[Pos + 1] == '\\' && Text[Pos + 2] == 'u') {
+            // High surrogate followed by an escaped low surrogate: one
+            // supplementary-plane code point.
+            size_t Save = Pos;
+            Pos += 2;
+            uint32_t Lo;
+            if (!hex4(Lo))
+              return false;
+            if (Lo >= 0xDC00 && Lo <= 0xDFFF) {
+              Cp = 0x10000 + ((Cp - 0xD800) << 10) + (Lo - 0xDC00);
+            } else {
+              Pos = Save; // unpaired; decode the half as U+FFFD below
+            }
           }
-        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          if (Into) {
+            if (Cp >= 0xD800 && Cp <= 0xDFFF)
+              Cp = 0xFFFD; // unpaired surrogate half
+            appendUtf8(*Into, Cp);
+          }
+        } else if (std::strchr("\"\\/bfnrt", E)) {
+          if (Into) {
+            switch (E) {
+            case 'b':
+              Into->push_back('\b');
+              break;
+            case 'f':
+              Into->push_back('\f');
+              break;
+            case 'n':
+              Into->push_back('\n');
+              break;
+            case 'r':
+              Into->push_back('\r');
+              break;
+            case 't':
+              Into->push_back('\t');
+              break;
+            default:
+              Into->push_back(E);
+            }
+          }
+        } else {
           return fail("bad escape character");
         }
+      } else if (Into) {
+        Into->push_back(static_cast<char>(C));
       }
       ++Pos;
     }
     return fail("unterminated string");
   }
 
-  bool parseNumber() {
+  bool parseNumber(json::Value *Into) {
     size_t Start = Pos;
-    if (Pos < Text.size() && Text[Pos] == '-')
+    bool Negative = false, IntegralToken = true;
+    if (Pos < Text.size() && Text[Pos] == '-') {
+      Negative = true;
       ++Pos;
+    }
     if (Pos >= Text.size() || !std::isdigit((unsigned char)Text[Pos]))
       return fail("bad number");
     if (Text[Pos] == '0')
@@ -318,6 +421,7 @@ private:
       while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos]))
         ++Pos;
     if (Pos < Text.size() && Text[Pos] == '.') {
+      IntegralToken = false;
       ++Pos;
       if (Pos >= Text.size() || !std::isdigit((unsigned char)Text[Pos]))
         return fail("bad fraction");
@@ -325,6 +429,7 @@ private:
         ++Pos;
     }
     if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      IntegralToken = false;
       ++Pos;
       if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
         ++Pos;
@@ -333,23 +438,38 @@ private:
       while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos]))
         ++Pos;
     }
-    (void)Start;
+    if (Into) {
+      std::string Token = Text.substr(Start, Pos - Start);
+      Into->K = json::Value::Kind::Number;
+      Into->Num = std::strtod(Token.c_str(), nullptr);
+      if (IntegralToken && !Negative) {
+        errno = 0;
+        char *End = nullptr;
+        uint64_t U = std::strtoull(Token.c_str(), &End, 10);
+        if (errno == 0 && End && *End == '\0') {
+          Into->Integral = true;
+          Into->UInt = U;
+        }
+      }
+    }
     return true;
   }
 
-  bool parseValue() {
+  bool parseValue(json::Value *Into) {
     if (++Depth > MaxDepth)
       return fail("nesting too deep");
-    bool Ok = parseValueInner();
+    bool Ok = parseValueInner(Into);
     --Depth;
     return Ok;
   }
 
-  bool parseValueInner() {
+  bool parseValueInner(json::Value *Into) {
     if (Pos >= Text.size())
       return fail("unexpected end of input");
     switch (Text[Pos]) {
     case '{': {
+      if (Into)
+        Into->K = json::Value::Kind::Object;
       ++Pos;
       skipWs();
       if (Pos < Text.size() && Text[Pos] == '}') {
@@ -358,14 +478,20 @@ private:
       }
       while (true) {
         skipWs();
-        if (!parseString())
+        std::string Key;
+        if (!parseString(Into ? &Key : nullptr))
           return false;
         skipWs();
         if (Pos >= Text.size() || Text[Pos] != ':')
           return fail("expected ':'");
         ++Pos;
         skipWs();
-        if (!parseValue())
+        json::Value *Member = nullptr;
+        if (Into) {
+          Into->Obj.emplace_back(std::move(Key), json::Value());
+          Member = &Into->Obj.back().second;
+        }
+        if (!parseValue(Member))
           return false;
         skipWs();
         if (Pos < Text.size() && Text[Pos] == ',') {
@@ -380,6 +506,8 @@ private:
       }
     }
     case '[': {
+      if (Into)
+        Into->K = json::Value::Kind::Array;
       ++Pos;
       skipWs();
       if (Pos < Text.size() && Text[Pos] == ']') {
@@ -388,7 +516,12 @@ private:
       }
       while (true) {
         skipWs();
-        if (!parseValue())
+        json::Value *Element = nullptr;
+        if (Into) {
+          Into->Arr.emplace_back();
+          Element = &Into->Arr.back();
+        }
+        if (!parseValue(Element))
           return false;
         skipWs();
         if (Pos < Text.size() && Text[Pos] == ',') {
@@ -403,15 +536,25 @@ private:
       }
     }
     case '"':
-      return parseString();
+      if (Into)
+        Into->K = json::Value::Kind::String;
+      return parseString(Into ? &Into->S : nullptr);
     case 't':
+      if (Into) {
+        Into->K = json::Value::Kind::Bool;
+        Into->B = true;
+      }
       return literal("true");
     case 'f':
+      if (Into) {
+        Into->K = json::Value::Kind::Bool;
+        Into->B = false;
+      }
       return literal("false");
     case 'n':
       return literal("null");
     default:
-      return parseNumber();
+      return parseNumber(Into);
     }
   }
 
@@ -425,5 +568,45 @@ private:
 } // namespace
 
 bool json::validate(const std::string &Text, std::string *Error) {
-  return Parser(Text, Error).run();
+  return Parser(Text, Error).run(nullptr);
+}
+
+std::unique_ptr<json::Value> json::parse(const std::string &Text,
+                                         std::string *Error) {
+  auto V = std::make_unique<Value>();
+  if (!Parser(Text, Error).run(V.get()))
+    return nullptr;
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Value accessors
+//===----------------------------------------------------------------------===//
+
+uint64_t json::Value::asU64() const {
+  if (Integral)
+    return UInt;
+  if (Num <= 0.0)
+    return 0;
+  return static_cast<uint64_t>(Num);
+}
+
+const json::Value *json::Value::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+uint64_t json::Value::getU64(const std::string &Key, uint64_t Default) const {
+  const Value *V = find(Key);
+  return V && V->isNumber() ? V->asU64() : Default;
+}
+
+std::string json::Value::getString(const std::string &Key,
+                                   const std::string &Default) const {
+  const Value *V = find(Key);
+  return V && V->isString() ? V->S : Default;
 }

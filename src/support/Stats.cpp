@@ -9,6 +9,7 @@
 #include "support/Telemetry.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -17,6 +18,62 @@
 
 using namespace am;
 using namespace am::stats;
+
+size_t stats::log2BucketIndex(uint64_t V, size_t NumBuckets) {
+  size_t Bucket = 0;
+  while (V > 1 && Bucket + 1 < NumBuckets) {
+    V >>= 1;
+    ++Bucket;
+  }
+  return Bucket;
+}
+
+uint64_t stats::log2BucketPercentile(const uint64_t *Buckets,
+                                     size_t NumBuckets, uint64_t Count,
+                                     double Q, uint64_t MaxFallback) {
+  if (Count == 0)
+    return 0;
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  // Nearest-rank: the ceil(Q*N)-th smallest sample, clamped to [1, N].
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count));
+  if (static_cast<double>(Rank) < Q * static_cast<double>(Count))
+    ++Rank;
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Count)
+    Rank = Count;
+  uint64_t Seen = 0;
+  for (size_t B = 0; B < NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen >= Rank) {
+      // Bucket B covers [2^B, 2^{B+1}) (0 and 1 both land in bucket 0);
+      // report its midpoint.
+      uint64_t Lo = static_cast<uint64_t>(1) << B;
+      return Lo + Lo / 2;
+    }
+  }
+  return MaxFallback;
+}
+
+std::string stats::percentileLabel(double Q) {
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  // Render Q*100 with enough precision for labels like p99.9, trimming
+  // trailing zeros ("50.000000" -> "50").
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.4f", Q * 100.0);
+  std::string S(Buf);
+  while (!S.empty() && S.back() == '0')
+    S.pop_back();
+  if (!S.empty() && S.back() == '.')
+    S.pop_back();
+  return "p" + S;
+}
 
 void Timer::record(uint64_t Ns) {
   Count.fetch_add(1, std::memory_order_relaxed);
@@ -31,42 +88,17 @@ void Timer::record(uint64_t Ns) {
   while (Ns > Cur &&
          !MaxNs.compare_exchange_weak(Cur, Ns, std::memory_order_relaxed))
     ;
-  size_t Bucket = 0;
-  uint64_t V = Ns;
-  while (V > 1 && Bucket + 1 < NumBuckets) {
-    V >>= 1;
-    ++Bucket;
-  }
-  Buckets[Bucket].fetch_add(1, std::memory_order_relaxed);
+  Buckets[log2BucketIndex(Ns, NumBuckets)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 uint64_t Timer::percentileNs(double Q) const {
-  uint64_t N = Count.load(std::memory_order_relaxed);
-  if (N == 0)
-    return 0;
-  if (Q < 0.0)
-    Q = 0.0;
-  if (Q > 1.0)
-    Q = 1.0;
-  // Nearest-rank: the ceil(Q*N)-th smallest sample, clamped to [1, N].
-  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(N));
-  if (static_cast<double>(Rank) < Q * static_cast<double>(N))
-    ++Rank;
-  if (Rank < 1)
-    Rank = 1;
-  if (Rank > N)
-    Rank = N;
-  uint64_t Seen = 0;
-  for (size_t B = 0; B < NumBuckets; ++B) {
-    Seen += Buckets[B].load(std::memory_order_relaxed);
-    if (Seen >= Rank) {
-      // Bucket B covers [2^B, 2^{B+1}) (0 and 1 both land in bucket 0);
-      // report its midpoint.
-      uint64_t Lo = static_cast<uint64_t>(1) << B;
-      return Lo + Lo / 2;
-    }
-  }
-  return maxNs();
+  uint64_t Snapshot[NumBuckets];
+  for (size_t B = 0; B < NumBuckets; ++B)
+    Snapshot[B] = Buckets[B].load(std::memory_order_relaxed);
+  return log2BucketPercentile(Snapshot, NumBuckets,
+                              Count.load(std::memory_order_relaxed), Q,
+                              maxNs());
 }
 
 void Timer::reset() {
@@ -92,6 +124,7 @@ struct Registry::Impl {
   std::map<std::string, Counter *> CounterByName;
   std::map<std::string, Gauge *> GaugeByName;
   std::map<std::string, Timer *> TimerByName;
+  std::vector<double> DumpPercentiles{0.5, 0.95, 0.99};
 };
 
 namespace {
@@ -186,6 +219,55 @@ void Registry::resetAll() {
     T.reset();
 }
 
+void Registry::setDumpPercentiles(std::vector<double> Qs) {
+  for (double &Q : Qs) {
+    if (Q < 0.0)
+      Q = 0.0;
+    if (Q > 1.0)
+      Q = 1.0;
+  }
+  // Drop label duplicates (keep first) so a dump never emits the same
+  // JSON key twice.
+  std::vector<double> Unique;
+  std::vector<std::string> Labels;
+  for (double Q : Qs) {
+    std::string L = percentileLabel(Q);
+    if (std::find(Labels.begin(), Labels.end(), L) == Labels.end()) {
+      Labels.push_back(L);
+      Unique.push_back(Q);
+    }
+  }
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  I.DumpPercentiles = std::move(Unique);
+}
+
+std::vector<double> Registry::dumpPercentiles() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  return I.DumpPercentiles;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::counterEntries() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  Out.reserve(I.CounterByName.size());
+  for (const auto &[Name, C] : I.CounterByName)
+    Out.emplace_back(Name, C->get());
+  return Out;
+}
+
+std::vector<std::pair<std::string, int64_t>> Registry::gaugeEntries() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  std::vector<std::pair<std::string, int64_t>> Out;
+  Out.reserve(I.GaugeByName.size());
+  for (const auto &[Name, G] : I.GaugeByName)
+    Out.emplace_back(Name, G->get());
+  return Out;
+}
+
 void Registry::dumpText(std::ostream &OS) const {
   Impl &I = impl();
   std::lock_guard<std::mutex> Lock(I.Mu);
@@ -200,10 +282,12 @@ void Registry::dumpText(std::ostream &OS) const {
     std::ostringstream V;
     uint64_t N = T->count();
     V << N << " samples, total " << T->totalNs() << " ns";
-    if (N)
+    if (N) {
       V << ", mean " << (T->totalNs() / N) << " ns, min " << T->minNs()
-        << " ns, max " << T->maxNs() << " ns, p50 ~" << T->percentileNs(0.5)
-        << " ns, p95 ~" << T->percentileNs(0.95) << " ns";
+        << " ns, max " << T->maxNs() << " ns";
+      for (double Q : I.DumpPercentiles)
+        V << ", " << percentileLabel(Q) << " ~" << T->percentileNs(Q) << " ns";
+    }
     Lines.emplace_back(Name, V.str());
   }
   std::sort(Lines.begin(), Lines.end());
@@ -244,8 +328,8 @@ std::string Registry::dumpJsonString() const {
     W.key("min_ns").value(T->minNs());
     W.key("max_ns").value(T->maxNs());
     W.key("mean_ns").value(N ? T->totalNs() / N : 0);
-    W.key("p50_ns").value(T->percentileNs(0.5));
-    W.key("p95_ns").value(T->percentileNs(0.95));
+    for (double Q : I.DumpPercentiles)
+      W.key(percentileLabel(Q) + "_ns").value(T->percentileNs(Q));
     // Sparse log2 histogram: {"<floor log2 ns>": count}.
     W.key("log2_buckets").beginObject();
     for (size_t B = 0; B < Timer::NumBuckets; ++B)

@@ -56,9 +56,34 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace am::stats {
+
+//===----------------------------------------------------------------------===//
+// Shared log2-histogram helpers
+//===----------------------------------------------------------------------===//
+//
+// One implementation of the log-scale bucket geometry, used by
+// stats::Timer here and by the fleet aggregator's value histograms
+// (support/Aggregate.h) so the two can never drift: bucket i counts
+// samples in [2^i, 2^{i+1}), with 0 and 1 sharing bucket 0.
+
+/// floor(log2(max(V, 1))), clamped to NumBuckets - 1.
+size_t log2BucketIndex(uint64_t V, size_t NumBuckets);
+
+/// Nearest-rank percentile estimated from a log2 bucket array: returns
+/// the midpoint of the bucket containing the ceil(Q*Count)-th smallest
+/// sample (Lo + Lo/2 for bucket lower bound Lo), \p MaxFallback when the
+/// rank lies past the populated buckets, and 0 when Count is 0.  \p Q is
+/// clamped to [0, 1].
+uint64_t log2BucketPercentile(const uint64_t *Buckets, size_t NumBuckets,
+                              uint64_t Count, double Q, uint64_t MaxFallback);
+
+/// Display label for a percentile: 0.5 -> "p50", 0.99 -> "p99",
+/// 0.999 -> "p99.9".
+std::string percentileLabel(double Q);
 
 /// A monotonically increasing event count.
 class Counter {
@@ -163,6 +188,17 @@ public:
 
   /// Zeroes every registered instrument (names stay registered).
   void resetAll();
+
+  /// The percentiles rendered by dumpText/dumpJson for every timer.
+  /// Default {0.5, 0.95, 0.99}; values are clamped to [0, 1] and label
+  /// collisions (e.g. 0.5 twice) keep the first occurrence.
+  void setDumpPercentiles(std::vector<double> Qs);
+  std::vector<double> dumpPercentiles() const;
+
+  /// Name-sorted snapshot of every registered counter / gauge — the
+  /// fleet event log records these per job.
+  std::vector<std::pair<std::string, uint64_t>> counterEntries() const;
+  std::vector<std::pair<std::string, int64_t>> gaugeEntries() const;
 
   /// `name value` lines, sorted by name; timers render count/total/mean.
   void dumpText(std::ostream &OS) const;

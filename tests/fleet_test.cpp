@@ -1,0 +1,399 @@
+//===- tests/fleet_test.cpp - Fleet telemetry layer tests ------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The corpus observability substrate behind tools/ambatch: the shared
+// log2 histogram geometry (stats:: helpers + fleet::Histogram), the
+// determinism contract of the amagg-v1 aggregator (identical JSON for
+// any job insertion order and any merge partitioning — the executable
+// form of "byte-identical for any --threads"), the amevents-v1 round
+// trip including truncation recovery, and the ranked corpus diff.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Aggregate.h"
+#include "support/EventLog.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace am;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared log2 bucket geometry
+//===----------------------------------------------------------------------===//
+
+TEST(Log2Buckets, BoundaryIndices) {
+  // 0 and 1 share bucket 0; every power of two opens its own bucket.
+  EXPECT_EQ(stats::log2BucketIndex(0, 64), 0u);
+  EXPECT_EQ(stats::log2BucketIndex(1, 64), 0u);
+  EXPECT_EQ(stats::log2BucketIndex(2, 64), 1u);
+  EXPECT_EQ(stats::log2BucketIndex(3, 64), 1u);
+  EXPECT_EQ(stats::log2BucketIndex(4, 64), 2u);
+  EXPECT_EQ(stats::log2BucketIndex(7, 64), 2u);
+  EXPECT_EQ(stats::log2BucketIndex(8, 64), 3u);
+  EXPECT_EQ(stats::log2BucketIndex(uint64_t(1) << 40, 64), 40u);
+  EXPECT_EQ((uint64_t(1) << 40) - 1, 0xFFFFFFFFFFull);
+  EXPECT_EQ(stats::log2BucketIndex((uint64_t(1) << 40) - 1, 64), 39u);
+}
+
+TEST(Log2Buckets, ClampsToLastBucket) {
+  EXPECT_EQ(stats::log2BucketIndex(uint64_t(1) << 63, 64), 63u);
+  EXPECT_EQ(stats::log2BucketIndex(UINT64_MAX, 64), 63u);
+  // A narrower array clamps sooner — the Timer's 40-bucket case.
+  EXPECT_EQ(stats::log2BucketIndex(UINT64_MAX, 40), 39u);
+  EXPECT_EQ(stats::log2BucketIndex(1024, 4), 3u);
+}
+
+TEST(Log2Buckets, PercentileMidpointsAndFallback) {
+  uint64_t Buckets[8] = {};
+  EXPECT_EQ(stats::log2BucketPercentile(Buckets, 8, 0, 0.5, 999), 0u);
+
+  // Samples 1, 2, 4, 8 -> buckets 0..3, one each.
+  Buckets[0] = Buckets[1] = Buckets[2] = Buckets[3] = 1;
+  // p25 -> rank 1 -> bucket 0, midpoint 1 + 0 = 1.
+  EXPECT_EQ(stats::log2BucketPercentile(Buckets, 8, 4, 0.25, 999), 1u);
+  // p50 -> rank 2 -> bucket 1 ([2,4)), midpoint 3.
+  EXPECT_EQ(stats::log2BucketPercentile(Buckets, 8, 4, 0.5, 999), 3u);
+  // p75 -> rank 3 -> bucket 2 ([4,8)), midpoint 6.
+  EXPECT_EQ(stats::log2BucketPercentile(Buckets, 8, 4, 0.75, 999), 6u);
+  // p100 -> rank 4 -> bucket 3 ([8,16)), midpoint 12.
+  EXPECT_EQ(stats::log2BucketPercentile(Buckets, 8, 4, 1.0, 999), 12u);
+  // Q clamps: below 0 reads as the minimum rank, above 1 as the maximum.
+  EXPECT_EQ(stats::log2BucketPercentile(Buckets, 8, 4, -3.0, 999), 1u);
+  EXPECT_EQ(stats::log2BucketPercentile(Buckets, 8, 4, 7.0, 999), 12u);
+
+  // A count larger than the populated buckets (samples clamped into the
+  // last bucket of a *wider* source, or a racy snapshot) falls back.
+  EXPECT_EQ(stats::log2BucketPercentile(Buckets, 8, 10, 1.0, 999), 999u);
+}
+
+TEST(Log2Buckets, PercentileLabels) {
+  EXPECT_EQ(stats::percentileLabel(0.5), "p50");
+  EXPECT_EQ(stats::percentileLabel(0.95), "p95");
+  EXPECT_EQ(stats::percentileLabel(0.99), "p99");
+  EXPECT_EQ(stats::percentileLabel(0.999), "p99.9");
+  EXPECT_EQ(stats::percentileLabel(0.25), "p25");
+  EXPECT_EQ(stats::percentileLabel(0.0), "p0");
+  EXPECT_EQ(stats::percentileLabel(1.0), "p100");
+  EXPECT_EQ(stats::percentileLabel(2.0), "p100"); // clamped
+}
+
+TEST(Log2Buckets, HistogramMatchesHelpers) {
+  fleet::Histogram H;
+  for (uint64_t V : {uint64_t(0), uint64_t(1), uint64_t(2), uint64_t(1000),
+                     UINT64_MAX})
+    H.add(V);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.maxValue(), UINT64_MAX);
+  EXPECT_EQ(H.bucket(0), 2u); // 0 and 1
+  EXPECT_EQ(H.bucket(1), 1u); // 2
+  EXPECT_EQ(H.bucket(stats::log2BucketIndex(1000, fleet::Histogram::NumBuckets)),
+            1u);
+  EXPECT_EQ(H.bucket(fleet::Histogram::NumBuckets - 1), 1u); // clamped max
+  // p20 -> rank 1 -> bucket 0 midpoint.
+  EXPECT_EQ(H.percentile(0.2), 1u);
+}
+
+TEST(Log2Buckets, RegistryDumpPercentilesConfigurable) {
+  stats::Registry R;
+  stats::Timer &T = R.timer("unit.test_ns");
+  for (uint64_t Ns : {64ull, 96ull, 128ull, 4096ull})
+    T.record(Ns);
+  R.setDumpPercentiles({0.5, 0.999, 0.999 /* dup label dropped */, 2.0});
+  ASSERT_EQ(R.dumpPercentiles().size(), 3u); // 0.5, 0.999, clamped 1.0
+  std::ostringstream OS;
+  R.dumpJson(OS);
+  std::string J = OS.str();
+  EXPECT_NE(J.find("\"p50_ns\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"p99.9_ns\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"p100_ns\""), std::string::npos) << J;
+  EXPECT_EQ(J.find("\"p95_ns\""), std::string::npos) << J;
+}
+
+//===----------------------------------------------------------------------===//
+// Aggregator determinism
+//===----------------------------------------------------------------------===//
+
+fleet::JobEvent makeEvent(uint64_t I) {
+  fleet::JobEvent E;
+  E.Index = I;
+  E.Name = "job" + std::to_string(I);
+  E.Hash = fleet::hex16(fleet::fnv1a64(E.Name));
+  E.Preset = I % 2 ? "gen" : "examples";
+  E.Status = I % 5 == 3 ? "rolled_back" : "ok";
+  E.WallNs = 1000 * (I + 1); // must NOT influence the aggregate
+  E.Rollbacks = I % 5 == 3 ? 1 : 0;
+  E.BlocksBefore = 10 + I;
+  E.BlocksAfter = 12 + I;
+  E.InstrsBefore = 100 + 7 * I;
+  E.InstrsAfter = 90 + 7 * I;
+  E.Phases.emplace_back("pipeline", 500 * (I + 1));
+  E.Counters.emplace_back("am.rounds", 2 + I % 3);
+  E.Counters.emplace_back("dfa.sweeps", 40 + 13 * I);
+  if (I % 2)
+    E.Counters.emplace_back("pipeline.rollbacks", 1);
+  E.RemarkKinds.emplace_back("hoist", 3 + I);
+  return E;
+}
+
+std::string aggJson(const fleet::Aggregate &A) {
+  std::ostringstream OS;
+  A.writeJson(OS);
+  return OS.str();
+}
+
+TEST(Aggregate, InsertionOrderInvariant) {
+  std::vector<fleet::JobEvent> Events;
+  for (uint64_t I = 0; I < 16; ++I)
+    Events.push_back(makeEvent(I));
+
+  fleet::Aggregate InOrder;
+  for (const fleet::JobEvent &E : Events)
+    InOrder.addJob(E);
+  const std::string Golden = aggJson(InOrder);
+  EXPECT_NE(Golden.find("\"schema\":\"amagg-v1\""), std::string::npos);
+  EXPECT_NE(Golden.find("\"jobs\":16"), std::string::npos);
+
+  // Any completion order folds to the same bytes.
+  std::vector<size_t> Perm(Events.size());
+  std::iota(Perm.begin(), Perm.end(), 0);
+  std::mt19937 Rng(7);
+  for (int Round = 0; Round < 5; ++Round) {
+    std::shuffle(Perm.begin(), Perm.end(), Rng);
+    fleet::Aggregate Shuffled;
+    for (size_t I : Perm)
+      Shuffled.addJob(Events[I]);
+    EXPECT_EQ(aggJson(Shuffled), Golden) << "round " << Round;
+  }
+}
+
+TEST(Aggregate, MergePartitioningInvariant) {
+  std::vector<fleet::JobEvent> Events;
+  for (uint64_t I = 0; I < 16; ++I)
+    Events.push_back(makeEvent(I));
+  fleet::Aggregate InOrder;
+  for (const fleet::JobEvent &E : Events)
+    InOrder.addJob(E);
+  const std::string Golden = aggJson(InOrder);
+
+  // One aggregate per job, merged at the barrier (what ambatch would do
+  // with per-worker partials): 16 singletons, merged in index order.
+  fleet::Aggregate Merged;
+  for (const fleet::JobEvent &E : Events) {
+    fleet::Aggregate One;
+    One.addJob(E);
+    Merged.merge(One);
+  }
+  EXPECT_EQ(aggJson(Merged), Golden);
+
+  // Uneven halves, merged out of order.
+  fleet::Aggregate Front, Back;
+  for (uint64_t I = 0; I < 5; ++I)
+    Front.addJob(Events[I]);
+  for (uint64_t I = 5; I < 16; ++I)
+    Back.addJob(Events[I]);
+  fleet::Aggregate BackFirst;
+  BackFirst.merge(Back);
+  BackFirst.merge(Front);
+  EXPECT_EQ(aggJson(BackFirst), Golden);
+}
+
+TEST(Aggregate, WallTimesExcluded) {
+  // Two runs of the same corpus with wildly different wall clocks and
+  // phase times must aggregate to identical bytes.
+  fleet::Aggregate A, B;
+  for (uint64_t I = 0; I < 8; ++I) {
+    fleet::JobEvent E = makeEvent(I);
+    A.addJob(E);
+    E.WallNs *= 1000;
+    for (auto &P : E.Phases)
+      P.second += 123456;
+    B.addJob(E);
+  }
+  EXPECT_EQ(aggJson(A), aggJson(B));
+  EXPECT_EQ(aggJson(A).find("wall"), std::string::npos);
+}
+
+TEST(Aggregate, StatsAndSynthesizedMetrics) {
+  fleet::Aggregate Agg;
+  for (uint64_t I = 0; I < 4; ++I)
+    Agg.addJob(makeEvent(I));
+  EXPECT_EQ(Agg.jobs(), 4u);
+  EXPECT_EQ(Agg.statuses().at("ok"), 3u);
+  EXPECT_EQ(Agg.statuses().at("rolled_back"), 1u);
+  EXPECT_EQ(Agg.remarkKinds().at("hoist"), 3 + 4 + 5 + 6u);
+
+  const fleet::MetricAgg &Sweeps = Agg.counters().at("dfa.sweeps");
+  EXPECT_EQ(Sweeps.Jobs, 4u);
+  EXPECT_EQ(Sweeps.Sum, 40u + 53 + 66 + 79);
+  EXPECT_EQ(Sweeps.Min, 40u);
+  EXPECT_EQ(Sweeps.Max, 79u);
+  EXPECT_DOUBLE_EQ(Sweeps.mean(), (40.0 + 53 + 66 + 79) / 4);
+
+  // pipeline.rollbacks only appears in odd jobs; Jobs tracks reporters.
+  EXPECT_EQ(Agg.counters().at("pipeline.rollbacks").Jobs, 2u);
+
+  // IR sizes are synthesized as counters so the diff can rank them.
+  EXPECT_EQ(Agg.counters().at("ir.instrs_before").Sum, 100u + 107 + 114 + 121);
+  EXPECT_EQ(Agg.counters().at("ir.blocks_after").Min, 12u);
+}
+
+//===----------------------------------------------------------------------===//
+// Event log round trip and truncation recovery
+//===----------------------------------------------------------------------===//
+
+std::string writeLog(const std::vector<fleet::JobEvent> &Events) {
+  std::ostringstream OS;
+  fleet::EventLogWriter W(OS);
+  W.writeHeader("uniform,pde", Events.size());
+  for (const fleet::JobEvent &E : Events)
+    W.append(E);
+  return OS.str();
+}
+
+TEST(EventLog, RoundTrip) {
+  std::vector<fleet::JobEvent> Events;
+  for (uint64_t I = 0; I < 3; ++I)
+    Events.push_back(makeEvent(I));
+  Events[1].Status = "error";
+  Events[1].Error = "parse error: line 3: unexpected '}'";
+
+  std::istringstream In(writeLog(Events));
+  fleet::EventLogFile File;
+  ASSERT_TRUE(fleet::readEventLog(In, File));
+  EXPECT_EQ(File.Schema, "amevents-v1");
+  EXPECT_EQ(File.Passes, "uniform,pde");
+  EXPECT_EQ(File.JobsDeclared, 3u);
+  EXPECT_EQ(File.SkippedLines, 0u);
+  ASSERT_EQ(File.Events.size(), 3u);
+
+  const fleet::JobEvent &E = File.Events[2];
+  EXPECT_EQ(E.Index, 2u);
+  EXPECT_EQ(E.Name, "job2");
+  EXPECT_EQ(E.Hash, fleet::hex16(fleet::fnv1a64("job2")));
+  EXPECT_EQ(E.Preset, "examples");
+  EXPECT_EQ(E.Status, "ok");
+  EXPECT_EQ(E.WallNs, 3000u);
+  EXPECT_EQ(E.InstrsBefore, 114u);
+  EXPECT_EQ(E.InstrsAfter, 104u);
+  ASSERT_EQ(E.Phases.size(), 1u);
+  EXPECT_EQ(E.Phases[0].first, "pipeline");
+  EXPECT_EQ(E.Phases[0].second, 1500u);
+  ASSERT_EQ(E.Counters.size(), 2u);
+  EXPECT_EQ(E.Counters[1].first, "dfa.sweeps");
+  EXPECT_EQ(E.Counters[1].second, 66u);
+  EXPECT_EQ(File.Events[1].Error, "parse error: line 3: unexpected '}'");
+}
+
+TEST(EventLog, HashIsStableFnv1a) {
+  // Pinned reference value: the identity hash must never drift between
+  // writers and readers on different machines.
+  EXPECT_EQ(fleet::fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fleet::hex16(fleet::fnv1a64("")), "cbf29ce484222325");
+  EXPECT_NE(fleet::fnv1a64("a"), fleet::fnv1a64("b"));
+  EXPECT_EQ(fleet::hex16(0), "0000000000000000");
+}
+
+TEST(EventLog, TruncatedFinalLineIsSkippedWithWarning) {
+  std::vector<fleet::JobEvent> Events;
+  for (uint64_t I = 0; I < 3; ++I)
+    Events.push_back(makeEvent(I));
+  std::string Full = writeLog(Events);
+
+  // Kill the run mid-record: drop the trailing newline and a chunk of
+  // the final record.
+  std::istringstream In(Full.substr(0, Full.size() - 9));
+  fleet::EventLogFile File;
+  ASSERT_TRUE(fleet::readEventLog(In, File));
+  EXPECT_EQ(File.Events.size(), 2u);
+  EXPECT_EQ(File.SkippedLines, 1u);
+  ASSERT_EQ(File.Warnings.size(), 1u);
+  EXPECT_NE(File.Warnings[0].find("partial trailing"), std::string::npos)
+      << File.Warnings[0];
+}
+
+TEST(EventLog, MalformedInteriorLineIsSkippedWithWarning) {
+  std::vector<fleet::JobEvent> Events;
+  for (uint64_t I = 0; I < 3; ++I)
+    Events.push_back(makeEvent(I));
+  std::string Full = writeLog(Events);
+  size_t FirstNl = Full.find('\n');
+  size_t SecondNl = Full.find('\n', FirstNl + 1);
+  std::string Broken = Full.substr(0, SecondNl + 1) + "{\"not\": json!!\n" +
+                       Full.substr(SecondNl + 1);
+
+  std::istringstream In(Broken);
+  fleet::EventLogFile File;
+  ASSERT_TRUE(fleet::readEventLog(In, File));
+  EXPECT_EQ(File.Events.size(), 3u); // everything real survives
+  EXPECT_EQ(File.SkippedLines, 1u);
+  ASSERT_EQ(File.Warnings.size(), 1u);
+  EXPECT_NE(File.Warnings[0].find("malformed"), std::string::npos);
+}
+
+TEST(EventLog, MissingOrForeignHeaderIsAnError) {
+  fleet::EventLogFile File;
+  std::istringstream NoHeader("{\"index\":0,\"status\":\"ok\"}\n");
+  EXPECT_FALSE(fleet::readEventLog(NoHeader, File));
+
+  std::istringstream Foreign(
+      "{\"schema\":\"amprof-v1\",\"passes\":\"uniform\",\"jobs\":1}\n");
+  fleet::EventLogFile File2;
+  EXPECT_FALSE(fleet::readEventLog(Foreign, File2));
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus diff
+//===----------------------------------------------------------------------===//
+
+TEST(Diff, RanksByRelativeMagnitude) {
+  fleet::Aggregate A, B;
+  for (uint64_t I = 0; I < 4; ++I) {
+    fleet::JobEvent E = makeEvent(I);
+    E.Counters = {{"flat", 100}, {"doubles", 50}, {"gone", 7}};
+    A.addJob(E);
+    fleet::JobEvent F = makeEvent(I);
+    F.Counters = {{"flat", 100}, {"doubles", 100}, {"fresh", 3}};
+    B.addJob(F);
+  }
+  std::vector<fleet::DiffRow> Rows = fleet::diffAggregates(A, B);
+
+  auto Find = [&](const std::string &Name) -> const fleet::DiffRow & {
+    for (const fleet::DiffRow &R : Rows)
+      if (R.Counter == Name)
+        return R;
+    static fleet::DiffRow None;
+    return None;
+  };
+  EXPECT_DOUBLE_EQ(Find("flat").Delta, 0.0);
+  EXPECT_DOUBLE_EQ(Find("doubles").RelDelta, 1.0);
+  EXPECT_GE(Find("fresh").RelDelta, 1e9);        // appeared from nothing
+  EXPECT_DOUBLE_EQ(Find("gone").RelDelta, -1.0); // dropped to zero
+
+  // "fresh" (infinite relative change) outranks everything; "doubles"
+  // and "gone" tie at |1.0| and break by name; "flat" ranks last.
+  std::vector<std::string> Order;
+  for (const fleet::DiffRow &R : Rows)
+    if (R.Counter == "flat" || R.Counter == "doubles" ||
+        R.Counter == "fresh" || R.Counter == "gone")
+      Order.push_back(R.Counter);
+  ASSERT_EQ(Order.size(), 4u);
+  EXPECT_EQ(Order[0], "fresh");
+  EXPECT_EQ(Order[1], "doubles");
+  EXPECT_EQ(Order[2], "gone");
+  EXPECT_EQ(Order[3], "flat");
+}
+
+} // namespace

@@ -1,0 +1,633 @@
+//===- tools/ambatch.cpp - Corpus batch runner -----------------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// ambatch — drive a corpus of programs through guarded pipelines on a
+// thread pool, one telemetry session per job, and turn the per-job sinks
+// into fleet-level observability (the corpus-scale counterpart of one
+// amopt run, and the measurement substrate for ROADMAP item 1's
+// optimization-as-a-service direction).
+//
+//   ambatch [--passes=p1,...] [--unguarded] [--limits=k=v,...]
+//           [--threads=N|max] [--gen=N[:seed]] [--gen-stmts=N]
+//           [--events=F.jsonl] [--aggregate=F.json] [--report=F.html]
+//           [--top=K] [--quiet] [FILE|DIR ...]
+//   ambatch --from=run.jsonl [--aggregate=F] [--report=F]
+//   ambatch --diff=A.jsonl,B.jsonl [--report=F.html]
+//
+// Three output layers:
+//   --events=F     amevents-v1 JSONL, one record per job (program hash,
+//                  wall/phase timings, machine-independent counters,
+//                  rollback/limit/remark summaries), appended and flushed
+//                  as each job completes — a killed run loses at most the
+//                  record being written.
+//   --aggregate=F  amagg-v1 JSON: deterministic cross-job counter sums,
+//                  min/max/mean and log2 histograms with p50/p95/p99.
+//                  Byte-identical for any --threads value and completion
+//                  order (jobs merge in index order at the barrier; no
+//                  wall times inside).
+//   --report=F     self-contained HTML dashboard: per-preset throughput,
+//                  phase-time histograms, top-K slowest and rolled-back
+//                  programs, the counter aggregates.
+//   --diff=A,B     compare two event logs per counter, ranked by relative
+//                  magnitude (text on stdout; HTML with --report).
+//
+// Concurrency model: jobs fan out on a private pool (--threads); the
+// per-job dataflow solves run inline on their worker (the process-global
+// solver thread count is pinned to 1), so job-level parallelism composes
+// with the PR 7 solver instead of deadlocking inside it.  Every job gets
+// its own telemetry::Session; nothing observable is shared.
+//
+// Exit codes mirror amopt: 0 all jobs ok; 1 usage or I/O error; 2 at
+// least one job failed to parse or errored; 3 at least one pass rolled
+// back; 4 at least one job exhausted a resource budget (2 > 4 > 3 when
+// mixed).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/RandomProgram.h"
+#include "ir/InstrNumbering.h"
+#include "ir/Printer.h"
+#include "parser/Parser.h"
+#include "report/FleetReport.h"
+#include "support/Aggregate.h"
+#include "support/ArgParser.h"
+#include "support/EventLog.h"
+#include "support/Profiler.h"
+#include "support/Remarks.h"
+#include "support/Stats.h"
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
+#include "transform/Pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace am;
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ambatch [--passes=p1,...] [--unguarded] [--limits=k=v,...]\n"
+      "               [--threads=N|max] [--gen=N[:seed]] [--gen-stmts=N]\n"
+      "               [--events=F.jsonl] [--aggregate=F.json] "
+      "[--report=F.html]\n"
+      "               [--top=K] [--quiet] [FILE|DIR ...]\n"
+      "       ambatch --from=run.jsonl [--aggregate=F] [--report=F]\n"
+      "       ambatch --diff=A.jsonl,B.jsonl [--report=F.html]\n"
+      "\n"
+      "Runs every corpus program through the (default guarded) pipeline "
+      "on a job\n"
+      "thread pool, one telemetry session per job, and writes fleet "
+      "telemetry:\n"
+      "a streaming amevents-v1 JSONL log, a deterministic amagg-v1 "
+      "aggregate\n"
+      "(byte-identical for any --threads), and an HTML dashboard.  DIR "
+      "arguments\n"
+      "add every *.am file inside; --gen adds seeded random programs.\n"
+      "Exit codes: 0 all ok, 1 usage/io, 2 parse/job error, 3 rollbacks, "
+      "4 limits.\n");
+  return 1;
+}
+
+struct JobSpec {
+  uint64_t Index = 0;
+  std::string Name;   // file stem or gen:<seed>
+  std::string Preset; // directory basename, "file", or "gen"
+  std::string Path;   // empty for generated jobs
+  uint64_t Seed = 0;
+  unsigned GenStmts = 40;
+};
+
+struct BatchConfig {
+  std::string PassSpec = "uniform";
+  bool Guarded = true;
+  PipelineLimits Limits;
+};
+
+/// Runs one job under its own telemetry session and fills the event
+/// record.  \p Diags receives attributable diagnostics ("[name hash]
+/// pass rolled back: ...") for the caller to print.
+fleet::JobEvent runJob(const JobSpec &Spec, const BatchConfig &Cfg,
+                       std::vector<std::string> &Diags) {
+  fleet::JobEvent E;
+  E.Index = Spec.Index;
+  E.Name = Spec.Name;
+  E.Preset = Spec.Preset;
+
+  telemetry::Session Job;
+  telemetry::SessionScope Scope(Job);
+  Job.profiler().setEnabled(true);
+  Job.remarks().setEnabled(true);
+
+  auto T0 = std::chrono::steady_clock::now();
+  auto Finish = [&] {
+    E.WallNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+    E.Counters = Job.stats().counterEntries();
+    const prof::Profiler &P = Job.profiler();
+    for (uint32_t Child : P.node(prof::Profiler::RootId).Children)
+      E.Phases.emplace_back(P.node(Child).Name, P.node(Child).WallNs);
+    static const remarks::Kind AllKinds[] = {
+        remarks::Kind::Decompose,   remarks::Kind::Hoist,
+        remarks::Kind::Eliminate,   remarks::Kind::SinkInit,
+        remarks::Kind::DeleteInit,  remarks::Kind::Reconstruct,
+        remarks::Kind::Blocked,     remarks::Kind::Rollback};
+    for (remarks::Kind K : AllKinds)
+      if (uint64_t N = Job.remarks().countKind(K))
+        E.RemarkKinds.emplace_back(remarks::kindName(K), N);
+  };
+
+  FlowGraph G;
+  {
+    AM_PROF_SCOPE("parse");
+    if (Spec.Path.empty()) {
+      GenOptions GOpts;
+      GOpts.TargetStmts = Spec.GenStmts;
+      G = generateStructuredProgram(Spec.Seed, GOpts);
+    } else {
+      std::ifstream In(Spec.Path);
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      if (!In.good() && !In.eof()) {
+        E.Status = "error";
+        E.Error = "cannot read '" + Spec.Path + "'";
+        Diags.push_back("[" + Spec.Name + "] " + E.Error);
+        Finish();
+        return E;
+      }
+      ParseResult R = parseProgram(Buf.str());
+      if (!R.ok()) {
+        E.Status = "error";
+        E.Error = R.Error;
+        Diags.push_back("[" + Spec.Name + "] parse error: " + R.Error);
+        Finish();
+        return E;
+      }
+      G = std::move(R.Graph);
+    }
+  }
+  E.Hash = fleet::hex16(fleet::fnv1a64(printGraph(G)));
+  E.BlocksBefore = G.numBlocks();
+  E.InstrsBefore = G.numInstrs();
+  ensureInstrIds(G);
+
+  PipelineOptions POpts;
+  POpts.Guarded = Cfg.Guarded;
+  POpts.Limits = Cfg.Limits;
+  POpts.Telemetry = &Job;
+  // POpts.Threads stays 0: the job inherits the process policy, pinned
+  // to 1 worker so per-job solves run inline on this job's thread.
+  PipelineResult R = runPipeline(G, Cfg.PassSpec, POpts);
+
+  std::string Tag = "[" + Spec.Name + " " + E.Hash.substr(0, 8) + "]";
+  E.Rollbacks = R.RollbackCount;
+  E.LimitsHit = R.LimitsExhausted;
+  if (!R.ok() && !R.LimitsExhausted) {
+    E.Status = "error";
+    E.Error = R.Diag.empty() ? R.Error : R.Diag.render();
+    Diags.push_back(Tag + " pipeline error: " + E.Error);
+  } else if (R.LimitsExhausted) {
+    E.Status = "limits";
+    Diags.push_back(Tag + " " + R.Diag.render());
+  } else if (R.RollbackCount != 0) {
+    E.Status = "rolled_back";
+    for (const PassRecord &Rec : R.Records)
+      if (Rec.Status == PassStatus::RolledBack)
+        Diags.push_back(Tag + " pass '" + Rec.Name +
+                        "' rolled back: " + Rec.Violation);
+  } else {
+    E.Status = "ok";
+  }
+  E.BlocksAfter = R.Graph.numBlocks();
+  E.InstrsAfter = R.Graph.numInstrs();
+  Finish();
+  return E;
+}
+
+fleet::Aggregate aggregateInOrder(const std::vector<fleet::JobEvent> &Events) {
+  // Merge in job-index order at the barrier — never completion order —
+  // so the aggregate JSON is byte-identical for any thread count.
+  fleet::Aggregate Agg;
+  for (const fleet::JobEvent &E : Events)
+    Agg.addJob(E);
+  return Agg;
+}
+
+bool writeAggregateFile(const std::string &Path, const fleet::Aggregate &Agg) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Agg.writeJson(Out);
+  Out << '\n';
+  return Out.good();
+}
+
+bool writeTextFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << Text;
+  return Out.good();
+}
+
+int runDiff(const std::string &DiffSpec, const std::string &ReportPath,
+            bool Quiet) {
+  size_t Comma = DiffSpec.find(',');
+  if (Comma == std::string::npos || Comma == 0 ||
+      Comma + 1 == DiffSpec.size()) {
+    std::fprintf(stderr, "ambatch: --diff needs two files: A.jsonl,B.jsonl\n");
+    return usage();
+  }
+  std::string PathA = DiffSpec.substr(0, Comma);
+  std::string PathB = DiffSpec.substr(Comma + 1);
+  fleet::EventLogFile A, B;
+  std::string Err;
+  if (!fleet::readEventLogFile(PathA, A, &Err) ||
+      !fleet::readEventLogFile(PathB, B, &Err)) {
+    std::fprintf(stderr, "ambatch: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!Quiet)
+    for (const fleet::EventLogFile *L : {&A, &B})
+      for (const std::string &W : L->Warnings)
+        std::fprintf(stderr, "ambatch: warning: %s\n", W.c_str());
+
+  fleet::Aggregate AggA, AggB;
+  for (const fleet::JobEvent &E : A.Events)
+    AggA.addJob(E);
+  for (const fleet::JobEvent &E : B.Events)
+    AggB.addJob(E);
+  std::vector<fleet::DiffRow> Rows = fleet::diffAggregates(AggA, AggB);
+
+  std::printf("# corpus diff: A=%s (%zu jobs)  B=%s (%zu jobs)\n",
+              PathA.c_str(), A.Events.size(), PathB.c_str(), B.Events.size());
+  std::printf("%-28s %14s %14s %12s %9s\n", "counter", "mean A", "mean B",
+              "delta", "rel");
+  for (const fleet::DiffRow &R : Rows) {
+    if (R.Delta == 0.0)
+      continue;
+    char Rel[24];
+    if (std::abs(R.RelDelta) >= 1e9)
+      std::snprintf(Rel, sizeof(Rel), "%s", R.RelDelta > 0 ? "new" : "gone");
+    else
+      std::snprintf(Rel, sizeof(Rel), "%+.1f%%", R.RelDelta * 100.0);
+    std::printf("%-28s %14.2f %14.2f %+12.2f %9s\n", R.Counter.c_str(),
+                R.MeanA, R.MeanB, R.Delta, Rel);
+  }
+
+  if (!ReportPath.empty()) {
+    if (!writeTextFile(ReportPath,
+                       report::renderFleetDiff(A, B, PathA, PathB))) {
+      std::fprintf(stderr, "ambatch: cannot write report '%s'\n",
+                   ReportPath.c_str());
+      return 1;
+    }
+    if (!Quiet)
+      std::fprintf(stderr, "ambatch: diff report written to %s\n",
+                   ReportPath.c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Passes = "uniform";
+  std::string LimitsSpec, ThreadSpec, GenSpec, EventsPath, AggregatePath;
+  std::string ReportPath, FromPath, DiffSpec, TopSpec, GenStmtsSpec;
+  bool Unguarded = false, Quiet = false;
+
+  support::ArgParser Parser(
+      "ambatch",
+      "Drives a corpus of programs (files, directories of *.am, seeded\n"
+      "random programs) through guarded pipelines on a thread pool and\n"
+      "emits fleet telemetry: streaming events, deterministic aggregates,\n"
+      "an HTML dashboard, and corpus-to-corpus diffs.");
+  Parser.option("--passes", Passes, "pass pipeline for every job", "p1,p2,...");
+  Parser.flag("--unguarded", Unguarded,
+              "run the plain pipeline (default is guarded with rollback)");
+  Parser.option("--limits", LimitsSpec, "per-job resource budgets",
+                "am-rounds=N,growth=F,sweeps=N,wall-ms=F");
+  Parser.option("--threads", ThreadSpec,
+                "job-level worker threads (events/aggregate identical for "
+                "every value)",
+                "N|max");
+  Parser.option("--gen", GenSpec, "add N seeded random programs", "N[:seed]");
+  Parser.option("--gen-stmts", GenStmtsSpec,
+                "target statements per generated program (default 40)", "N");
+  Parser.option("--events", EventsPath,
+                "write amevents-v1 JSONL, one flushed record per job",
+                "F.jsonl");
+  Parser.option("--aggregate", AggregatePath,
+                "write the deterministic amagg-v1 cross-job aggregate",
+                "F.json");
+  Parser.option("--report", ReportPath,
+                "write the self-contained HTML fleet dashboard", "F.html");
+  Parser.option("--from", FromPath,
+                "load an existing event log instead of running jobs",
+                "run.jsonl");
+  Parser.option("--diff", DiffSpec,
+                "compare two event logs per counter, ranked by magnitude",
+                "A.jsonl,B.jsonl");
+  Parser.option("--top", TopSpec, "rows in the top-K dashboard tables", "K");
+  Parser.flag("--quiet", Quiet,
+              "suppress informational stderr (diagnostics and errors stay)");
+  if (!Parser.parse(argc, argv)) {
+    std::fprintf(stderr, "ambatch: %s\n", Parser.error().c_str());
+    return usage();
+  }
+  if (Parser.helpRequested()) {
+    std::fputs(Parser.helpText().c_str(), stdout);
+    return 0;
+  }
+
+  unsigned TopK = 10;
+  if (!TopSpec.empty()) {
+    char *End = nullptr;
+    long V = std::strtol(TopSpec.c_str(), &End, 10);
+    if (!End || *End != '\0' || V <= 0) {
+      std::fprintf(stderr, "ambatch: bad --top '%s'\n", TopSpec.c_str());
+      return usage();
+    }
+    TopK = static_cast<unsigned>(V);
+  }
+
+  if (!DiffSpec.empty())
+    return runDiff(DiffSpec, ReportPath, Quiet);
+
+  if (!FromPath.empty()) {
+    fleet::EventLogFile Log;
+    std::string Err;
+    if (!fleet::readEventLogFile(FromPath, Log, &Err)) {
+      std::fprintf(stderr, "ambatch: %s\n", Err.c_str());
+      return 1;
+    }
+    for (const std::string &W : Log.Warnings)
+      std::fprintf(stderr, "ambatch: warning: %s\n", W.c_str());
+    fleet::Aggregate Agg = aggregateInOrder(Log.Events);
+    if (!AggregatePath.empty() && !writeAggregateFile(AggregatePath, Agg)) {
+      std::fprintf(stderr, "ambatch: cannot write aggregate '%s'\n",
+                   AggregatePath.c_str());
+      return 1;
+    }
+    if (!ReportPath.empty()) {
+      report::FleetReportOptions ROpts;
+      ROpts.Title = "ambatch · " + Log.Passes;
+      ROpts.TopK = TopK;
+      if (!writeTextFile(ReportPath,
+                         report::renderFleetDashboard(Log, Agg, ROpts))) {
+        std::fprintf(stderr, "ambatch: cannot write report '%s'\n",
+                     ReportPath.c_str());
+        return 1;
+      }
+    }
+    if (!Quiet)
+      std::fprintf(stderr, "ambatch: loaded %zu events from %s\n",
+                   Log.Events.size(), FromPath.c_str());
+    return 0;
+  }
+
+  BatchConfig Cfg;
+  Cfg.PassSpec = Passes;
+  Cfg.Guarded = !Unguarded;
+  {
+    diag::Expected<std::vector<std::string>> Spec = parsePassSpec(Passes);
+    if (!Spec.ok()) {
+      std::fprintf(stderr, "ambatch: %s\n", Spec.diagnostic().render().c_str());
+      return usage();
+    }
+  }
+  if (!LimitsSpec.empty()) {
+    diag::Expected<PipelineLimits> L = parseLimitsSpec(LimitsSpec);
+    if (!L.ok()) {
+      std::fprintf(stderr, "ambatch: %s\n", L.diagnostic().render().c_str());
+      return usage();
+    }
+    Cfg.Limits = *L;
+  }
+
+  unsigned JobThreads = 1;
+  if (!ThreadSpec.empty()) {
+    std::string ThreadsErr;
+    JobThreads = threads::parseThreadSpec(ThreadSpec, &ThreadsErr);
+    if (JobThreads == 0) {
+      std::fprintf(stderr, "ambatch: --threads: %s\n", ThreadsErr.c_str());
+      return usage();
+    }
+  }
+
+  // Assemble the corpus: positional files/dirs first (name-sorted per
+  // directory), then generated programs.  Index order IS the aggregate
+  // merge order, so it must not depend on anything but the command line.
+  std::vector<JobSpec> Specs;
+  for (const std::string &Arg : Parser.positional()) {
+    std::error_code Ec;
+    if (fs::is_directory(Arg, Ec)) {
+      std::vector<fs::path> Files;
+      for (const auto &Entry : fs::directory_iterator(Arg, Ec))
+        if (Entry.is_regular_file() && Entry.path().extension() == ".am")
+          Files.push_back(Entry.path());
+      std::sort(Files.begin(), Files.end());
+      std::string Preset = fs::path(Arg).filename().string();
+      if (Preset.empty())
+        Preset = fs::path(Arg).parent_path().filename().string();
+      for (const fs::path &F : Files) {
+        JobSpec S;
+        S.Name = F.stem().string();
+        S.Preset = Preset;
+        S.Path = F.string();
+        Specs.push_back(std::move(S));
+      }
+    } else if (fs::is_regular_file(Arg, Ec)) {
+      JobSpec S;
+      S.Name = fs::path(Arg).stem().string();
+      S.Preset = "file";
+      S.Path = Arg;
+      Specs.push_back(std::move(S));
+    } else {
+      std::fprintf(stderr, "ambatch: no such file or directory: '%s'\n",
+                   Arg.c_str());
+      return 1;
+    }
+  }
+  if (!GenSpec.empty()) {
+    unsigned GenStmts = 40;
+    if (!GenStmtsSpec.empty()) {
+      char *End = nullptr;
+      long V = std::strtol(GenStmtsSpec.c_str(), &End, 10);
+      if (!End || *End != '\0' || V <= 0) {
+        std::fprintf(stderr, "ambatch: bad --gen-stmts '%s'\n",
+                     GenStmtsSpec.c_str());
+        return usage();
+      }
+      GenStmts = static_cast<unsigned>(V);
+    }
+    uint64_t Count = 0, Seed0 = 1;
+    size_t Colon = GenSpec.find(':');
+    try {
+      Count = std::stoull(GenSpec.substr(0, Colon));
+      if (Colon != std::string::npos)
+        Seed0 = std::stoull(GenSpec.substr(Colon + 1));
+    } catch (...) {
+      Count = 0;
+    }
+    if (Count == 0) {
+      std::fprintf(stderr, "ambatch: bad --gen '%s'\n", GenSpec.c_str());
+      return usage();
+    }
+    for (uint64_t I = 0; I < Count; ++I) {
+      JobSpec S;
+      S.Seed = Seed0 + I;
+      S.Name = "gen:" + std::to_string(S.Seed);
+      S.Preset = "gen";
+      S.GenStmts = GenStmts;
+      Specs.push_back(std::move(S));
+    }
+  }
+  if (Specs.empty()) {
+    std::fprintf(stderr, "ambatch: empty corpus (no FILE/DIR and no --gen)\n");
+    return usage();
+  }
+  for (uint64_t I = 0; I < Specs.size(); ++I)
+    Specs[I].Index = I;
+
+  // Job-level parallelism only: per-job solves run inline on their
+  // worker.  A job submitting into the same pool it runs on would
+  // deadlock, and runPipeline with Threads!=0 would mutate this global —
+  // which is why jobs inherit the pinned policy instead.
+  threads::setGlobalThreadCount(1);
+
+  std::optional<std::ofstream> EventsOut;
+  std::optional<fleet::EventLogWriter> Writer;
+  if (!EventsPath.empty()) {
+    EventsOut.emplace(EventsPath, std::ios::binary);
+    if (!*EventsOut) {
+      std::fprintf(stderr, "ambatch: cannot write events '%s'\n",
+                   EventsPath.c_str());
+      return 1;
+    }
+    Writer.emplace(*EventsOut);
+    Writer->writeHeader(Cfg.PassSpec, Specs.size());
+  }
+
+  if (!Quiet)
+    std::fprintf(stderr,
+                 "ambatch: %zu jobs, %u thread(s), passes=%s%s\n",
+                 Specs.size(), JobThreads, Cfg.PassSpec.c_str(),
+                 Cfg.Guarded ? " (guarded)" : "");
+
+  std::vector<fleet::JobEvent> Events(Specs.size());
+  std::mutex DiagMu;
+  auto Batch0 = std::chrono::steady_clock::now();
+  {
+    threads::ThreadPool Pool(JobThreads);
+    std::vector<std::future<void>> Futures;
+    Futures.reserve(Specs.size());
+    for (const JobSpec &Spec : Specs)
+      Futures.push_back(Pool.submit([&Spec, &Cfg, &Events, &Writer, &DiagMu,
+                                     Quiet] {
+        std::vector<std::string> Diags;
+        try {
+          Events[Spec.Index] = runJob(Spec, Cfg, Diags);
+        } catch (const std::exception &Ex) {
+          Events[Spec.Index].Index = Spec.Index;
+          Events[Spec.Index].Name = Spec.Name;
+          Events[Spec.Index].Preset = Spec.Preset;
+          Events[Spec.Index].Status = "error";
+          Events[Spec.Index].Error = Ex.what();
+          Diags.push_back("[" + Spec.Name + "] exception: " + Ex.what());
+        }
+        if (Writer)
+          Writer->append(Events[Spec.Index]); // streaming: completion order
+        if (!Quiet && !Diags.empty()) {
+          std::lock_guard<std::mutex> Lock(DiagMu);
+          for (const std::string &D : Diags)
+            std::fprintf(stderr, "ambatch: %s\n", D.c_str());
+        }
+      }));
+    for (std::future<void> &F : Futures)
+      F.get();
+  }
+  uint64_t RunWallNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Batch0)
+          .count());
+
+  fleet::Aggregate Agg = aggregateInOrder(Events);
+
+  uint64_t NumOk = 0, NumRolledBack = 0, NumLimits = 0, NumError = 0;
+  for (const fleet::JobEvent &E : Events) {
+    if (E.Status == "ok")
+      ++NumOk;
+    else if (E.Status == "rolled_back")
+      ++NumRolledBack;
+    else if (E.Status == "limits")
+      ++NumLimits;
+    else
+      ++NumError;
+  }
+  if (!Quiet) {
+    double Secs = static_cast<double>(RunWallNs) / 1e9;
+    std::fprintf(stderr,
+                 "ambatch: %zu jobs in %.2fs (%.1f programs/s wall-clock, "
+                 "%u thread(s)): %llu ok, %llu rolled back, %llu limits, "
+                 "%llu errors\n",
+                 Events.size(), Secs,
+                 Secs > 0 ? static_cast<double>(Events.size()) / Secs : 0.0,
+                 JobThreads, (unsigned long long)NumOk,
+                 (unsigned long long)NumRolledBack,
+                 (unsigned long long)NumLimits, (unsigned long long)NumError);
+  }
+
+  if (!AggregatePath.empty() && !writeAggregateFile(AggregatePath, Agg)) {
+    std::fprintf(stderr, "ambatch: cannot write aggregate '%s'\n",
+                 AggregatePath.c_str());
+    return 1;
+  }
+  if (!ReportPath.empty()) {
+    fleet::EventLogFile Log;
+    Log.Schema = "amevents-v1";
+    Log.Passes = Cfg.PassSpec;
+    Log.JobsDeclared = Events.size();
+    Log.Events = Events;
+    report::FleetReportOptions ROpts;
+    ROpts.Title = "ambatch · " + Cfg.PassSpec;
+    ROpts.TopK = TopK;
+    ROpts.RunWallNs = RunWallNs;
+    ROpts.Threads = JobThreads;
+    if (!writeTextFile(ReportPath,
+                       report::renderFleetDashboard(Log, Agg, ROpts))) {
+      std::fprintf(stderr, "ambatch: cannot write report '%s'\n",
+                   ReportPath.c_str());
+      return 1;
+    }
+    if (!Quiet)
+      std::fprintf(stderr, "ambatch: dashboard written to %s\n",
+                   ReportPath.c_str());
+  }
+
+  if (NumError)
+    return 2;
+  if (NumLimits)
+    return 4;
+  if (NumRolledBack)
+    return 3;
+  return 0;
+}

@@ -37,6 +37,7 @@
 #include "interp/Interpreter.h"
 #include "ir/FlowGraph.h"
 #include "ir/Patterns.h"
+#include "parser/Parser.h"
 #include "support/ArgParser.h"
 #include "support/Json.h"
 #include "support/Telemetry.h"
@@ -52,9 +53,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -358,6 +361,70 @@ std::vector<Preset> buildPresets() {
               static_cast<int64_t>((Run * 7 + V) % 19) - 9;
         ExecResult R = Interpreter::execute(*G, In, Run, Opts);
         Acc += R.Stats.ExprEvaluations;
+      }
+      return Acc;
+    };
+    Out.push_back(std::move(P));
+  }
+
+  {
+    // The ambatch workload as a bench preset: every example program
+    // through the guarded uniform pipeline, one fresh telemetry session
+    // per program per rep (exactly one ambatch job).  wall_ns / programs
+    // is the per-program cost behind the dashboard's throughput tile, so
+    // the CI trend gate covers batch throughput too.  The corpus is found
+    // by searching upward from the working directory (the build tree in
+    // CI); when absent, seeded generated stand-ins of similar size keep
+    // the preset present and deterministic, with work.parsed = 0 making
+    // the substitution visible in the document.
+    Preset P;
+    P.Name = "batch/examples-throughput";
+    auto Corpus = std::make_shared<std::vector<FlowGraph>>();
+    P.Setup = [Corpus] {
+      namespace fs = std::filesystem;
+      uint64_t Parsed = 0, TotalInstrs = 0;
+      std::string Prefix;
+      for (int Depth = 0; Depth < 5 && Corpus->empty();
+           ++Depth, Prefix += "../") {
+        std::error_code Ec;
+        fs::path Dir = Prefix + "examples/programs";
+        if (!fs::is_directory(Dir, Ec))
+          continue;
+        std::vector<fs::path> Files;
+        for (const auto &Entry : fs::directory_iterator(Dir, Ec))
+          if (Entry.is_regular_file() && Entry.path().extension() == ".am")
+            Files.push_back(Entry.path());
+        std::sort(Files.begin(), Files.end());
+        for (const fs::path &F : Files) {
+          std::ifstream In(F);
+          std::ostringstream Buf;
+          Buf << In.rdbuf();
+          ParseResult R = parseProgram(Buf.str());
+          if (R.ok())
+            Corpus->push_back(std::move(R.Graph));
+        }
+        Parsed = Corpus->size();
+      }
+      if (Corpus->empty())
+        for (uint64_t Seed = 101; Seed <= 105; ++Seed) {
+          GenOptions Opts;
+          Opts.TargetStmts = 24;
+          Corpus->push_back(generateStructuredProgram(Seed, Opts));
+        }
+      for (const FlowGraph &G : *Corpus)
+        TotalInstrs += instrCount(G);
+      return WorkFacts{{"programs", Corpus->size()},
+                       {"parsed", Parsed},
+                       {"instrs_in", TotalInstrs}};
+    };
+    P.Body = [Corpus] {
+      uint64_t Acc = 0;
+      for (const FlowGraph &G : *Corpus) {
+        telemetry::Session S;
+        PipelineOptions Opts;
+        Opts.Guarded = true;
+        Opts.Telemetry = &S;
+        Acc += instrCount(runPipeline(G, "uniform", Opts).Graph);
       }
       return Acc;
     };

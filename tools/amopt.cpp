@@ -86,6 +86,7 @@
 #include "report/HtmlReport.h"
 #include "report/Recorder.h"
 #include "support/ArgParser.h"
+#include "support/EventLog.h"
 #include "support/Json.h"
 #include "support/Profiler.h"
 #include "support/Remarks.h"
@@ -236,7 +237,7 @@ int main(int argc, char **argv) {
   std::string ThreadSpec;
   bool EmitDot = false, EmitStats = false, Verify = false;
   bool EmitRemarks = false, VerifyRemarks = false;
-  bool Guarded = false, VerifyIR = false;
+  bool Guarded = false, VerifyIR = false, Quiet = false;
 
   support::ArgParser Parser(
       "amopt",
@@ -298,6 +299,9 @@ int main(int argc, char **argv) {
                 "worker threads for the dataflow solves (output is "
                 "identical for every value; default AM_THREADS or 1)",
                 "N|max");
+  Parser.flag("--quiet", Quiet,
+              "suppress informational stderr notes (errors, rollback and "
+              "verification diagnostics stay)");
   if (!Parser.parse(argc, argv)) {
     std::fprintf(stderr, "amopt: %s\n", Parser.error().c_str());
     return usage();
@@ -458,9 +462,10 @@ int main(int argc, char **argv) {
       }
       Input = std::move(R.Graph);
     } else {
-      std::fprintf(
-          stderr,
-          "amopt: no input; optimizing the paper's running example\n");
+      if (!Quiet)
+        std::fprintf(
+            stderr,
+            "amopt: no input; optimizing the paper's running example\n");
       Input = figure4();
     }
   }
@@ -549,11 +554,18 @@ int main(int argc, char **argv) {
     }
     if (LimitsExhausted)
       std::fprintf(stderr, "amopt: %s\n", R.Diag.render().c_str());
-    if (!(EmitStats && StatsJson))
+    if (!(EmitStats && StatsJson)) {
+      // Rollback diagnostics name the program (file + content hash) so
+      // they stay attributable when many jobs share one stderr — the same
+      // "[name hash]" prefix ambatch uses for its per-job diagnostics.
+      std::string Tag =
+          "[" + (File.empty() ? std::string("<stdin>") : File) + " " +
+          fleet::hex16(fleet::fnv1a64(printGraph(Input))).substr(0, 8) + "]";
       for (const PassRecord &Rec : Records)
         if (Rec.Status == PassStatus::RolledBack)
-          std::fprintf(stderr, "amopt: pass '%s' rolled back: %s\n",
-                       Rec.Name.c_str(), Rec.Violation.c_str());
+          std::fprintf(stderr, "amopt: %s pass '%s' rolled back: %s\n",
+                       Tag.c_str(), Rec.Name.c_str(), Rec.Violation.c_str());
+    }
     if (EmitStats && !StatsJson)
       for (const std::string &Line : R.Log)
         std::fprintf(stderr, "amopt: %s\n", Line.c_str());
@@ -593,7 +605,7 @@ int main(int argc, char **argv) {
     }
     // Keep stderr pure JSON under --stats=json so it can be piped
     // straight into tooling.
-    if (!(EmitStats && StatsJson))
+    if (!Quiet && !(EmitStats && StatsJson))
       std::fprintf(stderr,
                    "amopt: trace written to %s (open in about:tracing or "
                    "ui.perfetto.dev)\n",
@@ -624,7 +636,7 @@ int main(int argc, char **argv) {
       return 3;
     // Under --stats=json the result is reported inside the JSON object
     // instead, keeping stderr machine-readable.
-    if (!(EmitStats && StatsJson))
+    if (!Quiet && !(EmitStats && StatsJson))
       std::fprintf(stderr,
                    "amopt: verify OK (16 rounds, identical observable "
                    "behaviour)\n");
@@ -674,7 +686,7 @@ int main(int argc, char **argv) {
       return 1;
     }
     Out << report::renderHtmlReport(Recorder, Meta);
-    if (!(EmitStats && StatsJson))
+    if (!Quiet && !(EmitStats && StatsJson))
       std::fprintf(stderr, "amopt: report written to %s\n",
                    ReportPath.c_str());
   }
@@ -684,7 +696,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "amopt: REMARK VERIFY FAILED: %s\n", Line.c_str());
     if (!RemarkReport.ok())
       return 3;
-    if (!(EmitStats && StatsJson))
+    if (!Quiet && !(EmitStats && StatsJson))
       std::fprintf(stderr,
                    "amopt: remark verify OK (%u remarks replayed against "
                    "fresh analyses)\n",
@@ -735,7 +747,8 @@ int main(int argc, char **argv) {
     std::fputs(Reg.str().c_str(), stderr);
   }
 
-  if (Injecting && Injector.firedCount() == 0 && !(EmitStats && StatsJson))
+  if (Injecting && Injector.firedCount() == 0 && !Quiet &&
+      !(EmitStats && StatsJson))
     std::fprintf(stderr,
                  "amopt: note: injected fault '%s' never fired (no "
                  "opportunity in this run)\n",
@@ -754,7 +767,7 @@ int main(int argc, char **argv) {
                    ProfilePath.c_str());
       return false;
     }
-    if (!(EmitStats && StatsJson))
+    if (!Quiet && !(EmitStats && StatsJson))
       std::fprintf(stderr, "amopt: profile written to %s\n",
                    ProfilePath.c_str());
     return true;
