@@ -306,6 +306,11 @@ std::string report::renderFleetDashboard(const EventLogFile &Log,
                std::to_string(Opts.Threads) + " worker thread(s)");
   }
   appendStatusTiles(Out, Agg.statuses());
+  // Reader data loss belongs in the status strip, not just the subtitle:
+  // a corpus missing records must not read as a smaller healthy corpus.
+  if (Agg.skippedLines())
+    appendTile(Out, "skipped lines", std::to_string(Agg.skippedLines()),
+               "event-log records lost");
   Out += "</div>";
 
   html::appendTag(Out, "h2", "Per-preset throughput");

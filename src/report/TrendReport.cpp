@@ -1,0 +1,477 @@
+//===- report/TrendReport.cpp - Longitudinal trend dashboard -------------===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/TrendReport.h"
+#include "support/History.h"
+#include "support/Html.h"
+#include "support/Trend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
+
+using namespace am;
+using namespace am::report;
+using trend::Series;
+using trend::SeriesKind;
+using trend::SeriesStatus;
+using trend::SeriesVerdict;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Style: the fleet dashboard's role tokens plus sparkline / heat-strip
+// marks.  Statuses always carry their text label; color only reinforces.
+//===----------------------------------------------------------------------===//
+
+const char *TrendCss = R"css(
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --good: #0ca30c; --warn: #fab219; --serious: #ec835a; --critical: #d03b3b;
+  --delta-up: #b42a2a; --delta-down: #006300;
+  --heat: 42,120,214;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --delta-up: #e66767; --delta-down: #0ca30c;
+    --heat: 57,135,229;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 2px; }
+h2 { font-size: 15px; margin: 28px 0 10px; }
+.sub { color: var(--ink-2); margin: 0 0 18px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 14px 16px;
+}
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile { min-width: 130px; }
+.tile .label { color: var(--ink-2); font-size: 12px; }
+.tile .value { font-size: 26px; font-weight: 600; }
+.tile .note { color: var(--ink-muted); font-size: 12px; }
+.hero .value { font-size: 48px; }
+.status-dot {
+  display: inline-block; width: 9px; height: 9px; border-radius: 50%;
+  margin-right: 6px; vertical-align: 1px;
+}
+table { border-collapse: collapse; width: 100%; }
+th, td {
+  text-align: left; padding: 5px 10px 5px 0;
+  border-bottom: 1px solid var(--grid); vertical-align: baseline;
+}
+th { color: var(--ink-2); font-weight: 500; font-size: 12px; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+td.mono { font-family: ui-monospace, monospace; font-size: 12px;
+          color: var(--ink-2); }
+.delta-up { color: var(--delta-up); }
+.delta-down { color: var(--delta-down); }
+.muted { color: var(--ink-muted); }
+.charts { display: flex; flex-wrap: wrap; gap: 16px; }
+.chart-title { font-size: 13px; color: var(--ink-2); margin-bottom: 4px; }
+.chart-note { font-size: 11px; color: var(--ink-muted); }
+svg text { fill: var(--ink-muted); font: 10px system-ui, sans-serif; }
+svg .cap { fill: var(--ink-2); }
+svg .line { fill: none; stroke: var(--series-1); stroke-width: 1.5; }
+svg .base { stroke: var(--baseline); stroke-width: 1; }
+svg .cpmark { stroke: var(--critical); stroke-width: 1; stroke-dasharray: 3 2; }
+svg .cpdot { fill: var(--critical); }
+.heat td.cell { padding: 2px; }
+.heat .swatch {
+  display: block; width: 14px; height: 14px; border-radius: 3px;
+}
+)css";
+
+std::string fmtVal(double V) {
+  char Buf[48];
+  double A = std::fabs(V);
+  if (A >= 1e6)
+    std::snprintf(Buf, sizeof(Buf), "%.3g", V);
+  else if (A >= 100)
+    std::snprintf(Buf, sizeof(Buf), "%.0f", V);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+  return Buf;
+}
+
+std::string fmtUtc(uint64_t UnixMs) {
+  std::time_t Secs = static_cast<std::time_t>(UnixMs / 1000);
+  std::tm Tm = {};
+#if defined(_WIN32)
+  gmtime_s(&Tm, &Secs);
+#else
+  gmtime_r(&Secs, &Tm);
+#endif
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%04d-%02d-%02d %02d:%02d",
+                Tm.tm_year + 1900, Tm.tm_mon + 1, Tm.tm_mday, Tm.tm_hour,
+                Tm.tm_min);
+  return Buf;
+}
+
+std::string shortSha(const std::string &Sha) {
+  return Sha.size() > 8 ? Sha.substr(0, 8) : Sha;
+}
+
+const char *statusVar(SeriesStatus S) {
+  switch (S) {
+  case SeriesStatus::Regressed:
+    return "var(--critical)";
+  case SeriesStatus::Step:
+    return "var(--serious)";
+  case SeriesStatus::Drifting:
+    return "var(--warn)";
+  case SeriesStatus::Improved:
+    return "var(--good)";
+  case SeriesStatus::Flat:
+    return "var(--baseline)";
+  }
+  return "var(--baseline)";
+}
+
+void appendTile(std::string &Out, const std::string &Label,
+                const std::string &Value, const std::string &Note,
+                bool Hero = false) {
+  Out += Hero ? "<div class=\"card tile hero\">" : "<div class=\"card tile\">";
+  html::appendTag(Out, "div", Label, "label");
+  html::appendTag(Out, "div", Value, "value");
+  if (!Note.empty())
+    html::appendTag(Out, "div", Note, "note");
+  Out += "</div>";
+}
+
+/// A sparkline over \p V with an optional changepoint marker: the data
+/// polyline, min/max captions, and — when found — a dashed vertical
+/// line at the step with a dot on the first new-level point.
+void appendSparklineSvg(std::string &Out, const std::vector<double> &V,
+                        const trend::Changepoint &CP) {
+  if (V.empty()) {
+    Out += "<div class=\"chart-note\">no points</div>";
+    return;
+  }
+  double Lo = V[0], Hi = V[0];
+  for (double X : V) {
+    Lo = std::min(Lo, X);
+    Hi = std::max(Hi, X);
+  }
+  double Span = Hi - Lo;
+  if (Span <= 0)
+    Span = std::max(std::fabs(Hi), 1.0); // flat series draw mid-height
+  double W = 240.0, H = 64.0, PadX = 4.0, PadT = 6.0, PadB = 14.0;
+  double PlotH = H - PadT - PadB;
+  auto XAt = [&](size_t I) {
+    return V.size() == 1
+               ? W / 2
+               : PadX + (W - 2 * PadX) * static_cast<double>(I) /
+                     static_cast<double>(V.size() - 1);
+  };
+  auto YAt = [&](double Val) {
+    return PadT + PlotH * (1.0 - (Val - Lo) / Span);
+  };
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "<svg width=\"%.0f\" height=\"%.0f\" role=\"img\">", W, H);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "<line class=\"base\" x1=\"0\" y1=\"%.1f\" x2=\"%.0f\" "
+                "y2=\"%.1f\"/>",
+                PadT + PlotH + 0.5, W, PadT + PlotH + 0.5);
+  Out += Buf;
+  if (CP.Found && CP.Index < V.size()) {
+    double CX = (XAt(CP.Index - 1) + XAt(CP.Index)) / 2.0;
+    std::snprintf(Buf, sizeof(Buf),
+                  "<line class=\"cpmark\" x1=\"%.1f\" y1=\"%.1f\" "
+                  "x2=\"%.1f\" y2=\"%.1f\"/>",
+                  CX, PadT, CX, PadT + PlotH);
+    Out += Buf;
+  }
+  Out += "<polyline class=\"line\" points=\"";
+  for (size_t I = 0; I < V.size(); ++I) {
+    std::snprintf(Buf, sizeof(Buf), "%s%.1f,%.1f", I ? " " : "", XAt(I),
+                  YAt(V[I]));
+    Out += Buf;
+  }
+  Out += "\"/>";
+  if (CP.Found && CP.Index < V.size()) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "<circle class=\"cpdot\" cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\">",
+                  XAt(CP.Index), YAt(V[CP.Index]));
+    Out += Buf;
+    html::appendTag(Out, "title",
+                    "changepoint: " + fmtVal(CP.Before) + " -> " +
+                        fmtVal(CP.After));
+    Out += "</circle>";
+  }
+  std::snprintf(Buf, sizeof(Buf), "<text x=\"2\" y=\"%.1f\">%s</text>",
+                H - 3.0, fmtVal(Lo).c_str());
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\">%s</text>",
+                W - 2.0, H - 3.0, fmtVal(Hi).c_str());
+  Out += Buf;
+  Out += "</svg>";
+}
+
+void appendStatusBadge(std::string &Out, SeriesStatus S) {
+  Out += "<span class=\"status-dot\" style=\"background:";
+  Out += statusVar(S);
+  Out += "\"></span>";
+  html::appendEscaped(Out, trend::statusName(S));
+}
+
+} // namespace
+
+std::string report::renderTrendDashboard(const hist::HistoryFile &H,
+                                         const trend::TrendAnalysis &A,
+                                         const TrendReportOptions &Opts) {
+  const std::vector<hist::HistoryEntry> &Entries = H.Entries;
+  std::string Out;
+  Out += "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">";
+  html::appendTag(Out, "title", Opts.Title);
+  Out += "<style>";
+  Out += TrendCss;
+  Out += "</style></head><body>";
+  html::appendTag(Out, "h1", Opts.Title);
+  {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.2f", Opts.GateFactor);
+    std::string Sub = "amhist-v1 · " + std::to_string(Entries.size()) +
+                      " entries · gate factor " + Buf + "x";
+    if (!Entries.empty())
+      Sub += " · " + shortSha(Entries.front().GitSha) + " … " +
+             shortSha(Entries.back().GitSha);
+    if (H.SkippedLines)
+      Sub += " · " + std::to_string(H.SkippedLines) + " line(s) skipped";
+    html::appendTag(Out, "p", Sub, "sub");
+  }
+
+  uint64_t NumRegressed = 0, NumImproved = 0, NumDrifting = 0, NumStep = 0;
+  for (const SeriesVerdict &V : A.Verdicts) {
+    NumRegressed += V.Status == SeriesStatus::Regressed;
+    NumImproved += V.Status == SeriesStatus::Improved;
+    NumDrifting += V.Status == SeriesStatus::Drifting;
+    NumStep += V.Status == SeriesStatus::Step;
+  }
+  Out += "<div class=\"tiles\">";
+  appendTile(Out, "runs", std::to_string(Entries.size()), "", true);
+  appendTile(Out, "series", std::to_string(A.Verdicts.size()), "");
+  appendTile(Out, "regressed", std::to_string(NumRegressed),
+             NumRegressed ? "gate fails" : "gate passes");
+  appendTile(Out, "improved", std::to_string(NumImproved), "");
+  appendTile(Out, "drifting", std::to_string(NumDrifting), "");
+  appendTile(Out, "machine events", std::to_string(uint64_t(A.CalibrationStepped)),
+             "calibration steps");
+  if (H.SkippedLines)
+    appendTile(Out, "skipped lines", std::to_string(H.SkippedLines),
+               "reader recovery");
+  Out += "</div>";
+
+  // Per-preset sparklines: normalized wall series plus the calibration
+  // series, in the analysis ranking (worst first).
+  html::appendTag(Out, "h2", "Wall-time trends (calibration-normalized)");
+  Out += "<div class=\"charts\">";
+  for (const SeriesVerdict &V : A.Verdicts) {
+    if (V.S.Kind != SeriesKind::NormalizedWall &&
+        V.S.Kind != SeriesKind::Calibration)
+      continue;
+    Out += "<div class=\"card\">";
+    std::string Title;
+    html::appendEscaped(Title, V.S.Name);
+    Out += "<div class=\"chart-title\">" + Title + " · ";
+    appendStatusBadge(Out, V.Status);
+    Out += "</div>";
+    appendSparklineSvg(Out, V.S.Values, V.CP);
+    std::string Note = std::to_string(V.S.Values.size()) + " points";
+    if (V.CP.Found) {
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf), " · %s -> %s (%.2fx) at run %zu",
+                    fmtVal(V.CP.Before).c_str(), fmtVal(V.CP.After).c_str(),
+                    V.CP.Ratio, V.CP.Index);
+      Note += Buf;
+      if (V.CP.Index < V.S.Entries.size()) {
+        size_t EI = V.S.Entries[V.CP.Index];
+        if (EI < Entries.size())
+          Note += " [" + shortSha(Entries[EI].GitSha) + "]";
+      }
+    } else if (V.Status == SeriesStatus::Drifting) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), " · drift %+.1f%% across the series",
+                    V.DriftRel * 100.0);
+      Note += Buf;
+    }
+    html::appendTag(Out, "div", Note, "chart-note");
+    Out += "</div>";
+  }
+  Out += "</div>";
+
+  // Counter heat strip: every machine-independent series across the
+  // whole history at a glance, one swatch per run, intensity by value
+  // within the series' own range.  Ranked worst-first; capped with an
+  // explicit "+N more" note, never silently.
+  html::appendTag(Out, "h2", "Counter heat strip (machine-independent)");
+  {
+    std::vector<const SeriesVerdict *> Rows;
+    for (const SeriesVerdict &V : A.Verdicts)
+      if (V.S.Kind == SeriesKind::Counter || V.S.Kind == SeriesKind::Work)
+        Rows.push_back(&V);
+    size_t Shown = std::min<size_t>(Rows.size(), Opts.MaxHeatRows);
+    Out += "<div class=\"card\"><table class=\"heat\"><tr><th>series</th>"
+           "<th>status</th>";
+    for (size_t I = 0; I < Entries.size(); ++I)
+      Out += "<th class=\"num\">" + std::to_string(I) + "</th>";
+    Out += "<th class=\"num\">last</th></tr>";
+    for (size_t R = 0; R < Shown; ++R) {
+      const SeriesVerdict &V = *Rows[R];
+      double Lo = 0, Hi = 0;
+      if (!V.S.Values.empty()) {
+        Lo = Hi = V.S.Values[0];
+        for (double X : V.S.Values) {
+          Lo = std::min(Lo, X);
+          Hi = std::max(Hi, X);
+        }
+      }
+      Out += "<tr><td>";
+      html::appendEscaped(Out, V.S.Name);
+      Out += "</td><td>";
+      appendStatusBadge(Out, V.Status);
+      Out += "</td>";
+      // One cell per run; runs the series has no point for stay blank.
+      size_t PI = 0;
+      for (size_t I = 0; I < Entries.size(); ++I) {
+        if (PI < V.S.Entries.size() && V.S.Entries[PI] == I) {
+          double Frac =
+              Hi > Lo ? (V.S.Values[PI] - Lo) / (Hi - Lo) : 0.5;
+          char Buf[128];
+          std::snprintf(Buf, sizeof(Buf),
+                        "<td class=\"cell\"><span class=\"swatch\" "
+                        "style=\"background:rgba(var(--heat),%.2f)\" "
+                        "title=\"%s\"></span></td>",
+                        0.10 + 0.75 * Frac, fmtVal(V.S.Values[PI]).c_str());
+          Out += Buf;
+          ++PI;
+        } else {
+          Out += "<td class=\"cell\"></td>";
+        }
+      }
+      Out += "<td class=\"num\">" +
+             html::escaped(V.S.Values.empty() ? std::string("-")
+                                              : fmtVal(V.S.Values.back())) +
+             "</td></tr>";
+    }
+    Out += "</table>";
+    if (Rows.size() > Shown)
+      html::appendTag(Out, "div",
+                      "(+" + std::to_string(Rows.size() - Shown) +
+                          " more series in the history file)",
+                      "chart-note");
+    Out += "</div>";
+  }
+
+  // Commit-to-commit diff: the two most recent runs, per series.
+  if (Entries.size() >= 2) {
+    size_t Last = Entries.size() - 1, Prev = Entries.size() - 2;
+    html::appendTag(Out, "h2",
+                    "Latest run vs previous (" +
+                        shortSha(Entries[Prev].GitSha) + " -> " +
+                        shortSha(Entries[Last].GitSha) + ")");
+    Out += "<div class=\"card\"><table><tr><th>series</th>"
+           "<th class=\"num\">previous</th><th class=\"num\">latest</th>"
+           "<th class=\"num\">Δ %</th></tr>";
+    for (const SeriesVerdict &V : A.Verdicts) {
+      double PrevV = 0, LastV = 0;
+      bool HasPrev = false, HasLast = false;
+      for (size_t I = 0; I < V.S.Entries.size(); ++I) {
+        if (V.S.Entries[I] == Prev) {
+          PrevV = V.S.Values[I];
+          HasPrev = true;
+        }
+        if (V.S.Entries[I] == Last) {
+          LastV = V.S.Values[I];
+          HasLast = true;
+        }
+      }
+      if (!HasPrev || !HasLast)
+        continue;
+      double Delta = LastV - PrevV;
+      Out += "<tr><td>";
+      html::appendEscaped(Out, V.S.Name);
+      Out += "</td><td class=\"num\">" + html::escaped(fmtVal(PrevV)) +
+             "</td>";
+      Out += "<td class=\"num\">" + html::escaped(fmtVal(LastV)) + "</td>";
+      Out += "<td class=\"num ";
+      Out += Delta == 0 ? "muted" : (Delta > 0 ? "delta-up" : "delta-down");
+      Out += "\">";
+      if (Delta == 0)
+        Out += "0.0%";
+      else if (PrevV != 0) {
+        char Buf[32];
+        std::snprintf(Buf, sizeof(Buf), "%+.1f%%", 100.0 * Delta / PrevV);
+        Out += Buf;
+      } else
+        Out += Delta > 0 ? "new" : "gone";
+      Out += "</td></tr>";
+    }
+    Out += "</table></div>";
+  }
+
+  // Attribution: who measured what, when, at which commit.
+  html::appendTag(Out, "h2", "Runs");
+  Out += "<div class=\"card\"><table><tr><th class=\"num\">#</th>"
+         "<th>time (UTC)</th><th>source</th><th>commit</th><th>host</th>"
+         "<th class=\"num\">solver threads</th><th class=\"num\">calib</th>"
+         "<th class=\"num\">jobs</th></tr>";
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    const hist::HistoryEntry &E = Entries[I];
+    Out += "<tr><td class=\"num\">" + std::to_string(I) + "</td>";
+    Out += "<td>" + html::escaped(fmtUtc(E.TimeUnixMs)) + "</td><td>";
+    html::appendEscaped(Out, E.Source);
+    Out += "</td><td class=\"mono\">";
+    html::appendEscaped(Out, shortSha(E.GitSha));
+    Out += "</td><td>";
+    html::appendEscaped(Out, E.Host);
+    Out += "</td><td class=\"num\">" + std::to_string(E.SolverThreads) +
+           "</td>";
+    Out += "<td class=\"num\">" +
+           html::escaped(fmtVal(static_cast<double>(E.CalibNs) / 1e6) +
+                         " ms") +
+           "</td>";
+    Out += "<td class=\"num\">" +
+           (E.HasAggregate ? std::to_string(E.AggJobs) : std::string("-")) +
+           "</td></tr>";
+  }
+  Out += "</table></div>";
+
+  if (!A.Notes.empty() || !H.Warnings.empty()) {
+    html::appendTag(Out, "h2", "Notes");
+    Out += "<div class=\"card\">";
+    for (const std::string &N : A.Notes)
+      html::appendTag(Out, "div", N, "muted");
+    for (const std::string &W : H.Warnings)
+      html::appendTag(Out, "div", W, "muted");
+    Out += "</div>";
+  }
+
+  Out += "</body></html>";
+  return Out;
+}

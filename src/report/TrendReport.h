@@ -1,0 +1,55 @@
+//===- report/TrendReport.h - Longitudinal trend dashboard -----*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the run history (support/History.h) and its trend analysis
+/// (support/Trend.h) as one self-contained HTML dashboard — the
+/// longitudinal counterpart of the per-run fleet dashboard
+/// (report/FleetReport.h): a status strip (entries, commit span,
+/// regressed / improved / drifting counts, machine events), per-preset
+/// sparklines with changepoint markers, a counter heat strip showing
+/// every machine-independent series across the whole history at a
+/// glance, and a commit-to-commit diff table of the two most recent
+/// entries.  Inline CSS and SVG only, light and dark mode from one set
+/// of role tokens, and byte-deterministic: two renders of the same
+/// history file are identical (no render-time clocks, fixed number
+/// formatting).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_REPORT_TRENDREPORT_H
+#define AM_REPORT_TRENDREPORT_H
+
+#include <string>
+
+namespace am::hist {
+struct HistoryFile;
+} // namespace am::hist
+
+namespace am::trend {
+struct TrendAnalysis;
+} // namespace am::trend
+
+namespace am::report {
+
+struct TrendReportOptions {
+  std::string Title = "run history";
+  /// Rows in the counter heat strip (the rest are summarized).
+  unsigned MaxHeatRows = 24;
+  /// The gate factor the analysis ran with, echoed in the header.
+  double GateFactor = 1.5;
+};
+
+/// The trend dashboard.  \p Analysis must be the analysis of \p H's
+/// entries in their current (chronologically sorted) order — amtrend
+/// sorts, analyzes, then renders.
+std::string renderTrendDashboard(const hist::HistoryFile &H,
+                                 const trend::TrendAnalysis &Analysis,
+                                 const TrendReportOptions &Opts);
+
+} // namespace am::report
+
+#endif // AM_REPORT_TRENDREPORT_H

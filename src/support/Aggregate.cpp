@@ -77,6 +77,7 @@ void Aggregate::addJob(const JobEvent &E) {
 
 void Aggregate::merge(const Aggregate &O) {
   Jobs += O.Jobs;
+  SkippedLines += O.SkippedLines;
   for (const auto &[S, N] : O.Statuses)
     Statuses[S] += N;
   for (const auto &[K, N] : O.RemarkKinds)
@@ -90,6 +91,7 @@ void Aggregate::writeJson(std::ostream &OS) const {
   W.beginObject();
   W.key("schema").value("amagg-v1");
   W.key("jobs").value(Jobs);
+  W.key("skipped_lines").value(SkippedLines);
 
   W.key("status").beginObject();
   for (const auto &[S, N] : Statuses)

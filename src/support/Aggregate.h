@@ -87,6 +87,13 @@ public:
   /// barrier in job-index order regardless of completion order.
   void merge(const Aggregate &O);
 
+  /// Records event-log lines the reader had to skip (partial trailing
+  /// record of a killed run, malformed interior lines).  Surfaced in the
+  /// JSON so downstream checks see data loss instead of a silently
+  /// smaller corpus.
+  void noteSkippedLines(uint64_t N) { SkippedLines += N; }
+  uint64_t skippedLines() const { return SkippedLines; }
+
   uint64_t jobs() const { return Jobs; }
   const std::map<std::string, uint64_t> &statuses() const { return Statuses; }
   const std::map<std::string, uint64_t> &remarkKinds() const {
@@ -101,6 +108,7 @@ public:
 
 private:
   uint64_t Jobs = 0;
+  uint64_t SkippedLines = 0;
   std::map<std::string, uint64_t> Statuses;
   std::map<std::string, uint64_t> RemarkKinds;
   std::map<std::string, MetricAgg> Counters;

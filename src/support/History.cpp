@@ -1,0 +1,299 @@
+//===- support/History.cpp - Longitudinal run-history store --------------===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/History.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define AM_HIST_HAVE_UNISTD 1
+#endif
+
+using namespace am;
+using namespace am::hist;
+
+#define AM_STRINGIFY_(X) #X
+#define AM_STRINGIFY(X) AM_STRINGIFY_(X)
+
+std::string hist::gitSha() {
+  if (const char *Env = std::getenv("AM_GIT_SHA"))
+    if (*Env)
+      return Env;
+#ifdef AM_GIT_SHA
+  return AM_STRINGIFY(AM_GIT_SHA);
+#else
+  return "unknown";
+#endif
+}
+
+std::string hist::hostName() {
+#ifdef AM_HIST_HAVE_UNISTD
+  char Buf[256] = {0};
+  if (gethostname(Buf, sizeof(Buf) - 1) == 0 && Buf[0])
+    return Buf;
+#endif
+  return "unknown";
+}
+
+std::string hist::cpuModel() {
+#ifdef __linux__
+  std::ifstream In("/proc/cpuinfo");
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind("model name", 0) == 0) {
+      size_t Colon = Line.find(':');
+      if (Colon != std::string::npos) {
+        size_t Start = Line.find_first_not_of(" \t", Colon + 1);
+        if (Start != std::string::npos)
+          return Line.substr(Start);
+      }
+    }
+  }
+#endif
+  return "unknown";
+}
+
+void hist::stampFingerprint(HistoryEntry &E) {
+  E.TimeUnixMs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  E.Host = hostName();
+  E.Cpu = cpuModel();
+#ifdef __VERSION__
+  E.Compiler = __VERSION__;
+#else
+  E.Compiler = "unknown";
+#endif
+  E.GitSha = gitSha();
+  E.HwThreads = std::thread::hardware_concurrency();
+}
+
+uint64_t hist::calibrationSpin(uint64_t Iters) {
+  uint64_t X = 0x9e3779b97f4a7c15ull, Acc = 0;
+  for (uint64_t I = 0; I < Iters; ++I) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    Acc += X;
+  }
+  return Acc;
+}
+
+uint64_t hist::measureCalibrationSpin(unsigned Reps, uint64_t Iters) {
+  if (Reps == 0)
+    Reps = 1;
+  std::vector<uint64_t> Samples;
+  Samples.reserve(Reps);
+  volatile uint64_t Sink = 0; // keep the spin observable
+  for (unsigned R = 0; R < Reps; ++R) {
+    auto T0 = std::chrono::steady_clock::now();
+    Sink = Sink + calibrationSpin(Iters);
+    Samples.push_back(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count()));
+  }
+  std::sort(Samples.begin(), Samples.end());
+  size_t N = Samples.size();
+  return N % 2 ? Samples[N / 2] : (Samples[N / 2 - 1] + Samples[N / 2]) / 2;
+}
+
+void hist::appendHistoryJson(std::string &Out, const HistoryEntry &E) {
+  json::Writer W(Out);
+  W.beginObject();
+  W.key("schema").value("amhist-v1");
+  W.key("source").value(E.Source);
+  W.key("time_unix_ms").value(E.TimeUnixMs);
+  W.key("fingerprint").beginObject();
+  W.key("host").value(E.Host);
+  W.key("cpu").value(E.Cpu);
+  W.key("compiler").value(E.Compiler);
+  W.key("git_sha").value(E.GitSha);
+  W.key("threads").value(E.HwThreads);
+  W.key("solver_threads").value(E.SolverThreads);
+  W.endObject();
+  W.key("calib_ns").value(E.CalibNs);
+  W.key("presets").beginObject();
+  for (const auto &[Name, P] : E.Presets) {
+    W.key(Name).beginObject();
+    W.key("wall_ns").value(P.WallNs);
+    W.key("mad_ns").value(P.MadNs);
+    if (!P.Work.empty()) {
+      W.key("work").beginObject();
+      for (const auto &[K, V] : P.Work)
+        W.key(K).value(V);
+      W.endObject();
+    }
+    W.endObject();
+  }
+  W.endObject();
+  W.key("counters").beginObject();
+  for (const auto &[Name, V] : E.Counters)
+    W.key(Name).value(V);
+  W.endObject();
+  if (E.HasAggregate) {
+    W.key("aggregate").beginObject();
+    W.key("jobs").value(E.AggJobs);
+    W.key("hash").value(E.AggHash);
+    W.key("skipped_lines").value(E.AggSkippedLines);
+    W.key("status").beginObject();
+    for (const auto &[S, N] : E.AggStatuses)
+      W.key(S).value(N);
+    W.endObject();
+    W.endObject();
+  }
+  W.endObject();
+}
+
+bool hist::appendHistoryFile(const std::string &Path, const HistoryEntry &E,
+                             std::string *Error) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::app);
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for append";
+    return false;
+  }
+  std::string Line;
+  appendHistoryJson(Line, E);
+  Out << Line << '\n';
+  Out.flush();
+  if (!Out.good()) {
+    if (Error)
+      *Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+void readPairs(const json::Value &Obj,
+               std::vector<std::pair<std::string, uint64_t>> &Out) {
+  for (const auto &[Name, V] : Obj.members())
+    if (V.isNumber())
+      Out.emplace_back(Name, V.asU64());
+}
+
+bool parseEntry(const json::Value &V, HistoryEntry &E) {
+  if (!V.isObject())
+    return false;
+  E.Source = V.getString("source");
+  E.TimeUnixMs = V.getU64("time_unix_ms");
+  if (const json::Value *F = V.find("fingerprint")) {
+    E.Host = F->getString("host");
+    E.Cpu = F->getString("cpu");
+    E.Compiler = F->getString("compiler");
+    E.GitSha = F->getString("git_sha", "unknown");
+    E.HwThreads = F->getU64("threads");
+    E.SolverThreads = F->getU64("solver_threads");
+  }
+  E.CalibNs = V.getU64("calib_ns");
+  if (const json::Value *P = V.find("presets"); P && P->isObject())
+    for (const auto &[Name, PV] : P->members()) {
+      if (!PV.isObject())
+        continue;
+      PresetStat S;
+      S.WallNs = PV.getU64("wall_ns");
+      S.MadNs = PV.getU64("mad_ns");
+      if (const json::Value *Wk = PV.find("work"))
+        readPairs(*Wk, S.Work);
+      E.Presets.emplace_back(Name, std::move(S));
+    }
+  if (const json::Value *C = V.find("counters"))
+    readPairs(*C, E.Counters);
+  if (const json::Value *A = V.find("aggregate"); A && A->isObject()) {
+    E.HasAggregate = true;
+    E.AggJobs = A->getU64("jobs");
+    E.AggHash = A->getString("hash");
+    E.AggSkippedLines = A->getU64("skipped_lines");
+    if (const json::Value *S = A->find("status"))
+      readPairs(*S, E.AggStatuses);
+  }
+  // An entry without a source is not a run record.
+  return !E.Source.empty();
+}
+
+} // namespace
+
+bool hist::readHistory(std::istream &In, HistoryFile &Out) {
+  std::string Line;
+  uint64_t LineNo = 0;
+  bool SawValid = false;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    // getline strips '\n'; a line at EOF that was never terminated is a
+    // partial record from a killed appender.
+    bool Unterminated = In.eof();
+    if (Line.empty())
+      continue;
+    std::string ParseError;
+    std::unique_ptr<json::Value> V = json::parse(Line, &ParseError);
+    if (!V || !V->isObject()) {
+      ++Out.SkippedLines;
+      Out.Warnings.push_back(
+          "line " + std::to_string(LineNo) +
+          (Unterminated ? ": ignoring partial trailing record ("
+                        : ": ignoring malformed record (") +
+          ParseError + ")");
+      continue;
+    }
+    std::string Schema = V->getString("schema");
+    if (Schema != "amhist-v1") {
+      // The first well-formed line decides: a different schema means the
+      // file is something else (an event log, an aggregate) — refuse it
+      // rather than silently reading zero entries.
+      if (!SawValid)
+        return false;
+      ++Out.SkippedLines;
+      Out.Warnings.push_back("line " + std::to_string(LineNo) +
+                             ": ignoring record with schema '" + Schema +
+                             "'");
+      continue;
+    }
+    HistoryEntry E;
+    if (!parseEntry(*V, E)) {
+      ++Out.SkippedLines;
+      Out.Warnings.push_back("line " + std::to_string(LineNo) +
+                             ": ignoring record without a source");
+      continue;
+    }
+    SawValid = true;
+    Out.Entries.push_back(std::move(E));
+  }
+  return true;
+}
+
+bool hist::readHistoryFile(const std::string &Path, HistoryFile &Out,
+                           std::string *Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  if (!readHistory(In, Out)) {
+    if (Error)
+      *Error = "'" + Path + "' is not an amhist-v1 history (first record "
+               "announces a different schema)";
+    return false;
+  }
+  return true;
+}
+
+void hist::sortByTime(HistoryFile &H) {
+  std::stable_sort(H.Entries.begin(), H.Entries.end(),
+                   [](const HistoryEntry &A, const HistoryEntry &B) {
+                     return A.TimeUnixMs < B.TimeUnixMs;
+                   });
+}

@@ -1,0 +1,244 @@
+//===- support/Trend.cpp - Longitudinal trend analytics ------------------===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trend.h"
+#include "support/History.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+using namespace am;
+using namespace am::trend;
+
+namespace {
+
+double medianOf(std::vector<double> V) {
+  std::sort(V.begin(), V.end());
+  size_t N = V.size();
+  return N == 0 ? 0.0 : (N % 2 ? V[N / 2] : (V[N / 2 - 1] + V[N / 2]) / 2.0);
+}
+
+/// Mean absolute deviation of [First, Last) around \p Med.  The mean
+/// (not median) of the deviations deliberately charges a segment for
+/// every point it mis-covers, so the detector's score peaks at the
+/// *pure* split: at an off-by-one split the stray point's full
+/// deviation lands in the noise term, while a segment-median MAD would
+/// ignore it entirely and tie all nearby splits.
+double meanAbsDev(const double *First, const double *Last, double Med) {
+  if (First == Last)
+    return 0.0;
+  double Sum = 0.0;
+  for (const double *P = First; P != Last; ++P)
+    Sum += std::fabs(*P - Med);
+  return Sum / static_cast<double>(Last - First);
+}
+
+} // namespace
+
+Changepoint trend::detectStep(const std::vector<double> &Values,
+                              const StepOptions &Opts) {
+  Changepoint Best;
+  size_t N = Values.size();
+  unsigned MinSeg = std::max(1u, Opts.MinSeg);
+  if (N < 2 * static_cast<size_t>(MinSeg))
+    return Best;
+  for (size_t K = MinSeg; K + MinSeg <= N; ++K) {
+    std::vector<double> L(Values.begin(), Values.begin() + K);
+    std::vector<double> R(Values.begin() + K, Values.end());
+    double MedL = medianOf(L), MedR = medianOf(R);
+    double Step = std::fabs(MedR - MedL);
+    double Base = std::max(std::fabs(MedL), std::fabs(MedR));
+    if (Base == 0.0)
+      continue;
+    double Rel = Step / std::max(std::fabs(MedL), 1e-12);
+    if (Rel < Opts.MinRel)
+      continue;
+    // Noise floor: identical samples would otherwise make every change
+    // infinitely significant; 0.1% of the level is far below anything a
+    // wall clock or counter legitimately resolves.
+    double Noise = std::max(meanAbsDev(L.data(), L.data() + L.size(), MedL) +
+                                meanAbsDev(R.data(), R.data() + R.size(), MedR),
+                            1e-3 * Base);
+    double Score = Step / Noise;
+    if (Score > Opts.KMad && Score > Best.Score) {
+      Best.Found = true;
+      Best.Index = K;
+      Best.Before = MedL;
+      Best.After = MedR;
+      Best.Score = Score;
+      Best.Ratio = MedL > 0 ? MedR / MedL : (MedR > 0 ? 1e9 : 1.0);
+    }
+  }
+  return Best;
+}
+
+double trend::theilSenSlope(const std::vector<double> &Values) {
+  size_t N = Values.size();
+  if (N < 2)
+    return 0.0;
+  std::vector<double> Slopes;
+  Slopes.reserve(N * (N - 1) / 2);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I + 1; J < N; ++J)
+      Slopes.push_back((Values[J] - Values[I]) / static_cast<double>(J - I));
+  return medianOf(std::move(Slopes));
+}
+
+const char *trend::statusName(SeriesStatus S) {
+  switch (S) {
+  case SeriesStatus::Flat:
+    return "flat";
+  case SeriesStatus::Step:
+    return "step";
+  case SeriesStatus::Regressed:
+    return "REGRESSED";
+  case SeriesStatus::Improved:
+    return "improved";
+  case SeriesStatus::Drifting:
+    return "drifting";
+  }
+  return "?";
+}
+
+std::vector<Series>
+trend::buildSeries(const std::vector<hist::HistoryEntry> &Entries) {
+  // std::map keys the result name-sorted — series order must not depend
+  // on which entry first mentioned a quantity.
+  std::map<std::string, Series> ByName;
+  auto Touch = [&ByName](const std::string &Name, SeriesKind Kind) -> Series & {
+    Series &S = ByName[Name];
+    if (S.Name.empty()) {
+      S.Name = Name;
+      S.Kind = Kind;
+    }
+    return S;
+  };
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    const hist::HistoryEntry &E = Entries[I];
+    if (E.CalibNs) {
+      Series &C = Touch("calib/spin_ns", SeriesKind::Calibration);
+      C.Values.push_back(static_cast<double>(E.CalibNs));
+      C.Entries.push_back(I);
+    }
+    for (const auto &[Name, P] : E.Presets) {
+      if (E.CalibNs) {
+        Series &S = Touch("wall/" + Name, SeriesKind::NormalizedWall);
+        S.Values.push_back(static_cast<double>(P.WallNs) /
+                           static_cast<double>(E.CalibNs));
+        S.Entries.push_back(I);
+      }
+      for (const auto &[Fact, V] : P.Work) {
+        Series &S = Touch("work/" + Name + "/" + Fact, SeriesKind::Work);
+        S.Values.push_back(static_cast<double>(V));
+        S.Entries.push_back(I);
+      }
+    }
+    for (const auto &[Name, V] : E.Counters) {
+      Series &S = Touch("counter/" + Name, SeriesKind::Counter);
+      S.Values.push_back(static_cast<double>(V));
+      S.Entries.push_back(I);
+    }
+  }
+  std::vector<Series> Out;
+  Out.reserve(ByName.size());
+  for (auto &[Name, S] : ByName)
+    Out.push_back(std::move(S));
+  return Out;
+}
+
+TrendAnalysis
+trend::analyzeHistory(const std::vector<hist::HistoryEntry> &Entries,
+                      const TrendOptions &Opts) {
+  TrendAnalysis A;
+  A.NumEntries = Entries.size();
+  uint64_t NoCalib = 0;
+  for (const hist::HistoryEntry &E : Entries)
+    if (E.CalibNs == 0)
+      ++NoCalib;
+  if (NoCalib)
+    A.Notes.push_back(std::to_string(NoCalib) +
+                      " entr(ies) without a calibration spin contribute no "
+                      "normalized-wall points");
+
+  std::vector<Series> All = buildSeries(Entries);
+  for (Series &S : All) {
+    SeriesVerdict V;
+    V.CP = detectStep(S.Values, Opts.Step);
+    double Med = medianOf(S.Values);
+    if (S.Values.size() >= 2 && Med != 0.0)
+      V.DriftRel = theilSenSlope(S.Values) *
+                   static_cast<double>(S.Values.size() - 1) / std::fabs(Med);
+    if (V.CP.Found) {
+      bool Up = V.CP.After > V.CP.Before;
+      if (!Up)
+        V.Status = SeriesStatus::Improved;
+      else if (S.Kind == SeriesKind::Calibration || S.Kind == SeriesKind::Work)
+        // A faster/slower machine or a changed workload definition is an
+        // event to understand, never a code regression to gate on.
+        V.Status = SeriesStatus::Step;
+      else
+        V.Status = V.CP.Ratio >= Opts.GateFactor ? SeriesStatus::Regressed
+                                                 : SeriesStatus::Step;
+    } else if (std::fabs(V.DriftRel) > Opts.DriftThreshold &&
+               S.Values.size() >= 2 * Opts.Step.MinSeg) {
+      V.Status = SeriesStatus::Drifting;
+    }
+    if (S.Kind == SeriesKind::Calibration && V.CP.Found) {
+      A.CalibrationStepped = true;
+      char Buf[160];
+      std::snprintf(Buf, sizeof(Buf),
+                    "machine event: calibration spin stepped %.3g -> %.3g ns "
+                    "at entry %zu (normalization cancels it)",
+                    V.CP.Before, V.CP.After, V.CP.Index);
+      A.Notes.push_back(Buf);
+    }
+    V.S = std::move(S);
+    A.Verdicts.push_back(std::move(V));
+  }
+
+  auto SeverityRank = [](SeriesStatus S) {
+    switch (S) {
+    case SeriesStatus::Regressed:
+      return 0;
+    case SeriesStatus::Step:
+      return 1;
+    case SeriesStatus::Drifting:
+      return 2;
+    case SeriesStatus::Improved:
+      return 3;
+    case SeriesStatus::Flat:
+      return 4;
+    }
+    return 5;
+  };
+  auto Magnitude = [](const SeriesVerdict &V) {
+    if (V.CP.Found)
+      return std::fabs(V.CP.After - V.CP.Before) /
+             std::max(std::fabs(V.CP.Before), 1e-12);
+    return std::fabs(V.DriftRel);
+  };
+  std::stable_sort(A.Verdicts.begin(), A.Verdicts.end(),
+                   [&](const SeriesVerdict &X, const SeriesVerdict &Y) {
+                     int RX = SeverityRank(X.Status), RY = SeverityRank(Y.Status);
+                     if (RX != RY)
+                       return RX < RY;
+                     double MX = Magnitude(X), MY = Magnitude(Y);
+                     if (MX != MY)
+                       return MX > MY;
+                     return X.S.Name < Y.S.Name;
+                   });
+  return A;
+}
+
+std::vector<const SeriesVerdict *> trend::gateFailures(const TrendAnalysis &A) {
+  std::vector<const SeriesVerdict *> Out;
+  for (const SeriesVerdict &V : A.Verdicts)
+    if (V.Status == SeriesStatus::Regressed)
+      Out.push_back(&V);
+  return Out;
+}

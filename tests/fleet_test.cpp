@@ -154,6 +154,25 @@ std::string aggJson(const fleet::Aggregate &A) {
   return OS.str();
 }
 
+TEST(Aggregate, SkippedLinesSerializeAndMerge) {
+  fleet::Aggregate A;
+  A.addJob(makeEvent(0));
+  EXPECT_EQ(A.skippedLines(), 0u);
+  EXPECT_NE(aggJson(A).find("\"skipped_lines\":0"), std::string::npos);
+
+  A.noteSkippedLines(2);
+  A.noteSkippedLines(1);
+  EXPECT_EQ(A.skippedLines(), 3u);
+  EXPECT_NE(aggJson(A).find("\"skipped_lines\":3"), std::string::npos);
+
+  // merge() sums data loss like it sums jobs.
+  fleet::Aggregate B;
+  B.addJob(makeEvent(1));
+  B.noteSkippedLines(4);
+  A.merge(B);
+  EXPECT_EQ(A.skippedLines(), 7u);
+}
+
 TEST(Aggregate, InsertionOrderInvariant) {
   std::vector<fleet::JobEvent> Events;
   for (uint64_t I = 0; I < 16; ++I)

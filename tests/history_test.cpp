@@ -1,0 +1,303 @@
+//===- tests/history_test.cpp - Run-history store tests --------*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The amhist-v1 longitudinal store behind ambench/ambatch --history and
+// tools/amtrend: serialization round trips, the append-file contract,
+// the reader's crash recovery (partial trailing record, malformed
+// interior lines, foreign-schema records), schema refusal for files
+// that are something else entirely, and the out-of-order merge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/History.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace am;
+
+namespace {
+
+hist::HistoryEntry makeEntry(uint64_t TimeMs, uint64_t WallNs,
+                             const std::string &Sha = "abc123") {
+  hist::HistoryEntry E;
+  E.Source = "ambench";
+  E.TimeUnixMs = TimeMs;
+  E.Host = "testhost";
+  E.Cpu = "test-cpu";
+  E.Compiler = "test++ 1.0";
+  E.GitSha = Sha;
+  E.HwThreads = 8;
+  E.SolverThreads = 2;
+  E.CalibNs = 100'000'000;
+  hist::PresetStat P;
+  P.WallNs = WallNs;
+  P.MadNs = WallNs / 100;
+  P.Work.emplace_back("blocks_in", 100);
+  P.Work.emplace_back("instrs_in", 400);
+  E.Presets.emplace_back("dfa/solve", std::move(P));
+  E.Counters.emplace_back("dfa.iterations", 42);
+  return E;
+}
+
+std::string serialize(const hist::HistoryEntry &E) {
+  std::string Line;
+  hist::appendHistoryJson(Line, E);
+  return Line;
+}
+
+std::string tempPath(const char *Name) {
+  return testing::TempDir() + Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization round trip
+//===----------------------------------------------------------------------===//
+
+TEST(History, JsonRoundTrip) {
+  hist::HistoryEntry E = makeEntry(1234, 250'000'000);
+  std::string Line = serialize(E);
+  EXPECT_NE(Line.find("\"schema\":\"amhist-v1\""), std::string::npos);
+  EXPECT_NE(Line.find("\"git_sha\":\"abc123\""), std::string::npos);
+
+  std::istringstream In(Line + "\n");
+  hist::HistoryFile H;
+  ASSERT_TRUE(hist::readHistory(In, H));
+  ASSERT_EQ(H.Entries.size(), 1u);
+  EXPECT_EQ(H.SkippedLines, 0u);
+  const hist::HistoryEntry &R = H.Entries[0];
+  EXPECT_EQ(R.Source, "ambench");
+  EXPECT_EQ(R.TimeUnixMs, 1234u);
+  EXPECT_EQ(R.Host, "testhost");
+  EXPECT_EQ(R.Cpu, "test-cpu");
+  EXPECT_EQ(R.Compiler, "test++ 1.0");
+  EXPECT_EQ(R.GitSha, "abc123");
+  EXPECT_EQ(R.HwThreads, 8u);
+  EXPECT_EQ(R.SolverThreads, 2u);
+  EXPECT_EQ(R.CalibNs, 100'000'000u);
+  ASSERT_EQ(R.Presets.size(), 1u);
+  EXPECT_EQ(R.Presets[0].first, "dfa/solve");
+  EXPECT_EQ(R.Presets[0].second.WallNs, 250'000'000u);
+  EXPECT_EQ(R.Presets[0].second.MadNs, 2'500'000u);
+  ASSERT_EQ(R.Presets[0].second.Work.size(), 2u);
+  EXPECT_EQ(R.Presets[0].second.Work[0].first, "blocks_in");
+  ASSERT_EQ(R.Counters.size(), 1u);
+  EXPECT_EQ(R.Counters[0].first, "dfa.iterations");
+  EXPECT_EQ(R.Counters[0].second, 42u);
+  EXPECT_FALSE(R.HasAggregate);
+}
+
+TEST(History, AggregateDigestRoundTrip) {
+  hist::HistoryEntry E = makeEntry(1, 1000);
+  E.Source = "ambatch";
+  E.HasAggregate = true;
+  E.AggJobs = 12;
+  E.AggHash = "00deadbeef001122";
+  E.AggSkippedLines = 3;
+  E.AggStatuses.emplace_back("ok", 11);
+  E.AggStatuses.emplace_back("rolled_back", 1);
+
+  std::istringstream In(serialize(E) + "\n");
+  hist::HistoryFile H;
+  ASSERT_TRUE(hist::readHistory(In, H));
+  ASSERT_EQ(H.Entries.size(), 1u);
+  const hist::HistoryEntry &R = H.Entries[0];
+  ASSERT_TRUE(R.HasAggregate);
+  EXPECT_EQ(R.AggJobs, 12u);
+  EXPECT_EQ(R.AggHash, "00deadbeef001122");
+  EXPECT_EQ(R.AggSkippedLines, 3u);
+  ASSERT_EQ(R.AggStatuses.size(), 2u);
+  EXPECT_EQ(R.AggStatuses[0].first, "ok");
+  EXPECT_EQ(R.AggStatuses[0].second, 11u);
+}
+
+TEST(History, SerializationIsDeterministic) {
+  hist::HistoryEntry E = makeEntry(7, 999);
+  EXPECT_EQ(serialize(E), serialize(E));
+}
+
+//===----------------------------------------------------------------------===//
+// Append-file contract
+//===----------------------------------------------------------------------===//
+
+TEST(History, AppendAccumulates) {
+  std::string Path = tempPath("hist_append.jsonl");
+  std::remove(Path.c_str());
+  ASSERT_TRUE(hist::appendHistoryFile(Path, makeEntry(1, 100)));
+  ASSERT_TRUE(hist::appendHistoryFile(Path, makeEntry(2, 200)));
+  ASSERT_TRUE(hist::appendHistoryFile(Path, makeEntry(3, 300)));
+
+  hist::HistoryFile H;
+  std::string Err;
+  ASSERT_TRUE(hist::readHistoryFile(Path, H, &Err)) << Err;
+  ASSERT_EQ(H.Entries.size(), 3u);
+  EXPECT_EQ(H.Entries[0].TimeUnixMs, 1u);
+  EXPECT_EQ(H.Entries[2].TimeUnixMs, 3u);
+  EXPECT_EQ(H.SkippedLines, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(History, MissingFileIsAnError) {
+  hist::HistoryFile H;
+  std::string Err;
+  EXPECT_FALSE(hist::readHistoryFile(tempPath("hist_nonexistent.jsonl"), H,
+                                     &Err));
+  EXPECT_NE(Err.find("cannot open"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash recovery and malformed input
+//===----------------------------------------------------------------------===//
+
+TEST(History, EmptyStreamIsValidEmptyHistory) {
+  std::istringstream In("");
+  hist::HistoryFile H;
+  EXPECT_TRUE(hist::readHistory(In, H));
+  EXPECT_TRUE(H.Entries.empty());
+  EXPECT_EQ(H.SkippedLines, 0u);
+}
+
+TEST(History, PartialTrailingRecordIsSkippedWithWarning) {
+  std::string Full = serialize(makeEntry(1, 100)) + "\n" +
+                     serialize(makeEntry(2, 200)) + "\n" +
+                     serialize(makeEntry(3, 300)) + "\n";
+  // Cut mid-way through the last record, as a killed appender would.
+  std::istringstream In(Full.substr(0, Full.size() - 40));
+  hist::HistoryFile H;
+  ASSERT_TRUE(hist::readHistory(In, H));
+  EXPECT_EQ(H.Entries.size(), 2u);
+  EXPECT_EQ(H.SkippedLines, 1u);
+  ASSERT_EQ(H.Warnings.size(), 1u);
+  EXPECT_NE(H.Warnings[0].find("ignoring partial trailing record"),
+            std::string::npos);
+}
+
+TEST(History, MalformedInteriorLineIsSkippedWithWarning) {
+  std::string Text = serialize(makeEntry(1, 100)) + "\n" +
+                     "{this is not json\n" +
+                     serialize(makeEntry(2, 200)) + "\n";
+  std::istringstream In(Text);
+  hist::HistoryFile H;
+  ASSERT_TRUE(hist::readHistory(In, H));
+  EXPECT_EQ(H.Entries.size(), 2u);
+  EXPECT_EQ(H.SkippedLines, 1u);
+  ASSERT_EQ(H.Warnings.size(), 1u);
+  EXPECT_NE(H.Warnings[0].find("line 2: ignoring malformed record"),
+            std::string::npos);
+}
+
+TEST(History, BlankLinesAreIgnoredSilently) {
+  std::string Text = "\n" + serialize(makeEntry(1, 100)) + "\n\n" +
+                     serialize(makeEntry(2, 200)) + "\n\n";
+  std::istringstream In(Text);
+  hist::HistoryFile H;
+  ASSERT_TRUE(hist::readHistory(In, H));
+  EXPECT_EQ(H.Entries.size(), 2u);
+  EXPECT_EQ(H.SkippedLines, 0u);
+}
+
+TEST(History, WrongSchemaFirstLineRefusesTheFile) {
+  // An event log is not a history; reading zero entries silently would
+  // hide the mistake.
+  std::istringstream In("{\"schema\":\"amevents-v1\",\"passes\":\"x\"}\n");
+  hist::HistoryFile H;
+  EXPECT_FALSE(hist::readHistory(In, H));
+}
+
+TEST(History, WrongSchemaInteriorLineIsSkipped) {
+  std::string Text = serialize(makeEntry(1, 100)) + "\n" +
+                     "{\"schema\":\"amevents-v1\"}\n" +
+                     serialize(makeEntry(2, 200)) + "\n";
+  std::istringstream In(Text);
+  hist::HistoryFile H;
+  ASSERT_TRUE(hist::readHistory(In, H));
+  EXPECT_EQ(H.Entries.size(), 2u);
+  EXPECT_EQ(H.SkippedLines, 1u);
+  EXPECT_NE(H.Warnings[0].find("schema 'amevents-v1'"), std::string::npos);
+}
+
+TEST(History, RecordWithoutSourceIsSkipped) {
+  std::string Text = serialize(makeEntry(1, 100)) + "\n" +
+                     "{\"schema\":\"amhist-v1\",\"time_unix_ms\":5}\n";
+  std::istringstream In(Text);
+  hist::HistoryFile H;
+  ASSERT_TRUE(hist::readHistory(In, H));
+  EXPECT_EQ(H.Entries.size(), 1u);
+  EXPECT_EQ(H.SkippedLines, 1u);
+  EXPECT_NE(H.Warnings[0].find("without a source"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Out-of-order merge
+//===----------------------------------------------------------------------===//
+
+TEST(History, SortByTimeMergesOutOfOrderAppends) {
+  // Two interleaved appenders (concatenated histories): file order is
+  // not chronological.
+  std::string Text = serialize(makeEntry(30, 3, "c3")) + "\n" +
+                     serialize(makeEntry(10, 1, "c1")) + "\n" +
+                     serialize(makeEntry(40, 4, "c4")) + "\n" +
+                     serialize(makeEntry(20, 2, "c2")) + "\n";
+  std::istringstream In(Text);
+  hist::HistoryFile H;
+  ASSERT_TRUE(hist::readHistory(In, H));
+  hist::sortByTime(H);
+  ASSERT_EQ(H.Entries.size(), 4u);
+  EXPECT_EQ(H.Entries[0].GitSha, "c1");
+  EXPECT_EQ(H.Entries[1].GitSha, "c2");
+  EXPECT_EQ(H.Entries[2].GitSha, "c3");
+  EXPECT_EQ(H.Entries[3].GitSha, "c4");
+}
+
+TEST(History, SortByTimeIsStableOnTies) {
+  std::string Text = serialize(makeEntry(10, 1, "first")) + "\n" +
+                     serialize(makeEntry(10, 2, "second")) + "\n";
+  std::istringstream In(Text);
+  hist::HistoryFile H;
+  ASSERT_TRUE(hist::readHistory(In, H));
+  hist::sortByTime(H);
+  EXPECT_EQ(H.Entries[0].GitSha, "first");
+  EXPECT_EQ(H.Entries[1].GitSha, "second");
+}
+
+//===----------------------------------------------------------------------===//
+// Attribution helpers
+//===----------------------------------------------------------------------===//
+
+TEST(History, GitShaPrefersEnvironment) {
+  ASSERT_EQ(setenv("AM_GIT_SHA", "envsha123", 1), 0);
+  EXPECT_EQ(hist::gitSha(), "envsha123");
+  // Empty env falls through to the build definition / "unknown".
+  ASSERT_EQ(setenv("AM_GIT_SHA", "", 1), 0);
+  EXPECT_NE(hist::gitSha(), "");
+  unsetenv("AM_GIT_SHA");
+}
+
+TEST(History, StampFingerprintFillsAttribution) {
+  hist::HistoryEntry E;
+  hist::stampFingerprint(E);
+  EXPECT_GT(E.TimeUnixMs, 0u);
+  EXPECT_FALSE(E.Host.empty());
+  EXPECT_FALSE(E.Cpu.empty());
+  EXPECT_FALSE(E.Compiler.empty());
+  EXPECT_FALSE(E.GitSha.empty());
+  EXPECT_GT(E.HwThreads, 0u);
+}
+
+TEST(History, CalibrationSpinIsDeterministicWork) {
+  // The spin's *result* is a pure function of the iteration count — only
+  // its duration varies by machine, which is the whole point.
+  EXPECT_EQ(hist::calibrationSpin(1000), hist::calibrationSpin(1000));
+  EXPECT_NE(hist::calibrationSpin(1000), hist::calibrationSpin(2000));
+  EXPECT_GT(hist::measureCalibrationSpin(1, 1000), 0u);
+}
+
+} // namespace

@@ -55,6 +55,7 @@
 #include "support/Aggregate.h"
 #include "support/ArgParser.h"
 #include "support/EventLog.h"
+#include "support/History.h"
 #include "support/Profiler.h"
 #include "support/Remarks.h"
 #include "support/Stats.h"
@@ -68,6 +69,7 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -86,8 +88,10 @@ int usage() {
       "               [--threads=N|max] [--gen=N[:seed]] [--gen-stmts=N]\n"
       "               [--events=F.jsonl] [--aggregate=F.json] "
       "[--report=F.html]\n"
-      "               [--top=K] [--quiet] [FILE|DIR ...]\n"
-      "       ambatch --from=run.jsonl [--aggregate=F] [--report=F]\n"
+      "               [--history=F.jsonl] [--top=K] [--quiet] "
+      "[FILE|DIR ...]\n"
+      "       ambatch --from=run.jsonl [--aggregate=F] [--report=F] "
+      "[--history=F]\n"
       "       ambatch --diff=A.jsonl,B.jsonl [--report=F.html]\n"
       "\n"
       "Runs every corpus program through the (default guarded) pipeline "
@@ -247,6 +251,74 @@ bool writeTextFile(const std::string &Path, const std::string &Text) {
   return Out.good();
 }
 
+uint64_t medianU64(std::vector<uint64_t> V) {
+  std::sort(V.begin(), V.end());
+  size_t N = V.size();
+  return N == 0 ? 0 : (N % 2 ? V[N / 2] : (V[N / 2 - 1] + V[N / 2]) / 2);
+}
+
+/// This run as one amhist-v1 entry: per-corpus-group wall sums
+/// ("batch/<preset>", plus "batch/all" across the corpus) with the MAD
+/// of the per-job walls, the aggregate's machine-independent counter
+/// sums, a digest of the serialized aggregate, and a freshly measured
+/// calibration spin (ambatch runs no bench harness, so it measures the
+/// machine here, ~0.1s).  \p SolverThreads is the run's job-level
+/// worker count (0 when unknown, e.g. --from a foreign log).
+hist::HistoryEntry makeHistoryEntry(const std::vector<fleet::JobEvent> &Events,
+                                    const fleet::Aggregate &Agg,
+                                    uint64_t SolverThreads) {
+  hist::HistoryEntry E;
+  E.Source = "ambatch";
+  hist::stampFingerprint(E);
+  E.SolverThreads = SolverThreads;
+  E.CalibNs = hist::measureCalibrationSpin();
+
+  std::map<std::string, std::vector<uint64_t>> Walls; // name-sorted
+  for (const fleet::JobEvent &Ev : Events) {
+    Walls[Ev.Preset].push_back(Ev.WallNs);
+    Walls["all"].push_back(Ev.WallNs);
+  }
+  for (const auto &[Group, W] : Walls) {
+    hist::PresetStat PS;
+    for (uint64_t Ns : W)
+      PS.WallNs += Ns;
+    uint64_t Med = medianU64(W);
+    std::vector<uint64_t> Dev;
+    Dev.reserve(W.size());
+    for (uint64_t Ns : W)
+      Dev.push_back(Ns > Med ? Ns - Med : Med - Ns);
+    PS.MadNs = medianU64(std::move(Dev));
+    PS.Work.emplace_back("jobs", W.size());
+    E.Presets.emplace_back("batch/" + Group, std::move(PS));
+  }
+
+  for (const auto &[Name, M] : Agg.counters())
+    E.Counters.emplace_back(Name, M.Sum);
+
+  std::ostringstream AggJson;
+  Agg.writeJson(AggJson);
+  E.HasAggregate = true;
+  E.AggJobs = Agg.jobs();
+  E.AggHash = fleet::hex16(fleet::fnv1a64(AggJson.str()));
+  E.AggSkippedLines = Agg.skippedLines();
+  for (const auto &[S, N] : Agg.statuses())
+    E.AggStatuses.emplace_back(S, N);
+  return E;
+}
+
+bool appendHistoryOrComplain(const std::string &Path,
+                             const hist::HistoryEntry &E, bool Quiet) {
+  std::string Err;
+  if (!hist::appendHistoryFile(Path, E, &Err)) {
+    std::fprintf(stderr, "ambatch: %s\n", Err.c_str());
+    return false;
+  }
+  if (!Quiet)
+    std::fprintf(stderr, "ambatch: run appended to history %s\n",
+                 Path.c_str());
+  return true;
+}
+
 int runDiff(const std::string &DiffSpec, const std::string &ReportPath,
             bool Quiet) {
   size_t Comma = DiffSpec.find(',');
@@ -312,6 +384,7 @@ int main(int argc, char **argv) {
   std::string Passes = "uniform";
   std::string LimitsSpec, ThreadSpec, GenSpec, EventsPath, AggregatePath;
   std::string ReportPath, FromPath, DiffSpec, TopSpec, GenStmtsSpec;
+  std::string HistoryPath;
   bool Unguarded = false, Quiet = false;
 
   support::ArgParser Parser(
@@ -340,6 +413,10 @@ int main(int argc, char **argv) {
                 "F.json");
   Parser.option("--report", ReportPath,
                 "write the self-contained HTML fleet dashboard", "F.html");
+  Parser.option("--history", HistoryPath,
+                "append this run to an amhist-v1 run-history file "
+                "(for tools/amtrend)",
+                "F.jsonl");
   Parser.option("--from", FromPath,
                 "load an existing event log instead of running jobs",
                 "run.jsonl");
@@ -382,6 +459,9 @@ int main(int argc, char **argv) {
     for (const std::string &W : Log.Warnings)
       std::fprintf(stderr, "ambatch: warning: %s\n", W.c_str());
     fleet::Aggregate Agg = aggregateInOrder(Log.Events);
+    // Data loss is a fact about this corpus: skipped event-log lines
+    // ride in the aggregate so checks and dashboards see them.
+    Agg.noteSkippedLines(Log.SkippedLines);
     if (!AggregatePath.empty() && !writeAggregateFile(AggregatePath, Agg)) {
       std::fprintf(stderr, "ambatch: cannot write aggregate '%s'\n",
                    AggregatePath.c_str());
@@ -398,6 +478,12 @@ int main(int argc, char **argv) {
         return 1;
       }
     }
+    if (!HistoryPath.empty() &&
+        !appendHistoryOrComplain(HistoryPath,
+                                 makeHistoryEntry(Log.Events, Agg,
+                                                  /*SolverThreads=*/0),
+                                 Quiet))
+      return 1;
     if (!Quiet)
       std::fprintf(stderr, "ambatch: loaded %zu events from %s\n",
                    Log.Events.size(), FromPath.c_str());
@@ -622,6 +708,11 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "ambatch: dashboard written to %s\n",
                    ReportPath.c_str());
   }
+  if (!HistoryPath.empty() &&
+      !appendHistoryOrComplain(HistoryPath,
+                               makeHistoryEntry(Events, Agg, JobThreads),
+                               Quiet))
+    return 1;
 
   if (NumError)
     return 2;

@@ -39,6 +39,7 @@
 #include "ir/Patterns.h"
 #include "parser/Parser.h"
 #include "support/ArgParser.h"
+#include "support/History.h"
 #include "support/Json.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
@@ -135,33 +136,6 @@ void summarize(Measurement &M) {
 // Machine fingerprint
 //===----------------------------------------------------------------------===//
 
-std::string hostName() {
-#ifdef AMBENCH_HAVE_UNISTD
-  char Buf[256] = {0};
-  if (gethostname(Buf, sizeof(Buf) - 1) == 0 && Buf[0])
-    return Buf;
-#endif
-  return "unknown";
-}
-
-std::string cpuModel() {
-#ifdef __linux__
-  std::ifstream In("/proc/cpuinfo");
-  std::string Line;
-  while (std::getline(In, Line)) {
-    if (Line.rfind("model name", 0) == 0) {
-      size_t Colon = Line.find(':');
-      if (Colon != std::string::npos) {
-        size_t Start = Line.find_first_not_of(" \t", Colon + 1);
-        if (Start != std::string::npos)
-          return Line.substr(Start);
-      }
-    }
-  }
-#endif
-  return "unknown";
-}
-
 uint64_t pageSize() {
 #ifdef AMBENCH_HAVE_UNISTD
   long P = sysconf(_SC_PAGESIZE);
@@ -175,19 +149,6 @@ uint64_t pageSize() {
 // Presets
 //===----------------------------------------------------------------------===//
 
-/// The calibration spin: a fixed xorshift accumulation whose runtime
-/// depends only on scalar integer throughput.
-uint64_t spin(uint64_t Iters) {
-  uint64_t X = 0x9e3779b97f4a7c15ull, Acc = 0;
-  for (uint64_t I = 0; I < Iters; ++I) {
-    X ^= X << 13;
-    X ^= X >> 7;
-    X ^= X << 17;
-    Acc += X;
-  }
-  return Acc;
-}
-
 uint64_t instrCount(const FlowGraph &G) { return G.numInstrs(); }
 
 std::vector<Preset> buildPresets() {
@@ -197,7 +158,7 @@ std::vector<Preset> buildPresets() {
     Preset P;
     P.Name = "calib/spin";
     P.Setup = [] { return WorkFacts(); };
-    P.Body = [] { return spin(20'000'000); };
+    P.Body = [] { return hist::calibrationSpin(20'000'000); };
     Out.push_back(std::move(P));
   }
 
@@ -438,7 +399,7 @@ std::vector<Preset> buildPresets() {
 
 int main(int argc, char **argv) {
   std::string OutPath;
-  std::string RepsStr, WarmupStr, Filter, ThreadSpec;
+  std::string RepsStr, WarmupStr, Filter, ThreadSpec, HistoryPath;
   bool Quick = false, List = false;
 
   support::ArgParser Parser(
@@ -463,6 +424,10 @@ int main(int argc, char **argv) {
                 "results are identical for every value)",
                 "N|max");
   Parser.flag("--list", List, "list preset names and exit");
+  Parser.option("--history", HistoryPath,
+                "append this run to an amhist-v1 run-history file "
+                "(for tools/amtrend)",
+                "F.jsonl");
   if (!Parser.parse(argc, argv)) {
     std::fprintf(stderr, "ambench: %s\n", Parser.error().c_str());
     return 1;
@@ -504,7 +469,11 @@ int main(int argc, char **argv) {
   std::vector<Measurement> Results;
   uint64_t CalibNs = 0;
   for (Preset &P : Presets) {
-    if (!Filter.empty() && P.Name.find(Filter) == std::string::npos)
+    // A history entry without its calibration spin cannot be normalized,
+    // so --history keeps calib/spin alive through any --filter.
+    bool MustRun = !HistoryPath.empty() && P.Name == "calib/spin";
+    if (!Filter.empty() && P.Name.find(Filter) == std::string::npos &&
+        !MustRun)
       continue;
     if (Quick && P.Heavy)
       continue;
@@ -540,8 +509,8 @@ int main(int argc, char **argv) {
   W.beginObject();
   W.key("schema").value("ambench-v1");
   W.key("fingerprint").beginObject();
-  W.key("host").value(hostName());
-  W.key("cpu").value(cpuModel());
+  W.key("host").value(hist::hostName());
+  W.key("cpu").value(hist::cpuModel());
   W.key("threads").value(uint64_t(std::thread::hardware_concurrency()));
   W.key("page_size").value(pageSize());
 #ifdef __VERSION__
@@ -549,6 +518,11 @@ int main(int argc, char **argv) {
 #else
   W.key("compiler").value("unknown");
 #endif
+  // Attribution: without the commit and the solver thread count a
+  // longitudinal series cannot name its first bad commit or tell a
+  // threading change from a regression.
+  W.key("git_sha").value(hist::gitSha());
+  W.key("solver_threads").value(uint64_t(threads::globalThreadCount()));
   W.endObject();
   W.key("config").beginObject();
   W.key("reps").value(uint64_t(Reps));
@@ -582,6 +556,33 @@ int main(int argc, char **argv) {
   W.endArray();
   W.endObject();
   Doc += "\n";
+
+  if (!HistoryPath.empty()) {
+    hist::HistoryEntry E;
+    E.Source = "ambench";
+    hist::stampFingerprint(E);
+    E.SolverThreads = threads::globalThreadCount();
+    E.CalibNs = CalibNs;
+    for (const Measurement &M : Results) {
+      if (M.Name == "calib/spin")
+        continue; // the calibration lands in calib_ns, not as a preset
+      hist::PresetStat PS;
+      PS.WallNs = M.WallNs;
+      PS.MadNs = M.MadNs;
+      PS.Work = M.Work;
+      std::sort(PS.Work.begin(), PS.Work.end());
+      E.Presets.emplace_back(M.Name, std::move(PS));
+    }
+    std::sort(E.Presets.begin(), E.Presets.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    std::string HistErr;
+    if (!hist::appendHistoryFile(HistoryPath, E, &HistErr)) {
+      std::fprintf(stderr, "ambench: %s\n", HistErr.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ambench: run appended to history %s\n",
+                 HistoryPath.c_str());
+  }
 
   if (OutPath.empty() || OutPath == "-") {
     std::fputs(Doc.c_str(), stdout);

@@ -127,6 +127,9 @@ def check_aggregate(path, expect_jobs):
         return fail(f"{path}: 'jobs' missing or negative")
     if expect_jobs is not None and jobs != expect_jobs:
         return fail(f"{path}: jobs={jobs}, expected {expect_jobs}")
+    skipped = doc.get("skipped_lines", 0)
+    if not isinstance(skipped, int) or skipped < 0:
+        return fail(f"{path}: 'skipped_lines' not a non-negative int")
     statuses = doc.get("status", {})
     if sum(statuses.values()) != jobs:
         return fail(f"{path}: status tally {sum(statuses.values())} != "

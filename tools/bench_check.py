@@ -166,13 +166,23 @@ def validate_baseline(doc):
                 errors.append(f"presets[{name}]: non-count counter value")
     if "ambench" in doc:
         errors += [f"ambench: {e}" for e in validate_run(doc["ambench"])]
+    if "history" in doc:
+        hist = doc["history"]
+        if not isinstance(hist, dict):
+            errors.append("history: not an object")
+        elif (not isinstance(hist.get("file"), str)
+              or not hist.get("file")):
+            errors.append("history: missing file pointer")
     return errors
 
 
 def build_baseline_doc(old_doc, results, ambench_run=None):
     """Builds the refreshed baseline: rewrites the keys this tool owns
     (_comment, tolerance, presets, and ambench when a run is supplied)
-    and preserves every other top-level section of the old baseline."""
+    and preserves every other top-level section of the old baseline —
+    in particular the ``history`` pointer (where ambench/ambatch
+    --history append and tools/amtrend reads), which this tool never
+    owns and must survive every --update."""
     doc = dict(old_doc) if isinstance(old_doc, dict) else {}
     doc["_comment"] = (
         "Machine-independent solver/transform counters per preset; "

@@ -103,6 +103,23 @@ class ValidateBaselineTest(unittest.TestCase):
         self.assertTrue(any(e.startswith("ambench:")
                             for e in bench_check.validate_baseline(doc)))
 
+    def test_valid_history_section(self):
+        doc = self.make_baseline()
+        doc["history"] = {"file": "bench/BENCH_history.jsonl"}
+        self.assertEqual(bench_check.validate_baseline(doc), [])
+
+    def test_history_must_be_object(self):
+        doc = self.make_baseline()
+        doc["history"] = "bench/BENCH_history.jsonl"
+        self.assertTrue(any("history: not an object" in e
+                            for e in bench_check.validate_baseline(doc)))
+
+    def test_history_needs_file_pointer(self):
+        doc = self.make_baseline()
+        doc["history"] = {"_comment": "pointer lost"}
+        self.assertTrue(any("history: missing file pointer" in e
+                            for e in bench_check.validate_baseline(doc)))
+
 
 class BuildBaselineDocTest(unittest.TestCase):
     RESULTS = {"uniform/running_example": {"wall_ns": 42,
@@ -115,6 +132,14 @@ class BuildBaselineDocTest(unittest.TestCase):
         self.assertEqual(doc["my_custom_section"], {"keep": "me"})
         self.assertEqual(doc["presets"], self.RESULTS)
         self.assertEqual(doc["tolerance"], bench_check.TOLERANCE)
+
+    def test_preserves_history_pointer(self):
+        old = {"presets": {}, "tolerance": 1.0,
+               "history": {"file": "bench/BENCH_history.jsonl"}}
+        doc = bench_check.build_baseline_doc(old, self.RESULTS, make_run())
+        self.assertEqual(doc["history"],
+                         {"file": "bench/BENCH_history.jsonl"})
+        self.assertEqual(bench_check.validate_baseline(doc), [])
 
     def test_refreshes_wall_ns(self):
         old = {"presets": {"uniform/running_example": {
