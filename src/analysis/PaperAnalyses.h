@@ -91,6 +91,14 @@ public:
   const BitVector &locBlocked(BlockId B) const { return LocBlocked[B]; }
   const BitVector &locHoistable(BlockId B) const { return LocHoistable[B]; }
 
+  /// Forgets the cached graph identity so the next refresh rebuilds
+  /// everything — required before reusing the cache for a different
+  /// graph (AmContext::reset); capacity is kept.
+  void invalidate() {
+    Valid = false;
+    CachedG = nullptr;
+  }
+
 private:
   void computeBlock(const FlowGraph &G, const AssignPatternTable &Pats,
                     BlockId B, BitVector &Scratch);

@@ -94,6 +94,15 @@ void am::setSolverLayout(SolverLayout L) {
 
 DataflowSolver::DataflowSolver() = default;
 DataflowSolver::~DataflowSolver() = default;
+
+void DataflowSolver::invalidate() {
+  HaveSolution = false;
+  SolG = nullptr;
+  OrderG = nullptr;
+  Cache.invalidate();
+  if (Engine)
+    Engine->hardInvalidate();
+}
 DataflowSolver::DataflowSolver(DataflowSolver &&) noexcept = default;
 DataflowSolver &DataflowSolver::operator=(DataflowSolver &&) noexcept = default;
 

@@ -275,6 +275,14 @@ public:
   /// The flat snapshot backing the last refresh.
   const FlatProgram &flat() const { return Flat; }
 
+  /// Forgets the cached graph identity (next refresh is a full rebuild)
+  /// — required before binding to a different graph, whose address and
+  /// ticks could alias the cached ones.
+  void invalidate() {
+    Valid = false;
+    CachedG = nullptr;
+  }
+
   /// Position-space CSR: the meet neighbors of position I are
   /// meetPos()[meetOff()[I] .. meetOff()[I + 1]), likewise the requeue
   /// dependents.  Meet entries may name the dummy row; dependent lists
@@ -337,6 +345,13 @@ public:
 
   /// Drops the packed solution (the next solve must be full).
   void invalidate() { HasSolution = false; }
+
+  /// invalidate() plus the packed transfers' graph identity — the
+  /// cross-graph reset (see DataflowSolver::invalidate).
+  void hardInvalidate() {
+    HasSolution = false;
+    Transfers.invalidate();
+  }
 
 private:
   uint64_t drainGroup(size_t Gr, const SolveRequest &R, size_t NumPos,

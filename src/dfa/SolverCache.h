@@ -65,6 +65,15 @@ public:
   /// Tick of the most recent refresh (the graph's modTick at that point).
   Tick refreshedAt() const { return RefreshTick; }
 
+  /// Forgets the cached graph identity so the next refresh rebuilds
+  /// everything.  Required before reusing the cache for a *different*
+  /// graph: a recycled allocation could otherwise alias CachedG with
+  /// ticks that happen to validate.
+  void invalidate() {
+    Valid = false;
+    CachedG = nullptr;
+  }
+
 private:
   void compose(const FlowGraph &G, const DataflowProblem &P, BlockId B);
 

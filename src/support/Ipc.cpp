@@ -1,0 +1,196 @@
+//===- support/Ipc.cpp - EINTR-safe framed I/O and Unix sockets -*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Ipc.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace am;
+using namespace am::ipc;
+
+void ipc::ignoreSigpipe() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = SIG_IGN;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGPIPE, &SA, nullptr);
+}
+
+long ipc::readRetry(int Fd, void *Buf, size_t Len) {
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, Len);
+    if (N >= 0)
+      return static_cast<long>(N);
+    if (errno != EINTR)
+      return -1;
+  }
+}
+
+bool ipc::writeFull(int Fd, const void *Buf, size_t Len) {
+  const char *P = static_cast<const char *>(Buf);
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, P, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool ipc::writeLine(int Fd, const std::string &Line) {
+  std::string Framed = Line;
+  Framed.push_back('\n');
+  return writeFull(Fd, Framed.data(), Framed.size());
+}
+
+LineReader::Status LineReader::readLine(std::string &Out) {
+  char Chunk[4096];
+  for (;;) {
+    // Scan what is buffered first.
+    size_t Nl = Buf.find('\n', Pos);
+    if (Nl != std::string::npos) {
+      if (Discarding) {
+        // Tail of an oversized frame: drop through the newline and keep
+        // scanning for the next (legitimate) frame.
+        Buf.erase(0, Nl + 1);
+        Pos = 0;
+        Discarding = false;
+        continue;
+      }
+      Out.assign(Buf, Pos, Nl - Pos);
+      Buf.erase(0, Nl + 1);
+      Pos = 0;
+      return Status::Line;
+    }
+    // No newline buffered.  Enforce the frame cap before reading more so
+    // an unterminated flood cannot grow Buf without bound.
+    if (!Discarding && MaxLine != 0 && Buf.size() - Pos > MaxLine) {
+      Buf.clear();
+      Pos = 0;
+      Discarding = true;
+      return Status::TooLong;
+    }
+    if (Discarding) {
+      Buf.clear();
+      Pos = 0;
+    }
+    if (AtEof) {
+      if (Discarding || Buf.size() == Pos)
+        return Status::Eof;
+      // Final unterminated line.
+      Out.assign(Buf, Pos, Buf.size() - Pos);
+      Buf.clear();
+      Pos = 0;
+      return Status::Line;
+    }
+    if (WakeFd >= 0) {
+      // Wait for data or the drain poke, whichever first.
+      struct pollfd Fds[2];
+      Fds[0].fd = Fd;
+      Fds[0].events = POLLIN;
+      Fds[1].fd = WakeFd;
+      Fds[1].events = POLLIN;
+      int Rc;
+      do {
+        Rc = ::poll(Fds, 2, -1);
+      } while (Rc < 0 && errno == EINTR);
+      if (Rc < 0)
+        return Status::Error;
+      if ((Fds[1].revents & (POLLIN | POLLHUP)) != 0 &&
+          (Fds[0].revents & POLLIN) == 0) {
+        AtEof = true;
+        continue;
+      }
+    }
+    long N = readRetry(Fd, Chunk, sizeof(Chunk));
+    if (N < 0)
+      return Status::Error;
+    if (N == 0) {
+      AtEof = true;
+      continue;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+int ipc::listenUnix(const std::string &Path, int Backlog, std::string *Err) {
+  auto Fail = [&](const char *What) {
+    if (Err)
+      *Err = std::string(What) + " " + Path + ": " + std::strerror(errno);
+    return -1;
+  };
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long: " + Path;
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Fail("socket");
+  ::unlink(Path.c_str()); // stale socket from a previous run
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return Fail("bind");
+  }
+  if (::listen(Fd, Backlog) < 0) {
+    ::close(Fd);
+    return Fail("listen");
+  }
+  return Fd;
+}
+
+int ipc::acceptRetry(int ListenFd) {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd >= 0)
+      return Fd;
+    if (errno != EINTR)
+      return -1;
+  }
+}
+
+int ipc::connectUnix(const std::string &Path, std::string *Err) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long: " + Path;
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  for (;;) {
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0)
+      return Fd;
+    if (errno == EINTR)
+      continue;
+    if (Err)
+      *Err = "connect " + Path + ": " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+}

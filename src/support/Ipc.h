@@ -1,0 +1,106 @@
+//===- support/Ipc.h - EINTR-safe framed I/O and Unix sockets --*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small POSIX layer under the service protocol (support/Service.h)
+/// and the long-running tools: EINTR-safe read/write loops, a buffered
+/// newline-framed reader with an oversized-line guard, Unix-domain
+/// socket helpers, and SIGPIPE suppression.
+///
+/// Everything here retries `EINTR` — a daemon that installs signal
+/// handlers (SIGTERM drain, see tools/amserved.cpp) must not treat an
+/// interrupted syscall as a dead peer.  `ignoreSigpipe()` turns the
+/// write-to-closed-peer signal (default action: process death) into a
+/// plain `EPIPE` error return, so one disconnected client can never
+/// kill a server mid-corpus.
+///
+/// The line reader enforces a maximum frame size: a peer that streams an
+/// unterminated megabyte does not grow the buffer without bound.  On an
+/// oversized line the reader reports `TooLong` once, then discards input
+/// until the terminating newline — the connection stays usable, which is
+/// what lets the service answer `oversized` instead of dropping the
+/// client (see FaultClass::SvcOversizedRequest's test).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AM_SUPPORT_IPC_H
+#define AM_SUPPORT_IPC_H
+
+#include <cstddef>
+#include <string>
+
+namespace am::ipc {
+
+/// Idempotently sets SIGPIPE to SIG_IGN so writes to a closed peer fail
+/// with EPIPE instead of killing the process.  Call early in any tool
+/// that writes to pipes or sockets it does not control.
+void ignoreSigpipe();
+
+/// read(2) retrying EINTR.  Returns bytes read (0 = EOF) or -1 on a real
+/// error.
+long readRetry(int Fd, void *Buf, size_t Len);
+
+/// Writes all \p Len bytes, retrying EINTR and short writes.  False on a
+/// real error (errno is left describing it).
+bool writeFull(int Fd, const void *Buf, size_t Len);
+
+/// Writes \p Line plus a terminating '\n' in one writeFull.
+bool writeLine(int Fd, const std::string &Line);
+
+/// Buffered newline-framed reader over a file descriptor.
+class LineReader {
+public:
+  enum class Status {
+    Line,    ///< \p Out holds one line (newline stripped).
+    Eof,     ///< Clean end of stream; no partial line pending.
+    TooLong, ///< Frame exceeded the cap; the line was discarded and the
+             ///< stream resynchronized at the next newline.
+    Error,   ///< read(2) failed (not EINTR — that is retried).
+  };
+
+  /// \p MaxLine of 0 means unlimited.
+  explicit LineReader(int Fd, size_t MaxLine = 0)
+      : Fd(Fd), MaxLine(MaxLine) {}
+
+  /// Blocks until one of the Status conditions holds.  A final line
+  /// without a trailing newline is returned as a Line, then Eof.
+  Status readLine(std::string &Out);
+
+  /// When set, readLine polls \p Fd alongside the data fd and treats it
+  /// becoming readable as end-of-stream.  This is the drain path for
+  /// streams that cannot be shutdown(2) from another thread (stdin): the
+  /// drain writer pokes a self-pipe and the blocked reader wakes into a
+  /// clean Eof instead of sitting in read(2) forever.
+  void setWakeFd(int Fd) { WakeFd = Fd; }
+
+private:
+  int Fd;
+  int WakeFd = -1;
+  size_t MaxLine;
+  std::string Buf;
+  size_t Pos = 0;   ///< Consumed prefix of Buf.
+  bool AtEof = false;
+  bool Discarding = false; ///< Dropping an oversized frame's tail.
+};
+
+/// Creates, binds and listens on a Unix-domain stream socket at \p Path
+/// (an existing socket file is unlinked first).  Returns the listening fd
+/// or -1 with \p Err filled.
+int listenUnix(const std::string &Path, int Backlog, std::string *Err);
+
+/// accept(2) retrying EINTR.  Returns -1 when the listening socket was
+/// closed or on a real error.
+int acceptRetry(int ListenFd);
+
+/// Connects to the Unix-domain socket at \p Path.  Returns the fd or -1
+/// with \p Err filled.  Connection refusal is a normal, retryable
+/// outcome for a client racing server startup or drain — the error text
+/// says which it was.
+int connectUnix(const std::string &Path, std::string *Err);
+
+} // namespace am::ipc
+
+#endif // AM_SUPPORT_IPC_H

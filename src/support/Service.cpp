@@ -1,0 +1,776 @@
+//===- support/Service.cpp - Optimization service failure envelope --------===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Service.h"
+
+#include "ir/InstrNumbering.h"
+#include "ir/Printer.h"
+#include "parser/Parser.h"
+#include "support/Ipc.h"
+#include "support/Json.h"
+#include "support/Remarks.h"
+#include "support/Stats.h"
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
+#include "transform/AssignmentMotion.h"
+#include "transform/Pipeline.h"
+#include "verify/FaultInjector.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <new>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace am;
+using namespace am::service;
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+std::string service::renderRequest(const Request &R) {
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+  W.key("schema").value(ProtocolSchema);
+  W.key("id").value(R.Id);
+  W.key("source").value(R.Source);
+  W.key("passes").value(R.Passes);
+  if (!R.LimitsSpec.empty())
+    W.key("limits").value(R.LimitsSpec);
+  W.key("guarded").value(R.Guarded);
+  W.endObject();
+  return Out;
+}
+
+bool service::parseRequest(const std::string &Line, Request &Out,
+                           std::string *Err) {
+  std::string JsonErr;
+  std::unique_ptr<json::Value> V = json::parse(Line, &JsonErr);
+  if (!V || !V->isObject()) {
+    if (Err)
+      *Err = V ? "request is not a JSON object" : ("malformed JSON: " + JsonErr);
+    return false;
+  }
+  const json::Value *Src = V->find("source");
+  if (!Src || !Src->isString()) {
+    if (Err)
+      *Err = "request has no string 'source'";
+    return false;
+  }
+  Out = Request();
+  Out.Id = V->getU64("id");
+  Out.Source = Src->str();
+  Out.Passes = V->getString("passes", "uniform");
+  Out.LimitsSpec = V->getString("limits");
+  if (const json::Value *G = V->find("guarded"))
+    Out.Guarded = G->isBool() ? G->boolean() : true;
+  return true;
+}
+
+static void appendCountMap(
+    json::Writer &W, const char *Key,
+    const std::vector<std::pair<std::string, uint64_t>> &Entries) {
+  W.key(Key).beginObject();
+  for (const auto &[Name, Value] : Entries)
+    W.key(Name).value(Value);
+  W.endObject();
+}
+
+std::string service::renderResponse(const Response &R) {
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+  W.key("schema").value(ProtocolSchema);
+  W.key("id").value(R.Id);
+  W.key("status").value(R.Status);
+  W.key("hash").value(R.Hash);
+  W.key("cached").value(R.Cached);
+  W.key("limits_hit").value(R.LimitsHit);
+  W.key("wall_ns").value(R.WallNs);
+  W.key("rollbacks").value(R.Rollbacks);
+  if (R.RetryAfterMs != 0)
+    W.key("retry_after_ms").value(R.RetryAfterMs);
+  W.key("blocks_before").value(R.BlocksBefore);
+  W.key("blocks_after").value(R.BlocksAfter);
+  W.key("instrs_before").value(R.InstrsBefore);
+  W.key("instrs_after").value(R.InstrsAfter);
+  if (!R.Error.empty())
+    W.key("error").value(R.Error);
+  W.key("program").value(R.Program);
+  appendCountMap(W, "counters", R.Counters);
+  appendCountMap(W, "remarks", R.RemarkKinds);
+  W.endObject();
+  return Out;
+}
+
+bool service::parseResponse(const std::string &Line, Response &Out,
+                            std::string *Err) {
+  std::string JsonErr;
+  std::unique_ptr<json::Value> V = json::parse(Line, &JsonErr);
+  if (!V || !V->isObject()) {
+    if (Err)
+      *Err = V ? "response is not a JSON object"
+               : ("malformed JSON: " + JsonErr);
+    return false;
+  }
+  std::string Schema = V->getString("schema");
+  if (Schema != ProtocolSchema) {
+    if (Err)
+      *Err = "schema is '" + Schema + "', expected '" + ProtocolSchema + "'";
+    return false;
+  }
+  Out = Response();
+  Out.Id = V->getU64("id");
+  Out.Status = V->getString("status");
+  Out.Hash = V->getString("hash");
+  Out.Error = V->getString("error");
+  Out.Program = V->getString("program");
+  if (const json::Value *C = V->find("cached"))
+    Out.Cached = C->isBool() && C->boolean();
+  if (const json::Value *L = V->find("limits_hit"))
+    Out.LimitsHit = L->isBool() && L->boolean();
+  Out.WallNs = V->getU64("wall_ns");
+  Out.Rollbacks = V->getU64("rollbacks");
+  Out.RetryAfterMs = V->getU64("retry_after_ms");
+  Out.BlocksBefore = V->getU64("blocks_before");
+  Out.BlocksAfter = V->getU64("blocks_after");
+  Out.InstrsBefore = V->getU64("instrs_before");
+  Out.InstrsAfter = V->getU64("instrs_after");
+  auto ReadMap = [&](const char *Key,
+                     std::vector<std::pair<std::string, uint64_t>> &Dst) {
+    if (const json::Value *M = V->find(Key))
+      if (M->isObject())
+        for (const auto &[Name, Val] : M->members())
+          Dst.emplace_back(Name, Val.asU64());
+  };
+  ReadMap("counters", Out.Counters);
+  ReadMap("remarks", Out.RemarkKinds);
+  if (Out.Status.empty()) {
+    if (Err)
+      *Err = "response has no status";
+    return false;
+  }
+  return true;
+}
+
+uint64_t service::requestKey(const std::string &CanonicalProgram,
+                             const Request &R) {
+  // One flat identity string: the canonical text plus every knob that can
+  // change the answer.  '\n' separators cannot occur inside the knobs.
+  std::string Id = CanonicalProgram;
+  Id += '\n';
+  Id += R.Passes.empty() ? "uniform" : R.Passes;
+  Id += '\n';
+  Id += R.LimitsSpec;
+  Id += '\n';
+  Id += R.Guarded ? 'g' : 'u';
+  return fleet::fnv1a64(Id);
+}
+
+uint64_t service::backoffDelayMs(unsigned Attempt, uint64_t BaseMs,
+                                 uint64_t CapMs, uint64_t Seed) {
+  if (BaseMs == 0)
+    BaseMs = 1;
+  // Exponential window, capped.
+  uint64_t Window = BaseMs;
+  for (unsigned I = 0; I < Attempt && Window < CapMs; ++I)
+    Window *= 2;
+  if (CapMs != 0 && Window > CapMs)
+    Window = CapMs;
+  // Deterministic jitter in [Window/2, Window): a splitmix64 step over
+  // (Seed, Attempt) — reproducible for tests, decorrelated across
+  // clients.
+  uint64_t X = Seed ^ (0x9e3779b97f4a7c15ull * (Attempt + 1));
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  uint64_t Half = Window / 2;
+  if (Half == 0)
+    return Window;
+  return Half + X % (Window - Half);
+}
+
+//===----------------------------------------------------------------------===//
+// ResultCache
+//===----------------------------------------------------------------------===//
+
+bool ResultCache::lookup(uint64_t Key, Response &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Order.splice(Order.begin(), Order, It->second.It);
+  Out = It->second.R;
+  Out.Cached = true;
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResultCache::insert(uint64_t Key, const Response &R) {
+  if (Capacity == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    It->second.R = R;
+    Order.splice(Order.begin(), Order, It->second.It);
+    return;
+  }
+  Order.push_front(Key);
+  Map[Key] = Entry{R, Order.begin()};
+  while (Map.size() > Capacity) {
+    Map.erase(Order.back());
+    Order.pop_back();
+  }
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Map.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+Response Engine::overloadedResponse(uint64_t Id) const {
+  Response R;
+  R.Id = Id;
+  R.Status = "overloaded";
+  R.Error = "admission queue full (" + std::to_string(L.QueueCapacity) +
+            " in flight); retry later";
+  R.RetryAfterMs = L.RetryAfterMs ? L.RetryAfterMs : 1;
+  return R;
+}
+
+Response Engine::oversizedResponse(uint64_t Id) const {
+  Response R;
+  R.Id = Id;
+  R.Status = "oversized";
+  R.Error = "request frame exceeds " + std::to_string(L.MaxRequestBytes) +
+            " bytes";
+  return R;
+}
+
+Response Engine::handle(const Request &Req, std::atomic<bool> *Cancel) {
+  Response Resp;
+  Resp.Id = Req.Id;
+  const auto T0 = std::chrono::steady_clock::now();
+  auto ElapsedMs = [&T0] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - T0)
+        .count();
+  };
+  auto Canceled = [Cancel] {
+    return Cancel && Cancel->load(std::memory_order_relaxed);
+  };
+
+  // One isolated telemetry session per request: counters and remarks in
+  // the response come from this run alone, never a neighbor's.
+  telemetry::Session Job;
+  telemetry::SessionScope Scope(Job);
+  Job.remarks().setEnabled(true);
+
+  auto Finish = [&] {
+    Resp.WallNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+    Resp.Counters = Job.stats().counterEntries();
+    static const remarks::Kind AllKinds[] = {
+        remarks::Kind::Decompose,  remarks::Kind::Hoist,
+        remarks::Kind::Eliminate,  remarks::Kind::SinkInit,
+        remarks::Kind::DeleteInit, remarks::Kind::Reconstruct,
+        remarks::Kind::Blocked,    remarks::Kind::Rollback};
+    for (remarks::Kind K : AllKinds)
+      if (uint64_t N = Job.remarks().countKind(K))
+        Resp.RemarkKinds.emplace_back(remarks::kindName(K), N);
+  };
+
+  ParseResult P = parseProgram(Req.Source);
+  if (!P.ok()) {
+    Resp.Status = "bad_request";
+    Resp.Error = "parse error: " + P.Error;
+    Finish();
+    return Resp;
+  }
+  FlowGraph Input = std::move(P.Graph);
+  const std::string Canonical = printGraph(Input);
+  Resp.Hash = fleet::hex16(fleet::fnv1a64(Canonical));
+  Resp.BlocksBefore = Resp.BlocksAfter = Input.numBlocks();
+  Resp.InstrsBefore = Resp.InstrsAfter = Input.numInstrs();
+
+  const std::string PassSpec = Req.Passes.empty() ? "uniform" : Req.Passes;
+  diag::Expected<std::vector<std::string>> Spec = parsePassSpec(PassSpec);
+  if (!Spec.ok()) {
+    Resp.Status = "bad_request";
+    Resp.Error = Spec.diagnostic().render();
+    Finish();
+    return Resp;
+  }
+  PipelineLimits Limits;
+  if (!Req.LimitsSpec.empty()) {
+    diag::Expected<PipelineLimits> E = parseLimitsSpec(Req.LimitsSpec);
+    if (!E.ok()) {
+      Resp.Status = "bad_request";
+      Resp.Error = E.diagnostic().render();
+      Finish();
+      return Resp;
+    }
+    Limits = *E;
+  }
+  // The service deadline folds into the pipeline wall budget; the
+  // tighter of the two wins, so a request cannot ask its way past the
+  // server's policy.
+  if (L.DeadlineMs > 0.0 &&
+      (Limits.MaxWallMs <= 0.0 || Limits.MaxWallMs > L.DeadlineMs))
+    Limits.MaxWallMs = L.DeadlineMs;
+
+  const uint64_t Key = requestKey(Canonical, Req);
+  if (L.CacheEntries != 0 && Cache.lookup(Key, Resp)) {
+    // The stored body (program bytes, counters, remark digest) is
+    // byte-identical to the uncached run's; only identity and timing are
+    // this request's own.
+    Resp.Id = Req.Id;
+    Resp.WallNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+    return Resp;
+  }
+
+  auto FailClean = [&](const char *Status, std::string Error) {
+    // The contained-failure contract: the response carries the canonical
+    // *input* — nothing half-transformed ever leaves the engine.
+    Resp.Status = Status;
+    Resp.Error = std::move(Error);
+    Resp.Program = Canonical;
+    Resp.BlocksAfter = Resp.BlocksBefore;
+    Resp.InstrsAfter = Resp.InstrsBefore;
+  };
+
+  try {
+    // Service-level fault hooks (see verify/FaultInjector.h): each one
+    // simulates a worker gone wrong, and must surface as a response, not
+    // process damage.
+    if (fault::FaultInjector *FI = fault::FaultInjector::current()) {
+      if (FI->armedFor(fault::FaultClass::SvcWorkerThrow) &&
+          FI->fire(fault::FaultClass::SvcWorkerThrow))
+        throw std::runtime_error("injected fault: svc-worker-throw");
+      if (FI->armedFor(fault::FaultClass::SvcBadAlloc) &&
+          FI->fire(fault::FaultClass::SvcBadAlloc))
+        throw std::bad_alloc();
+      if (FI->armedFor(fault::FaultClass::SvcSlowRequest) &&
+          FI->fire(fault::FaultClass::SvcSlowRequest)) {
+        // Wedge past the deadline (bounded, so a no-deadline config
+        // cannot hang a test); the watchdog's cancel ends it early.
+        double Budget = L.DeadlineMs > 0.0 ? L.DeadlineMs + 25.0 : 50.0;
+        while (ElapsedMs() < Budget && !Canceled())
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    if (Canceled() || (L.DeadlineMs > 0.0 && ElapsedMs() > L.DeadlineMs)) {
+      FailClean("timeout", "deadline exceeded before optimization started");
+      Finish();
+      return Resp;
+    }
+
+    ensureInstrIds(Input);
+    PipelineOptions POpts;
+    POpts.Guarded = Req.Guarded;
+    POpts.Limits = Limits;
+    POpts.Telemetry = &Job;
+    POpts.Cancel = Cancel;
+    // Per-worker context reuse: each worker thread owns one AmContext
+    // for its whole lifetime; runPipeline resets it at every rebinding,
+    // so only the arena/scratch capacity carries over — outputs are
+    // byte-identical to a cold context.
+    static thread_local AmContext WorkerCtx;
+    POpts.Context = &WorkerCtx;
+
+    PipelineResult R = runPipeline(Input, PassSpec, POpts);
+    Resp.Rollbacks = R.RollbackCount;
+    Resp.LimitsHit = R.LimitsExhausted;
+    if (!R.ok() && !R.LimitsExhausted) {
+      FailClean("error", R.Diag.empty() ? R.Error : R.Diag.render());
+    } else if (R.LimitsExhausted) {
+      // Deadline-driven exhaustion (watchdog cancel, or the folded wall
+      // budget at/after the deadline) is a timeout; every other budget
+      // is a limits stop.
+      bool Deadline =
+          Canceled() || (L.DeadlineMs > 0.0 && ElapsedMs() >= L.DeadlineMs);
+      FailClean(Deadline ? "timeout" : "limits", R.Diag.render());
+    } else {
+      Resp.Status = R.RollbackCount != 0 ? "rolled_back" : "ok";
+      Resp.Program = printGraph(R.Graph);
+      Resp.BlocksAfter = R.Graph.numBlocks();
+      Resp.InstrsAfter = R.Graph.numInstrs();
+    }
+  } catch (const std::bad_alloc &) {
+    FailClean("resource_exhausted", "allocation failed (std::bad_alloc)");
+  } catch (const std::exception &E) {
+    FailClean("error", std::string("worker exception: ") + E.what());
+  } catch (...) {
+    FailClean("error", "unknown worker exception");
+  }
+
+  Finish();
+  if (Resp.Status == "ok" && L.CacheEntries != 0)
+    Cache.insert(Key, Resp);
+  return Resp;
+}
+
+fleet::JobEvent service::responseEvent(const Response &R, uint64_t Index) {
+  fleet::JobEvent E;
+  E.Index = Index;
+  E.Name = "req:" + std::to_string(R.Id);
+  E.Hash = R.Hash;
+  E.Preset = "serve";
+  E.Status = R.Status;
+  E.Error = R.Error;
+  E.WallNs = R.WallNs;
+  E.Rollbacks = R.Rollbacks;
+  E.LimitsHit = R.LimitsHit;
+  E.BlocksBefore = R.BlocksBefore;
+  E.BlocksAfter = R.BlocksAfter;
+  E.InstrsBefore = R.InstrsBefore;
+  E.InstrsAfter = R.InstrsAfter;
+  E.Counters = R.Counters;
+  E.RemarkKinds = R.RemarkKinds;
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+struct Server::Impl {
+  explicit Impl(const ServerOptions &O) : Opts(O) {}
+
+  ServerOptions Opts;
+  std::atomic<bool> Draining{false};
+  int WakePipe[2] = {-1, -1};
+  int ListenFd = -1;
+
+  // Admission slots: bounds queued-plus-running requests.
+  std::mutex AdmitMu;
+  unsigned InFlight = 0;
+
+  // Watchdog registry of running requests.
+  struct Flight {
+    std::chrono::steady_clock::time_point Deadline;
+    std::shared_ptr<std::atomic<bool>> Cancel;
+  };
+  std::mutex FlightMu;
+  std::unordered_map<uint64_t, Flight> Flights;
+  uint64_t NextFlight = 0;
+  std::thread Watchdog;
+  std::atomic<bool> StopWatchdog{false};
+
+  // Event log and drain-time rollup.
+  std::mutex EvMu;
+  std::ofstream EventsOut;
+  std::optional<fleet::EventLogWriter> EvWriter;
+  std::vector<fleet::JobEvent> Events;
+
+  std::atomic<uint64_t> Accepted{0}, Completed{0}, Shed{0}, Oversized{0},
+      BadFrames{0}, Seq{0};
+
+  std::mutex ConnMu;
+  std::vector<int> OpenConns;
+
+  bool tryAdmit(unsigned Capacity) {
+    std::lock_guard<std::mutex> Lock(AdmitMu);
+    if (Capacity != 0 && InFlight >= Capacity)
+      return false;
+    ++InFlight;
+    return true;
+  }
+  void release() {
+    std::lock_guard<std::mutex> Lock(AdmitMu);
+    --InFlight;
+  }
+
+  uint64_t registerFlight(double DeadlineMs,
+                          const std::shared_ptr<std::atomic<bool>> &Cancel) {
+    std::lock_guard<std::mutex> Lock(FlightMu);
+    uint64_t Id = NextFlight++;
+    Flight F;
+    F.Cancel = Cancel;
+    F.Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::microseconds(static_cast<int64_t>(
+                     DeadlineMs > 0.0 ? DeadlineMs * 1000.0 : 0.0));
+    if (DeadlineMs > 0.0)
+      Flights.emplace(Id, std::move(F));
+    return Id;
+  }
+  void unregisterFlight(uint64_t Id) {
+    std::lock_guard<std::mutex> Lock(FlightMu);
+    Flights.erase(Id);
+  }
+
+  void watchdogLoop() {
+    while (!StopWatchdog.load(std::memory_order_relaxed)) {
+      {
+        std::lock_guard<std::mutex> Lock(FlightMu);
+        auto Now = std::chrono::steady_clock::now();
+        for (auto &[Id, F] : Flights)
+          if (Now >= F.Deadline)
+            F.Cancel->store(true, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  void recordEvent(const Response &R, uint64_t Index) {
+    fleet::JobEvent E = responseEvent(R, Index);
+    std::lock_guard<std::mutex> Lock(EvMu);
+    if (EvWriter)
+      EvWriter->append(E);
+    Events.push_back(std::move(E));
+  }
+
+  void serveStream(Engine &Eng, threads::ThreadPool &Pool, int InFd, int OutFd,
+                   int WakeFd);
+};
+
+Server::Server(const ServerOptions &Opts)
+    : I(std::make_unique<Impl>(Opts)), Eng(Opts.Limits) {}
+
+Server::~Server() = default;
+
+void Server::requestDrain() {
+  I->Draining.store(true, std::memory_order_relaxed);
+  if (I->WakePipe[1] >= 0) {
+    char C = 'd';
+    ipc::writeFull(I->WakePipe[1], &C, 1);
+  }
+}
+
+Server::Stats Server::stats() const {
+  Stats S;
+  S.Accepted = I->Accepted.load();
+  S.Completed = I->Completed.load();
+  S.Shed = I->Shed.load();
+  S.Oversized = I->Oversized.load();
+  S.BadFrames = I->BadFrames.load();
+  return S;
+}
+
+std::vector<fleet::JobEvent> Server::takeEvents() {
+  std::lock_guard<std::mutex> Lock(I->EvMu);
+  return std::move(I->Events);
+}
+
+/// One connection's request loop, shared by socket connections (InFd ==
+/// OutFd == the connection) and stdio mode (fd 0 -> fd 1).  Returns when
+/// the peer closes, the frame stream errors, or drain pokes the wake fd.
+void Server::Impl::serveStream(Engine &Eng, threads::ThreadPool &Pool,
+                               int InFd, int OutFd, int WakeFd) {
+  Impl &I = *this;
+  ipc::LineReader Reader(InFd, Eng.limits().MaxRequestBytes);
+  if (WakeFd >= 0)
+    Reader.setWakeFd(WakeFd);
+  auto WriteMu = std::make_shared<std::mutex>();
+  std::vector<std::future<void>> Pending;
+  auto Respond = [&](const Response &R) {
+    std::lock_guard<std::mutex> Lock(*WriteMu);
+    ipc::writeLine(OutFd, renderResponse(R));
+  };
+
+  std::string Line;
+  for (;;) {
+    ipc::LineReader::Status S = Reader.readLine(Line);
+    if (S == ipc::LineReader::Status::Eof ||
+        S == ipc::LineReader::Status::Error)
+      break;
+    if (S == ipc::LineReader::Status::TooLong) {
+      // The frame was discarded before parsing, so its id is unknown.
+      I.Oversized.fetch_add(1, std::memory_order_relaxed);
+      Respond(Eng.oversizedResponse(0));
+      continue;
+    }
+    if (Line.empty())
+      continue;
+    Request Req;
+    std::string Err;
+    if (!parseRequest(Line, Req, &Err)) {
+      I.BadFrames.fetch_add(1, std::memory_order_relaxed);
+      Response R;
+      R.Status = "bad_request";
+      R.Error = Err;
+      Respond(R);
+      continue;
+    }
+    if (I.Draining.load(std::memory_order_relaxed)) {
+      // Drain sheds instead of queueing: the client's backoff retries
+      // land on the replacement server.
+      I.Shed.fetch_add(1, std::memory_order_relaxed);
+      Respond(Eng.overloadedResponse(Req.Id));
+      continue;
+    }
+    if (!I.tryAdmit(Eng.limits().QueueCapacity)) {
+      I.Shed.fetch_add(1, std::memory_order_relaxed);
+      Respond(Eng.overloadedResponse(Req.Id));
+      continue;
+    }
+    I.Accepted.fetch_add(1, std::memory_order_relaxed);
+    uint64_t Index = I.Seq.fetch_add(1, std::memory_order_relaxed);
+    auto Cancel = std::make_shared<std::atomic<bool>>(false);
+    uint64_t FlightId = I.registerFlight(Eng.limits().DeadlineMs, Cancel);
+    Pending.push_back(Pool.submit([&I, &Eng, Req = std::move(Req), Cancel,
+                                   FlightId, Index, WriteMu, OutFd] {
+      Response R = Eng.handle(Req, Cancel.get());
+      I.unregisterFlight(FlightId);
+      I.release();
+      I.recordEvent(R, Index);
+      I.Completed.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> Lock(*WriteMu);
+        // A vanished client is its own problem; EPIPE is not ours.
+        ipc::writeLine(OutFd, renderResponse(R));
+      }
+      if (I.Opts.Verbose)
+        std::fprintf(stderr, "amserved: req %llu -> %s (%llu ns)\n",
+                     static_cast<unsigned long long>(R.Id),
+                     R.Status.c_str(),
+                     static_cast<unsigned long long>(R.WallNs));
+    }));
+    // Prune settled futures so a long connection does not accumulate.
+    if (Pending.size() >= 64) {
+      std::vector<std::future<void>> Live;
+      for (std::future<void> &F : Pending)
+        if (F.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+          Live.push_back(std::move(F));
+        else
+          F.get();
+      Pending = std::move(Live);
+    }
+  }
+  // In-flight requests of this connection finish (or time out via the
+  // watchdog) before the stream closes.
+  for (std::future<void> &F : Pending)
+    F.get();
+}
+
+int Server::run() {
+  ipc::ignoreSigpipe();
+  if (::pipe(I->WakePipe) != 0) {
+    std::fprintf(stderr, "amserved: cannot create wake pipe\n");
+    return 1;
+  }
+  if (!I->Opts.EventsPath.empty()) {
+    I->EventsOut.open(I->Opts.EventsPath);
+    if (!I->EventsOut) {
+      std::fprintf(stderr, "amserved: cannot open events log '%s'\n",
+                   I->Opts.EventsPath.c_str());
+      return 1;
+    }
+    I->EvWriter.emplace(I->EventsOut);
+    // A daemon does not know its job count up front; 0 declares "stream"
+    // (validators pass an explicit --jobs).
+    I->EvWriter->writeHeader("(per-request)", 0);
+  }
+
+  unsigned Workers = I->Opts.Workers == 0 ? 1 : I->Opts.Workers;
+  // Solves run inline on each request's worker (the ambatch fan-out
+  // policy): parallelism is across requests, and a worker never blocks
+  // on a pool it is part of.
+  threads::setGlobalThreadCount(1);
+  threads::ThreadPool Pool(Workers);
+  I->Watchdog = std::thread([this] { I->watchdogLoop(); });
+
+  int Rc = 0;
+  if (I->Opts.SocketPath.empty()) {
+    I->serveStream(Eng, Pool, STDIN_FILENO, STDOUT_FILENO, I->WakePipe[0]);
+  } else {
+    std::string Err;
+    I->ListenFd = ipc::listenUnix(I->Opts.SocketPath, 64, &Err);
+    if (I->ListenFd < 0) {
+      std::fprintf(stderr, "amserved: %s\n", Err.c_str());
+      Rc = 1;
+    } else {
+      std::vector<std::thread> ConnThreads;
+      for (;;) {
+        struct pollfd Fds[2];
+        Fds[0].fd = I->ListenFd;
+        Fds[0].events = POLLIN;
+        Fds[1].fd = I->WakePipe[0];
+        Fds[1].events = POLLIN;
+        int PollRc;
+        do {
+          PollRc = ::poll(Fds, 2, -1);
+        } while (PollRc < 0 && errno == EINTR);
+        if (PollRc < 0)
+          break;
+        if (Fds[1].revents != 0 ||
+            I->Draining.load(std::memory_order_relaxed))
+          break;
+        if (Fds[0].revents == 0)
+          continue;
+        int Conn = ipc::acceptRetry(I->ListenFd);
+        if (Conn < 0) {
+          if (I->Draining.load(std::memory_order_relaxed))
+            break;
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> Lock(I->ConnMu);
+          I->OpenConns.push_back(Conn);
+        }
+        ConnThreads.emplace_back([this, &Pool, Conn] {
+          I->serveStream(Eng, Pool, Conn, Conn, -1);
+          ::close(Conn);
+          std::lock_guard<std::mutex> Lock(I->ConnMu);
+          for (auto It = I->OpenConns.begin(); It != I->OpenConns.end(); ++It)
+            if (*It == Conn) {
+              I->OpenConns.erase(It);
+              break;
+            }
+        });
+      }
+      // Drain: stop accepting, wake blocked readers, let every
+      // connection finish its in-flight work.
+      ::close(I->ListenFd);
+      I->ListenFd = -1;
+      ::unlink(I->Opts.SocketPath.c_str());
+      {
+        std::lock_guard<std::mutex> Lock(I->ConnMu);
+        for (int Conn : I->OpenConns)
+          ::shutdown(Conn, SHUT_RD);
+      }
+      for (std::thread &T : ConnThreads)
+        T.join();
+    }
+  }
+
+  I->StopWatchdog.store(true, std::memory_order_relaxed);
+  I->Watchdog.join();
+  {
+    std::lock_guard<std::mutex> Lock(I->EvMu);
+    if (I->EventsOut.is_open())
+      I->EventsOut.flush();
+  }
+  ::close(I->WakePipe[0]);
+  ::close(I->WakePipe[1]);
+  I->WakePipe[0] = I->WakePipe[1] = -1;
+  return Rc;
+}

@@ -57,6 +57,22 @@ public:
   DataflowSolver &hoistSolver() { return HoistSolver; }
   HoistLocalPredicates &hoistLocals() { return HoistLocals; }
 
+  /// Detaches the context from its graph so it may be bound to another
+  /// one: every graph-identity-keyed cache (pattern tick, solver
+  /// solutions/transfers/orders, block-local predicates) is dropped —
+  /// a different graph's address and ticks could otherwise alias a
+  /// stale cache — while arenas, scratch capacity and the pattern
+  /// generation counter survive.  This is what lets a long-lived
+  /// service worker reuse one context across requests (per-worker
+  /// context reuse, support/Service.h) without reallocating.
+  void reset() {
+    PatsValid = false;
+    PatsTick = 0;
+    RedundancySolver.invalidate();
+    HoistSolver.invalidate();
+    HoistLocals.invalidate();
+  }
+
 private:
   AssignPatternTable Pats;
   DataflowSolver RedundancySolver;

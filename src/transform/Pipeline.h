@@ -45,11 +45,14 @@
 #include "ir/FlowGraph.h"
 #include "support/Diag.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace am {
+
+class AmContext;
 
 namespace telemetry {
 class Session;
@@ -158,6 +161,21 @@ struct PipelineOptions {
   /// optimized output and all machine-independent counters are identical
   /// for every value — threads only change wall-clock.
   unsigned Threads = 0;
+  /// External cancellation flag (a service watchdog's deadline, see
+  /// support/Service.h).  Checked at every pass boundary: once set, the
+  /// pipeline stops before the next pass with LimitsExhausted and a
+  /// "canceled" diagnostic — the graph keeps only fully committed (and,
+  /// under Guarded, verified) passes, never a half-applied one.  Null
+  /// means no external cancellation.
+  const std::atomic<bool> *Cancel = nullptr;
+  /// Caller-owned AM analysis context reused across the run's uniform/
+  /// am/rae/aht passes *and* across runs (the service's per-worker
+  /// context).  Each pass rebinding resets the context's validity (the
+  /// graph identity changes between passes and requests) but keeps its
+  /// arenas and scratch capacity, so a warm worker stops allocating.
+  /// Null uses throwaway contexts — the pre-service behaviour.  Outputs
+  /// are byte-identical either way.
+  AmContext *Context = nullptr;
 };
 
 /// Outcome of a pipeline run.

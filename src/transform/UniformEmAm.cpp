@@ -40,7 +40,16 @@ FlowGraph am::runUniformEmAm(const FlowGraph &G, const UniformOptions &Options,
   if (Rec)
     Rec->snapshot(Work, "init");
 
-  S.AmPhase = runAssignmentMotionPhase(Work, Options.MaxAmIterations);
+  if (Options.Context) {
+    // The shared context was last bound to some other graph (a previous
+    // request, an earlier pass); detach it before binding to Work.
+    Options.Context->reset();
+    S.AmPhase =
+        runAssignmentMotionPhase(Work, *Options.Context,
+                                 Options.MaxAmIterations);
+  } else {
+    S.AmPhase = runAssignmentMotionPhase(Work, Options.MaxAmIterations);
+  }
 
   if (Options.RunFinalFlush)
     S.FlushChanged = runFinalFlush(Work);

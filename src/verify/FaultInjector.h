@@ -25,6 +25,18 @@
 ///                  updating the predecessor list — a structural fault
 ///                  GraphVerifier's adjacency check catches.
 ///
+/// The service-level classes fire inside support/Service.h's request
+/// engine instead of a transform, proving the daemon's failure envelope
+/// (the response statuses) rather than the guard detectors:
+///
+///   svc-worker-throw a worker thread throws mid-request — the engine
+///                    must answer `error` and keep serving;
+///   svc-slow-request the worker wedges past the request deadline — the
+///                    watchdog/deadline path must answer `timeout` with
+///                    the input intact;
+///   svc-bad-alloc    the request allocator fails — downgraded to a
+///                    `resource_exhausted` response, never process death.
+///
 /// Cost model mirrors report::RecorderSession: every hook is
 /// `if (FaultInjector *FI = FaultInjector::current())` — one relaxed
 /// atomic load when injection is off, which is always outside tests and
@@ -39,6 +51,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -49,9 +62,12 @@ enum class FaultClass : uint8_t {
   AhtSkipBlockage,   ///< "aht-skip-block"
   AhtMisplaceInsert, ///< "aht-misplace"
   CorruptEdge,       ///< "edge-corrupt"
+  SvcWorkerThrow,    ///< "svc-worker-throw"
+  SvcSlowRequest,    ///< "svc-slow-request"
+  SvcBadAlloc,       ///< "svc-bad-alloc"
 };
 
-constexpr unsigned NumFaultClasses = 4;
+constexpr unsigned NumFaultClasses = 7;
 
 const char *faultClassName(FaultClass C);
 
@@ -64,7 +80,9 @@ parseFaultSpec(const std::string &Spec);
 
 /// One armed fault per class, fired at a deterministic site.  Install one
 /// instance process-wide; the hooks in the transforms consult current().
-/// Not thread-safe — the optimizer pipeline is single-threaded.
+/// arm()/install() are setup-time (single-threaded); fire() serializes
+/// its site counting internally, so the service workers of `amserved`
+/// can race through the svc-* hooks without corrupting the slots.
 class FaultInjector {
 public:
   FaultInjector() = default;
@@ -97,6 +115,7 @@ public:
   /// Returns true exactly when the armed site index is reached; each armed
   /// fault fires at most once per run.
   bool fire(FaultClass C) {
+    std::lock_guard<std::mutex> Lock(FireMu);
     Slot &S = slot(C);
     if (!S.Armed || S.Fired)
       return false;
@@ -140,6 +159,7 @@ private:
 
   static std::atomic<FaultInjector *> Active;
 
+  std::mutex FireMu;
   Slot Slots[NumFaultClasses];
   bool Installed = false;
 };

@@ -1,0 +1,439 @@
+//===- tests/service_test.cpp - Optimization service tests -----*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The amserve-v1 engine and its failure envelope: protocol round-trips,
+// the FNV-keyed LRU result cache, deterministic backoff, byte-identity of
+// engine responses against direct runPipeline output (cold, cached, and
+// across per-worker context reuse), the timeout path's clean-rollback
+// contract under thread contention, and the injected service fault
+// matrix.  The daemon loop itself (sockets, drain, admission) is covered
+// end-to-end by tools/serve_check.py.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Service.h"
+
+#include "gen/RandomProgram.h"
+#include "ir/InstrNumbering.h"
+#include "ir/Printer.h"
+#include "parser/Parser.h"
+#include "support/ThreadPool.h"
+#include "transform/Pipeline.h"
+#include "verify/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <vector>
+
+using namespace am;
+using namespace am::service;
+
+namespace {
+
+std::string genSource(uint64_t Seed, unsigned Stmts = 24) {
+  GenOptions Opts;
+  Opts.TargetStmts = Stmts;
+  return printGraph(generateStructuredProgram(Seed, Opts));
+}
+
+/// What one-shot amopt would print: the canonical text of the pipeline's
+/// output for the parsed program.
+std::string directPipeline(const std::string &Source,
+                           const std::string &Passes, bool Guarded = true) {
+  ParseResult P = parseProgram(Source);
+  EXPECT_TRUE(P.ok()) << P.Error;
+  FlowGraph G = std::move(P.Graph);
+  ensureInstrIds(G);
+  PipelineOptions Opts;
+  Opts.Guarded = Guarded;
+  PipelineResult R = runPipeline(G, Passes, Opts);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return printGraph(R.Graph);
+}
+
+std::string canonical(const std::string &Source) {
+  ParseResult P = parseProgram(Source);
+  EXPECT_TRUE(P.ok()) << P.Error;
+  return printGraph(P.Graph);
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceProtocol, RequestRoundTrip) {
+  Request R;
+  R.Id = 42;
+  R.Source = "graph { b1: x := a + b\n out(x) halt }";
+  R.Passes = "lcm,cp,lcm";
+  R.LimitsSpec = "wall-ms=500";
+  R.Guarded = false;
+
+  Request Back;
+  std::string Err;
+  ASSERT_TRUE(parseRequest(renderRequest(R), Back, &Err)) << Err;
+  EXPECT_EQ(Back.Id, R.Id);
+  EXPECT_EQ(Back.Source, R.Source);
+  EXPECT_EQ(Back.Passes, R.Passes);
+  EXPECT_EQ(Back.LimitsSpec, R.LimitsSpec);
+  EXPECT_EQ(Back.Guarded, R.Guarded);
+}
+
+TEST(ServiceProtocol, RequestDefaultsAndErrors) {
+  Request R;
+  std::string Err;
+  ASSERT_TRUE(
+      parseRequest("{\"id\":1,\"source\":\"graph { b1: halt }\"}", R, &Err));
+  EXPECT_EQ(R.Passes, "uniform");
+  EXPECT_TRUE(R.Guarded);
+  EXPECT_TRUE(R.LimitsSpec.empty());
+
+  EXPECT_FALSE(parseRequest("not json at all", R, &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(parseRequest("[1,2,3]", R, &Err));
+  EXPECT_FALSE(parseRequest("{\"id\":1}", R, &Err)); // no source
+  EXPECT_FALSE(parseRequest("{\"source\":7}", R, &Err));
+}
+
+TEST(ServiceProtocol, ResponseRoundTrip) {
+  Response R;
+  R.Id = 9;
+  R.Status = "rolled_back";
+  R.Program = "graph {\nb0:\n  halt\n}\n";
+  R.Error = "pass 'aht' rolled back";
+  R.Hash = "00ff00ff00ff00ff";
+  R.Cached = true;
+  R.LimitsHit = true;
+  R.WallNs = 123456;
+  R.Rollbacks = 2;
+  R.RetryAfterMs = 75;
+  R.BlocksBefore = 3;
+  R.BlocksAfter = 4;
+  R.InstrsBefore = 10;
+  R.InstrsAfter = 8;
+  R.Counters.emplace_back("dfa.solves", 17);
+  R.RemarkKinds.emplace_back("hoist", 3);
+
+  Response Back;
+  std::string Err;
+  ASSERT_TRUE(parseResponse(renderResponse(R), Back, &Err)) << Err;
+  EXPECT_EQ(Back.Id, R.Id);
+  EXPECT_EQ(Back.Status, R.Status);
+  EXPECT_EQ(Back.Program, R.Program);
+  EXPECT_EQ(Back.Error, R.Error);
+  EXPECT_EQ(Back.Hash, R.Hash);
+  EXPECT_EQ(Back.Cached, R.Cached);
+  EXPECT_EQ(Back.LimitsHit, R.LimitsHit);
+  EXPECT_EQ(Back.WallNs, R.WallNs);
+  EXPECT_EQ(Back.Rollbacks, R.Rollbacks);
+  EXPECT_EQ(Back.RetryAfterMs, R.RetryAfterMs);
+  EXPECT_EQ(Back.BlocksBefore, R.BlocksBefore);
+  EXPECT_EQ(Back.BlocksAfter, R.BlocksAfter);
+  EXPECT_EQ(Back.InstrsBefore, R.InstrsBefore);
+  EXPECT_EQ(Back.InstrsAfter, R.InstrsAfter);
+  EXPECT_EQ(Back.Counters, R.Counters);
+  EXPECT_EQ(Back.RemarkKinds, R.RemarkKinds);
+  EXPECT_TRUE(Back.ok());
+}
+
+TEST(ServiceProtocol, ResponseSchemaMismatchRejected) {
+  Response R;
+  std::string Err;
+  EXPECT_FALSE(parseResponse("{\"schema\":\"amserve-v0\",\"id\":1,"
+                             "\"status\":\"ok\"}",
+                             R, &Err));
+  EXPECT_NE(Err.find("amserve-v1"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache identity and backoff
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceKey, DependsOnEveryExecutionKnob) {
+  Request A;
+  A.Source = "ignored — identity is the canonical text";
+  const std::string Canon = "graph {\nb0:\n  halt\n}\n";
+  uint64_t Base = requestKey(Canon, A);
+  EXPECT_EQ(requestKey(Canon, A), Base); // stable
+
+  Request B = A;
+  B.Id = 999; // the id is NOT part of the identity
+  EXPECT_EQ(requestKey(Canon, B), Base);
+
+  B = A;
+  B.Passes = "lcm,cp";
+  EXPECT_NE(requestKey(Canon, B), Base);
+  B = A;
+  B.LimitsSpec = "am-rounds=2";
+  EXPECT_NE(requestKey(Canon, B), Base);
+  B = A;
+  B.Guarded = false;
+  EXPECT_NE(requestKey(Canon, B), Base);
+  EXPECT_NE(requestKey(Canon + " ", A), Base);
+}
+
+TEST(ServiceBackoff, DeterministicJitterWithinExponentialWindow) {
+  for (unsigned Attempt = 0; Attempt < 6; ++Attempt) {
+    uint64_t Window = std::min<uint64_t>(10ull << Attempt, 200);
+    uint64_t D = backoffDelayMs(Attempt, 10, 200, /*Seed=*/7);
+    EXPECT_EQ(D, backoffDelayMs(Attempt, 10, 200, 7)) << Attempt;
+    EXPECT_GE(D, Window / 2) << Attempt;
+    EXPECT_LT(D, Window) << Attempt;
+  }
+  // Different seeds decorrelate at least somewhere in the schedule.
+  bool Differs = false;
+  for (unsigned Attempt = 0; Attempt < 6 && !Differs; ++Attempt)
+    Differs = backoffDelayMs(Attempt, 10, 200, 1) !=
+              backoffDelayMs(Attempt, 10, 200, 2);
+  EXPECT_TRUE(Differs);
+}
+
+TEST(ServiceCache, LruEvictionAndCounters) {
+  ResultCache Cache(2);
+  Response R;
+  R.Status = "ok";
+  R.Program = "one";
+  Cache.insert(1, R);
+  R.Program = "two";
+  Cache.insert(2, R);
+
+  Response Out;
+  EXPECT_TRUE(Cache.lookup(1, Out)); // 1 becomes most recently used
+  EXPECT_EQ(Out.Program, "one");
+  EXPECT_TRUE(Out.Cached);
+
+  R.Program = "three";
+  Cache.insert(3, R); // evicts 2, the least recently used
+  EXPECT_FALSE(Cache.lookup(2, Out));
+  EXPECT_TRUE(Cache.lookup(1, Out));
+  EXPECT_TRUE(Cache.lookup(3, Out));
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.hits(), 3u);
+  EXPECT_EQ(Cache.misses(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine: byte-identity with one-shot runs
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceEngine, ResponsesByteIdenticalToDirectPipeline) {
+  ServiceLimits L;
+  L.DeadlineMs = 0; // no deadline: identity must hold unconditionally
+  Engine Eng(L);
+  // Several programs through ONE engine on one thread: the per-worker
+  // AmContext is reused and reset between requests, and every response
+  // must still match a fresh, context-free run.
+  for (uint64_t Seed : {1, 2, 3, 4}) {
+    for (const char *Passes : {"uniform", "lcm,cp,lcm"}) {
+      Request Req;
+      Req.Id = Seed;
+      Req.Source = genSource(Seed);
+      Req.Passes = Passes;
+      Response R = Eng.handle(Req);
+      ASSERT_EQ(R.Status, "ok") << "seed " << Seed << ": " << R.Error;
+      EXPECT_EQ(R.Program, directPipeline(Req.Source, Passes))
+          << "seed " << Seed << " passes " << Passes;
+      EXPECT_FALSE(R.Cached);
+      EXPECT_EQ(R.Hash.size(), 16u);
+      EXPECT_GT(R.InstrsBefore, 0u);
+    }
+  }
+}
+
+TEST(ServiceEngine, CacheHitReplaysExactBody) {
+  Engine Eng(ServiceLimits{});
+  Request Req;
+  Req.Id = 1;
+  Req.Source = genSource(11);
+  Response Cold = Eng.handle(Req);
+  ASSERT_EQ(Cold.Status, "ok") << Cold.Error;
+
+  Req.Id = 2; // a different request id must still hit
+  Response Warm = Eng.handle(Req);
+  EXPECT_TRUE(Warm.Cached);
+  EXPECT_EQ(Warm.Id, 2u);
+  EXPECT_EQ(Warm.Program, Cold.Program);
+  EXPECT_EQ(Warm.Hash, Cold.Hash);
+  EXPECT_EQ(Warm.Counters, Cold.Counters);
+  EXPECT_EQ(Warm.RemarkKinds, Cold.RemarkKinds);
+  EXPECT_EQ(Eng.cache().hits(), 1u);
+
+  // Same source, different knobs: a miss, not a poisoned hit.
+  Req.Guarded = false;
+  Response Other = Eng.handle(Req);
+  EXPECT_FALSE(Other.Cached);
+  EXPECT_EQ(Other.Program, Cold.Program); // unguarded output still agrees
+}
+
+TEST(ServiceEngine, CacheDisabledNeverHits) {
+  ServiceLimits L;
+  L.CacheEntries = 0;
+  Engine Eng(L);
+  Request Req;
+  Req.Source = genSource(5);
+  EXPECT_EQ(Eng.handle(Req).Status, "ok");
+  EXPECT_FALSE(Eng.handle(Req).Cached);
+}
+
+TEST(ServiceEngine, BadRequests) {
+  Engine Eng(ServiceLimits{});
+  Request Req;
+  Req.Source = "graph { not a program";
+  Response R = Eng.handle(Req);
+  EXPECT_EQ(R.Status, "bad_request");
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_TRUE(R.Program.empty()); // never parsed: nothing to echo
+
+  Req.Source = "graph { b1: halt }";
+  Req.Passes = "bogus-pass";
+  EXPECT_EQ(Eng.handle(Req).Status, "bad_request");
+
+  Req.Passes = "uniform";
+  Req.LimitsSpec = "frobs=1";
+  EXPECT_EQ(Eng.handle(Req).Status, "bad_request");
+
+  Req.LimitsSpec.clear();
+  EXPECT_EQ(Eng.handle(Req).Status, "ok"); // the engine is unharmed
+}
+
+TEST(ServiceEngine, EnvelopeResponses) {
+  ServiceLimits L;
+  L.QueueCapacity = 3;
+  L.RetryAfterMs = 40;
+  L.MaxRequestBytes = 1000;
+  Engine Eng(L);
+  Response Shed = Eng.overloadedResponse(7);
+  EXPECT_EQ(Shed.Id, 7u);
+  EXPECT_EQ(Shed.Status, "overloaded");
+  EXPECT_EQ(Shed.RetryAfterMs, 40u);
+  EXPECT_FALSE(Shed.ok());
+  Response Big = Eng.oversizedResponse(8);
+  EXPECT_EQ(Big.Status, "oversized");
+  EXPECT_NE(Big.Error.find("1000"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Timeout: the clean-rollback contract under contention
+//===----------------------------------------------------------------------===//
+
+// A request that blows its wall budget must report `timeout` and return
+// the byte-identical canonical *input* — never a half-transformed graph —
+// no matter how many workers are hammering the engine.
+TEST(ServiceEngine, TimeoutReturnsByteIdenticalInputUnderContention) {
+  ServiceLimits L;
+  L.DeadlineMs = 0.000001; // immediately exceeded at the first boundary
+  Engine Eng(L);
+  for (unsigned Threads : {1u, 8u}) {
+    threads::ThreadPool Pool(Threads);
+    std::vector<std::future<void>> Futures;
+    for (uint64_t Seed = 1; Seed <= 16; ++Seed)
+      Futures.push_back(Pool.submit([&Eng, Seed] {
+        Request Req;
+        Req.Id = Seed;
+        Req.Source = genSource(Seed, 40);
+        Response R = Eng.handle(Req);
+        ASSERT_EQ(R.Status, "timeout") << "seed " << Seed;
+        EXPECT_EQ(R.Program, canonical(Req.Source)) << "seed " << Seed;
+        EXPECT_EQ(R.InstrsAfter, R.InstrsBefore);
+        EXPECT_EQ(R.BlocksAfter, R.BlocksBefore);
+      }));
+    for (auto &F : Futures)
+      F.get();
+  }
+}
+
+TEST(ServiceEngine, WatchdogCancelFlagForcesTimeout) {
+  ServiceLimits L;
+  L.DeadlineMs = 60000; // the deadline itself is far away
+  Engine Eng(L);
+  std::atomic<bool> Cancel{true}; // watchdog already fired
+  Request Req;
+  Req.Source = genSource(3);
+  Response R = Eng.handle(Req, &Cancel);
+  EXPECT_EQ(R.Status, "timeout");
+  EXPECT_EQ(R.Program, canonical(Req.Source));
+}
+
+TEST(ServiceEngine, NonDeadlineBudgetReportsLimitsNotTimeout) {
+  ServiceLimits L;
+  L.DeadlineMs = 0; // no deadline: exhaustion cannot be a timeout
+  Engine Eng(L);
+  Request Req;
+  Req.Source = genSource(6, 60);
+  Req.Passes = "split,init,rae";
+  Req.LimitsSpec = "growth=1.0001";
+  Response R = Eng.handle(Req);
+  EXPECT_EQ(R.Status, "limits");
+  EXPECT_TRUE(R.LimitsHit);
+  EXPECT_EQ(R.Program, canonical(Req.Source));
+}
+
+//===----------------------------------------------------------------------===//
+// Injected service faults
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceEngine, InjectedFaultMatrix) {
+  struct Case {
+    fault::FaultClass Class;
+    const char *Status;
+  };
+  const Case Matrix[] = {
+      {fault::FaultClass::SvcWorkerThrow, "error"},
+      {fault::FaultClass::SvcBadAlloc, "resource_exhausted"},
+      {fault::FaultClass::SvcSlowRequest, "timeout"},
+  };
+  for (const Case &C : Matrix) {
+    ServiceLimits L;
+    L.DeadlineMs = 50; // keeps the slow-request case fast
+    L.CacheEntries = 0; // the recovery run must really execute
+    Engine Eng(L);
+    fault::FaultInjector FI;
+    FI.arm(C.Class);
+    FI.install();
+    Request Req;
+    Req.Source = genSource(8);
+    Response R = Eng.handle(Req);
+    EXPECT_EQ(R.Status, C.Status) << fault::faultClassName(C.Class);
+    EXPECT_EQ(R.Program, canonical(Req.Source))
+        << "contained failure must echo the input";
+    EXPECT_EQ(FI.firedCount(), 1u);
+    // The fault fired once; the very next request on the same engine
+    // must succeed — the process survives its workers.
+    Response Ok = Eng.handle(Req);
+    EXPECT_EQ(Ok.Status, "ok") << fault::faultClassName(C.Class);
+    EXPECT_EQ(Ok.Program, directPipeline(Req.Source, "uniform"));
+    FI.uninstall();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Event mapping
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceEvent, ResponseEventCarriesEverything) {
+  Engine Eng(ServiceLimits{});
+  Request Req;
+  Req.Id = 77;
+  Req.Source = genSource(9);
+  Response R = Eng.handle(Req);
+  ASSERT_EQ(R.Status, "ok");
+  fleet::JobEvent E = responseEvent(R, /*Index=*/3);
+  EXPECT_EQ(E.Index, 3u);
+  EXPECT_EQ(E.Name, "req:77");
+  EXPECT_EQ(E.Preset, "serve");
+  EXPECT_EQ(E.Status, "ok");
+  EXPECT_EQ(E.Hash, R.Hash);
+  EXPECT_EQ(E.WallNs, R.WallNs);
+  EXPECT_EQ(E.Counters, R.Counters);
+  EXPECT_EQ(E.RemarkKinds, R.RemarkKinds);
+  EXPECT_EQ(E.InstrsBefore, R.InstrsBefore);
+  EXPECT_EQ(E.InstrsAfter, R.InstrsAfter);
+}
+
+} // namespace

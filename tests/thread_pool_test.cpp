@@ -101,6 +101,49 @@ TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
   }
 }
 
+// The service regression (PR 10): two workers throwing *simultaneously*
+// must each deliver their own exception through their own future, with no
+// deadlock, no lost worker, and every job queued behind them still
+// running.  (A pool that loses a worker to an unhandled exception would
+// hang amserved the first time two requests failed together.)
+TEST(ThreadPool, ConcurrentFailuresBothPropagateAndPoolSurvives) {
+  threads::ThreadPool Pool(2);
+  std::atomic<int> AtBarrier{0};
+  auto Thrower = [&AtBarrier](const char *What) {
+    // Rendezvous: neither worker throws until both are inside a task, so
+    // the two failures are genuinely concurrent.
+    ++AtBarrier;
+    while (AtBarrier.load() < 2)
+      std::this_thread::yield();
+    throw std::runtime_error(What);
+  };
+  std::future<void> A = Pool.submit([&] { Thrower("first boom"); });
+  std::future<void> B = Pool.submit([&] { Thrower("second boom"); });
+
+  // Jobs queued behind the simultaneous failures must still run.
+  std::atomic<int> Survivors{0};
+  std::vector<std::future<void>> After;
+  for (int I = 0; I < 8; ++I)
+    After.push_back(Pool.submit([&Survivors] { ++Survivors; }));
+
+  // Each future carries its *own* exception, not the neighbor's.
+  try {
+    A.get();
+    FAIL() << "first task's exception was lost";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "first boom");
+  }
+  try {
+    B.get();
+    FAIL() << "second task's exception was lost";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "second boom");
+  }
+  for (auto &F : After)
+    F.get(); // would deadlock here if a worker died
+  EXPECT_EQ(Survivors.load(), 8);
+}
+
 TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
   for (unsigned Workers : {1u, 3u, 8u}) {
     threads::ThreadPool Pool(Workers);

@@ -37,10 +37,12 @@
 #include "interp/Interpreter.h"
 #include "ir/FlowGraph.h"
 #include "ir/Patterns.h"
+#include "ir/Printer.h"
 #include "parser/Parser.h"
 #include "support/ArgParser.h"
 #include "support/History.h"
 #include "support/Json.h"
+#include "support/Service.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "transform/CopyPropagation.h"
@@ -328,50 +330,58 @@ std::vector<Preset> buildPresets() {
     Out.push_back(std::move(P));
   }
 
+  // The examples corpus as program texts, found by searching upward from
+  // the working directory (the build tree in CI); when absent, seeded
+  // generated stand-ins of similar size keep the corpus presets present
+  // and deterministic, with \p Parsed = 0 making the substitution visible
+  // in the document.  Only parseable programs are returned.
+  auto exampleProgramTexts = [](uint64_t &Parsed) {
+    namespace fs = std::filesystem;
+    std::vector<std::string> Texts;
+    Parsed = 0;
+    std::string Prefix;
+    for (int Depth = 0; Depth < 5 && Texts.empty();
+         ++Depth, Prefix += "../") {
+      std::error_code Ec;
+      fs::path Dir = Prefix + "examples/programs";
+      if (!fs::is_directory(Dir, Ec))
+        continue;
+      std::vector<fs::path> Files;
+      for (const auto &Entry : fs::directory_iterator(Dir, Ec))
+        if (Entry.is_regular_file() && Entry.path().extension() == ".am")
+          Files.push_back(Entry.path());
+      std::sort(Files.begin(), Files.end());
+      for (const fs::path &F : Files) {
+        std::ifstream In(F);
+        std::ostringstream Buf;
+        Buf << In.rdbuf();
+        if (parseProgram(Buf.str()).ok())
+          Texts.push_back(Buf.str());
+      }
+      Parsed = Texts.size();
+    }
+    if (Texts.empty())
+      for (uint64_t Seed = 101; Seed <= 105; ++Seed) {
+        GenOptions Opts;
+        Opts.TargetStmts = 24;
+        Texts.push_back(printGraph(generateStructuredProgram(Seed, Opts)));
+      }
+    return Texts;
+  };
+
   {
     // The ambatch workload as a bench preset: every example program
     // through the guarded uniform pipeline, one fresh telemetry session
     // per program per rep (exactly one ambatch job).  wall_ns / programs
     // is the per-program cost behind the dashboard's throughput tile, so
-    // the CI trend gate covers batch throughput too.  The corpus is found
-    // by searching upward from the working directory (the build tree in
-    // CI); when absent, seeded generated stand-ins of similar size keep
-    // the preset present and deterministic, with work.parsed = 0 making
-    // the substitution visible in the document.
+    // the CI trend gate covers batch throughput too.
     Preset P;
     P.Name = "batch/examples-throughput";
     auto Corpus = std::make_shared<std::vector<FlowGraph>>();
-    P.Setup = [Corpus] {
-      namespace fs = std::filesystem;
+    P.Setup = [Corpus, exampleProgramTexts] {
       uint64_t Parsed = 0, TotalInstrs = 0;
-      std::string Prefix;
-      for (int Depth = 0; Depth < 5 && Corpus->empty();
-           ++Depth, Prefix += "../") {
-        std::error_code Ec;
-        fs::path Dir = Prefix + "examples/programs";
-        if (!fs::is_directory(Dir, Ec))
-          continue;
-        std::vector<fs::path> Files;
-        for (const auto &Entry : fs::directory_iterator(Dir, Ec))
-          if (Entry.is_regular_file() && Entry.path().extension() == ".am")
-            Files.push_back(Entry.path());
-        std::sort(Files.begin(), Files.end());
-        for (const fs::path &F : Files) {
-          std::ifstream In(F);
-          std::ostringstream Buf;
-          Buf << In.rdbuf();
-          ParseResult R = parseProgram(Buf.str());
-          if (R.ok())
-            Corpus->push_back(std::move(R.Graph));
-        }
-        Parsed = Corpus->size();
-      }
-      if (Corpus->empty())
-        for (uint64_t Seed = 101; Seed <= 105; ++Seed) {
-          GenOptions Opts;
-          Opts.TargetStmts = 24;
-          Corpus->push_back(generateStructuredProgram(Seed, Opts));
-        }
+      for (const std::string &Text : exampleProgramTexts(Parsed))
+        Corpus->push_back(parseProgram(Text).Graph);
       for (const FlowGraph &G : *Corpus)
         TotalInstrs += instrCount(G);
       return WorkFacts{{"programs", Corpus->size()},
@@ -386,6 +396,51 @@ std::vector<Preset> buildPresets() {
         Opts.Guarded = true;
         Opts.Telemetry = &S;
         Acc += instrCount(runPipeline(G, "uniform", Opts).Graph);
+      }
+      return Acc;
+    };
+    Out.push_back(std::move(P));
+  }
+
+  {
+    // The amserved workload as a bench preset: every example program
+    // through the in-process request engine as a full amserve-v1 round
+    // trip — render the request line, parse it back, execute it (guarded
+    // uniform pipeline under a per-request telemetry session and the
+    // reused worker context), render and re-parse the response.  The
+    // result cache stays at its default capacity and the warmup reps
+    // populate it, so the timed number is the daemon's steady-state
+    // warm-cache request cost: protocol framing + canonicalization +
+    // cache hit, the overhead `amserved` adds over the optimization
+    // itself (which batch/examples-throughput times cold).
+    Preset P;
+    P.Name = "serve/examples-throughput";
+    auto Texts = std::make_shared<std::vector<std::string>>();
+    auto Eng = std::make_shared<service::Engine>(service::ServiceLimits{});
+    P.Setup = [Texts, Eng, exampleProgramTexts] {
+      uint64_t Parsed = 0, TotalInstrs = 0;
+      *Texts = exampleProgramTexts(Parsed);
+      for (const std::string &Text : *Texts)
+        TotalInstrs += parseProgram(Text).Graph.numInstrs();
+      return WorkFacts{{"programs", Texts->size()},
+                       {"parsed", Parsed},
+                       {"instrs_in", TotalInstrs}};
+    };
+    P.Body = [Texts, Eng] {
+      uint64_t Acc = 0, Id = 0;
+      for (const std::string &Text : *Texts) {
+        service::Request Req;
+        Req.Id = ++Id;
+        Req.Source = Text;
+        service::Request Wire;
+        if (!service::parseRequest(service::renderRequest(Req), Wire,
+                                   nullptr))
+          continue;
+        service::Response Resp;
+        if (!service::parseResponse(
+                service::renderResponse(Eng->handle(Wire)), Resp, nullptr))
+          continue;
+        Acc += Resp.InstrsAfter + Resp.Program.size();
       }
       return Acc;
     };

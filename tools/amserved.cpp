@@ -1,0 +1,276 @@
+//===- tools/amserved.cpp - Long-lived optimization daemon -----*- C++ -*-===//
+//
+// Part of the assignment-motion reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// amserved — the optimization-as-a-service daemon (ROADMAP item 1): a
+// long-lived process accepting amserve-v1 requests (one JSON object per
+// line; see support/Service.h) over stdio or a Unix-domain socket and
+// answering each with the guarded pipeline's result.
+//
+//   amserved [--socket=PATH] [--threads=N|max] [--queue=N] [--cache=N]
+//            [--deadline-ms=F] [--max-request-bytes=N]
+//            [--events=F.jsonl] [--history=F.jsonl]
+//            [--inject=class[:site]] [--verbose]
+//
+// Without --socket the daemon serves its stdin/stdout (one process per
+// client — what the stdio tests and shell pipes use).  With --socket it
+// accepts any number of concurrent connections.
+//
+// The failure envelope (the tentpole contract):
+//   * per-request deadlines — --deadline-ms folds into the pipeline wall
+//     budget and a watchdog cancels requests that blow it inside a pass;
+//     the response is `timeout` with the canonical *input* attached;
+//   * crash containment — a worker exception answers `error`, allocation
+//     failure answers `resource_exhausted`; the daemon keeps serving;
+//   * bounded admission — at most --queue requests in flight; beyond
+//     that, `overloaded` with a retry_after_ms hint (load shedding);
+//   * graceful drain — SIGTERM/SIGINT stop admission, let in-flight
+//     requests finish or time out, flush the event log, roll the run
+//     into --history, and exit 0.
+//
+// Responses are byte-identical to one-shot `amopt` output for the same
+// program and pass spec, cache hit or miss, at any --threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParser.h"
+#include "support/Aggregate.h"
+#include "support/History.h"
+#include "support/Ipc.h"
+#include "support/Service.h"
+#include "support/ThreadPool.h"
+#include "verify/FaultInjector.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <signal.h>
+#include <unistd.h>
+
+using namespace am;
+
+namespace {
+
+// The signal handler writes one byte here; the watcher thread does the
+// actual drain (requestDrain touches non-async-signal-safe state).
+int SignalPipe[2] = {-1, -1};
+
+void onTermSignal(int) {
+  char C = 't';
+  [[maybe_unused]] ssize_t N = ::write(SignalPipe[1], &C, 1);
+}
+
+void installDrainSignals() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onTermSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = SA_RESTART;
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+}
+
+/// The drain-time history rollup: the served requests as one amhist-v1
+/// entry (Source "amserved", preset "serve/all"), so longitudinal trend
+/// tooling sees service runs next to batch runs.
+bool appendHistory(const std::string &Path,
+                   const std::vector<fleet::JobEvent> &Events,
+                   unsigned Workers, std::string *Err) {
+  fleet::Aggregate Agg;
+  for (const fleet::JobEvent &E : Events)
+    Agg.addJob(E);
+
+  hist::HistoryEntry H;
+  H.Source = "amserved";
+  hist::stampFingerprint(H);
+  H.SolverThreads = Workers;
+  H.CalibNs = hist::measureCalibrationSpin();
+  hist::PresetStat PS;
+  for (const fleet::JobEvent &E : Events)
+    PS.WallNs += E.WallNs;
+  PS.Work.emplace_back("requests", Events.size());
+  H.Presets.emplace_back("serve/all", std::move(PS));
+  for (const auto &[Name, M] : Agg.counters())
+    H.Counters.emplace_back(Name, M.Sum);
+  return hist::appendHistoryFile(Path, H, Err);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath, ThreadSpec, QueueSpec, CacheSpec, DeadlineSpec;
+  std::string MaxBytesSpec, EventsPath, HistoryPath, InjectSpec;
+  bool Verbose = false;
+
+  support::ArgParser Parser(
+      "amserved",
+      "Long-lived optimization daemon: accepts amserve-v1 requests (one\n"
+      "JSON object per line) over stdio or a Unix-domain socket, runs each\n"
+      "through the guarded pipeline on a worker pool under per-request\n"
+      "deadlines, and answers with the optimized program — byte-identical\n"
+      "to one-shot amopt output.  SIGTERM/SIGINT drain gracefully.");
+  Parser.option("--socket", SocketPath,
+                "serve a Unix-domain socket instead of stdio", "PATH");
+  Parser.option("--threads", ThreadSpec, "request worker threads", "N|max");
+  Parser.option("--queue", QueueSpec,
+                "admission bound: requests in flight before shedding "
+                "(default 64, 0 = unbounded)",
+                "N");
+  Parser.option("--cache", CacheSpec,
+                "LRU result cache entries (default 256, 0 disables)", "N");
+  Parser.option("--deadline-ms", DeadlineSpec,
+                "per-request wall deadline (default 10000, 0 = none)", "F");
+  Parser.option("--max-request-bytes", MaxBytesSpec,
+                "largest accepted request frame (default 4194304)", "N");
+  Parser.option("--events", EventsPath,
+                "amevents-v1 JSONL log, one flushed record per request",
+                "F.jsonl");
+  Parser.option("--history", HistoryPath,
+                "on drain, append the run to an amhist-v1 history file",
+                "F.jsonl");
+  Parser.option("--inject", InjectSpec,
+                "arm one deterministic service fault (tests)",
+                "class[:site]");
+  Parser.flag("--verbose", Verbose, "per-request lines on stderr");
+  if (!Parser.parse(argc, argv)) {
+    std::fprintf(stderr, "amserved: %s\n", Parser.error().c_str());
+    return 1;
+  }
+  if (Parser.helpRequested()) {
+    std::fputs(Parser.helpText().c_str(), stdout);
+    return 0;
+  }
+  if (!Parser.positional().empty()) {
+    std::fprintf(stderr, "amserved: unexpected argument '%s'\n",
+                 Parser.positional().front().c_str());
+    return 1;
+  }
+
+  service::ServerOptions Opts;
+  Opts.SocketPath = SocketPath;
+  Opts.EventsPath = EventsPath;
+  Opts.Verbose = Verbose;
+
+  auto ParseU64 = [](const std::string &Spec, const char *Flag,
+                     uint64_t &Out) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Spec.c_str(), &End, 10);
+    if (!End || *End != '\0') {
+      std::fprintf(stderr, "amserved: bad %s '%s'\n", Flag, Spec.c_str());
+      return false;
+    }
+    Out = V;
+    return true;
+  };
+  uint64_t U = 0;
+  if (!QueueSpec.empty()) {
+    if (!ParseU64(QueueSpec, "--queue", U))
+      return 1;
+    Opts.Limits.QueueCapacity = static_cast<unsigned>(U);
+  }
+  if (!CacheSpec.empty()) {
+    if (!ParseU64(CacheSpec, "--cache", U))
+      return 1;
+    Opts.Limits.CacheEntries = static_cast<unsigned>(U);
+  }
+  if (!MaxBytesSpec.empty()) {
+    if (!ParseU64(MaxBytesSpec, "--max-request-bytes", U))
+      return 1;
+    Opts.Limits.MaxRequestBytes = U;
+  }
+  if (!DeadlineSpec.empty()) {
+    char *End = nullptr;
+    double V = std::strtod(DeadlineSpec.c_str(), &End);
+    if (!End || *End != '\0' || V < 0.0) {
+      std::fprintf(stderr, "amserved: bad --deadline-ms '%s'\n",
+                   DeadlineSpec.c_str());
+      return 1;
+    }
+    Opts.Limits.DeadlineMs = V;
+  }
+  Opts.Workers = 1;
+  if (!ThreadSpec.empty()) {
+    std::string Err;
+    Opts.Workers = threads::parseThreadSpec(ThreadSpec, &Err);
+    if (Opts.Workers == 0) {
+      std::fprintf(stderr, "amserved: --threads: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+
+  fault::FaultInjector Injector;
+  if (!InjectSpec.empty()) {
+    diag::Expected<std::pair<fault::FaultClass, unsigned>> Spec =
+        fault::parseFaultSpec(InjectSpec);
+    if (!Spec.ok()) {
+      std::fprintf(stderr, "amserved: %s\n",
+                   Spec.diagnostic().render().c_str());
+      return 1;
+    }
+    Injector.arm(Spec->first, Spec->second);
+    Injector.install();
+  }
+
+  ipc::ignoreSigpipe();
+  if (::pipe(SignalPipe) != 0) {
+    std::fprintf(stderr, "amserved: cannot create signal pipe\n");
+    return 1;
+  }
+  installDrainSignals();
+
+  service::Server Server(Opts);
+  std::thread SignalWatcher([&Server] {
+    char C;
+    if (ipc::readRetry(SignalPipe[0], &C, 1) > 0)
+      Server.requestDrain();
+  });
+
+  if (Verbose)
+    std::fprintf(stderr,
+                 "amserved: serving %s, %u worker(s), queue=%u, cache=%u, "
+                 "deadline=%.0fms\n",
+                 SocketPath.empty() ? "stdio" : SocketPath.c_str(),
+                 Opts.Workers, Opts.Limits.QueueCapacity,
+                 Opts.Limits.CacheEntries, Opts.Limits.DeadlineMs);
+
+  int Rc = Server.run();
+
+  // run() returned: either drain was requested or the input stream ended
+  // (stdio EOF).  Unblock the watcher if no signal ever arrived.
+  {
+    char C = 'q';
+    [[maybe_unused]] ssize_t N = ::write(SignalPipe[1], &C, 1);
+  }
+  SignalWatcher.join();
+  ::close(SignalPipe[0]);
+  ::close(SignalPipe[1]);
+
+  std::vector<fleet::JobEvent> Events = Server.takeEvents();
+  if (!HistoryPath.empty() && !Events.empty()) {
+    std::string Err;
+    if (!appendHistory(HistoryPath, Events, Opts.Workers, &Err))
+      std::fprintf(stderr, "amserved: %s\n", Err.c_str());
+    else if (Verbose)
+      std::fprintf(stderr, "amserved: run appended to history %s\n",
+                   HistoryPath.c_str());
+  }
+
+  service::Server::Stats S = Server.stats();
+  if (Verbose)
+    std::fprintf(stderr,
+                 "amserved: drained: %llu accepted, %llu completed, "
+                 "%llu shed, %llu oversized, %llu bad frames "
+                 "(cache %llu hits / %llu misses)\n",
+                 (unsigned long long)S.Accepted,
+                 (unsigned long long)S.Completed, (unsigned long long)S.Shed,
+                 (unsigned long long)S.Oversized,
+                 (unsigned long long)S.BadFrames,
+                 (unsigned long long)Server.engine().cache().hits(),
+                 (unsigned long long)Server.engine().cache().misses());
+  return Rc;
+}

@@ -1,0 +1,494 @@
+#!/usr/bin/env python3
+"""End-to-end harness for the amserved optimization daemon.
+
+Each ``--mode`` drives one acceptance scenario of the service failure
+envelope:
+
+``roundtrip``
+    stdio daemon: every sample program is sent twice; every response must
+    be ``ok`` and byte-identical to one-shot ``amopt --guarded`` output
+    for the same program and pass spec, the second response must be a
+    cache hit with the identical body, and EOF must drain to exit 0.
+
+``socket``
+    Unix-socket daemon: the same byte-identity over a socket connection,
+    plus protocol robustness on one connection — malformed JSON answers
+    ``bad_request``, an unparseable program answers ``bad_request``, an
+    over-limit frame answers ``oversized`` — and the connection keeps
+    serving after each.  SIGTERM must drain to exit 0.
+
+``faults``
+    The service fault matrix: for each injected fault class
+    (``svc-worker-throw`` -> error, ``svc-bad-alloc`` ->
+    resource_exhausted, ``svc-slow-request`` -> timeout) the faulted
+    request must report the envelope status with the *input* program
+    intact (instrs_after == instrs_before), and the next request on the
+    same daemon must succeed — one poisoned request never takes the
+    process down.
+
+``overload``
+    Load shedding: with ``--queue=1`` and one wedged in-flight request, a
+    concurrent request is shed with ``overloaded`` and a positive
+    retry_after_ms; retrying after the hint succeeds.
+
+``sigterm``
+    Graceful drain mid-load: SIGTERM lands while requests are in flight;
+    every admitted request is answered (or shed), the daemon exits 0, and
+    the event log it leaves behind validates via batch_check.py.
+
+``connect``
+    The ambatch client: a cold corpus run and a warm (cache-served) rerun
+    through ``ambatch --connect`` must produce byte-identical
+    deterministic aggregates, and the daemon's event log must validate.
+
+Exit codes: 0 ok, 1 scenario failure, 2 usage/environment.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+def fail(msg):
+    print(f"serve_check: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def info(msg):
+    print(f"serve_check: {msg}")
+
+
+def sample_files(samples):
+    files = sorted(f for f in os.listdir(samples) if f.endswith(".am"))
+    if not files:
+        raise SystemExit(f"serve_check: no *.am files in {samples}")
+    return [os.path.join(samples, f) for f in files]
+
+
+def amopt_expected(amopt, path, passes="uniform"):
+    p = subprocess.run([amopt, "--guarded", f"--passes={passes}", path],
+                       capture_output=True, text=True)
+    if p.returncode != 0:
+        raise SystemExit(f"serve_check: amopt failed on {path}: {p.stderr}")
+    return p.stdout
+
+
+def request_line(rid, source, passes="uniform", limits=None, guarded=True):
+    req = {"id": rid, "source": source, "passes": passes, "guarded": guarded}
+    if limits:
+        req["limits"] = limits
+    return json.dumps(req) + "\n"
+
+
+class SocketClient:
+    """One newline-framed connection to the daemon."""
+
+    def __init__(self, path, timeout=30.0, retries=50):
+        last = None
+        for _ in range(retries):
+            try:
+                self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self.sock.settimeout(timeout)
+                self.sock.connect(path)
+                break
+            except OSError as e:
+                last = e
+                time.sleep(0.1)
+        else:
+            raise SystemExit(f"serve_check: cannot connect {path}: {last}")
+        self.buf = b""
+
+    def send_raw(self, data):
+        self.sock.sendall(data)
+
+    def send(self, rid, source, **kw):
+        self.send_raw(request_line(rid, source, **kw).encode())
+
+    def recv_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(line)
+
+    def close(self):
+        self.sock.close()
+
+
+def start_daemon(args, extra, stdio=False, events=None):
+    cmd = [args.amserved] + extra
+    if events:
+        cmd.append(f"--events={events}")
+    stdin = subprocess.PIPE if stdio else subprocess.DEVNULL
+    stdout = subprocess.PIPE if stdio else subprocess.DEVNULL
+    return subprocess.Popen(cmd, stdin=stdin, stdout=stdout,
+                            stderr=subprocess.PIPE, text=True)
+
+
+def wait_exit(proc, what, timeout=60):
+    try:
+        rc = proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        return fail(f"{what}: daemon did not exit within {timeout}s")
+    if rc != 0:
+        sys.stderr.write(proc.stderr.read() or "")
+        return fail(f"{what}: daemon exited {rc}, expected 0")
+    return 0
+
+
+def check_body_identity(resp, expected, what):
+    if resp["status"] != "ok":
+        return fail(f"{what}: status {resp['status']!r}"
+                    f" ({resp.get('error', '')})")
+    if resp["program"] != expected:
+        return fail(f"{what}: response program differs from amopt output")
+    return 0
+
+
+def mode_roundtrip(args):
+    files = sample_files(args.samples)
+    expected = {f: amopt_expected(args.amopt, f) for f in files}
+    proc = start_daemon(args, ["--threads=2"], stdio=True)
+    rid = 0
+    lines = []
+    out = []
+    # Cold pass, then a cache-served warm pass.  The warm pass is sent
+    # only after every cold response arrived: with concurrent workers a
+    # warm request racing its still-running cold twin is a legitimate
+    # cache miss, and this scenario asserts the *hit* path.
+    for _ in range(2):
+        batch = 0
+        for f in files:
+            rid += 1
+            lines.append((rid, f))
+            batch += 1
+            proc.stdin.write(request_line(rid, open(f).read()))
+        proc.stdin.flush()
+        for _ in range(batch):
+            out.append(proc.stdout.readline().rstrip("\n"))
+    proc.stdin.close()
+    tail = proc.stdout.read().splitlines()
+    if wait_exit(proc, "roundtrip"):
+        return 1
+    out += tail
+    if len(out) != len(lines):
+        return fail(f"roundtrip: {len(out)} responses for {len(lines)}"
+                    " requests")
+    by_id = {}
+    for line in out:
+        resp = json.loads(line)
+        by_id[resp["id"]] = resp
+    n = len(files)
+    for i, (rid, f) in enumerate(lines):
+        resp = by_id.get(rid)
+        if resp is None:
+            return fail(f"roundtrip: no response for request {rid}")
+        if check_body_identity(resp, expected[f], f"roundtrip {f}"):
+            return 1
+        warm = i >= n
+        if resp["cached"] != warm:
+            return fail(f"roundtrip {f}: cached={resp['cached']} on "
+                        f"{'warm' if warm else 'cold'} pass")
+        if warm:
+            cold = by_id[rid - n]
+            for key in ("program", "hash", "counters", "remarks",
+                        "instrs_after"):
+                if resp[key] != cold[key]:
+                    return fail(f"roundtrip {f}: cached {key} differs "
+                                "from the cold response")
+    info(f"roundtrip: {len(lines)} responses, all byte-identical to amopt, "
+         "cache hits exact")
+    return 0
+
+
+def mode_socket(args):
+    sock = os.path.join(args.workdir, "serve.sock")
+    files = sample_files(args.samples)
+    proc = start_daemon(
+        args, [f"--socket={sock}", "--threads=2", "--max-request-bytes=4096"])
+    c = SocketClient(sock)
+    rid = 0
+    # Byte-identity for every sample that fits the 4 KiB test frame cap.
+    for f in files:
+        src = open(f).read()
+        if len(src) > 3000:
+            continue
+        rid += 1
+        c.send(rid, src)
+        resp = c.recv_line()
+        if check_body_identity(resp, amopt_expected(args.amopt, f),
+                               f"socket {f}"):
+            return 1
+    # Malformed JSON: bad_request, connection stays usable.
+    c.send_raw(b"this is not json\n")
+    resp = c.recv_line()
+    if resp["status"] != "bad_request":
+        return fail(f"socket: malformed frame answered {resp['status']!r}")
+    # Unparseable program: bad_request.
+    rid += 1
+    c.send(rid, "graph { definitely not a program")
+    resp = c.recv_line()
+    if resp["status"] != "bad_request":
+        return fail(f"socket: bad program answered {resp['status']!r}")
+    # Oversized frame: discarded with `oversized`, then resynchronized.
+    c.send_raw(b'{"id":99,"source":"' + b"x" * 8192 + b'"}\n')
+    resp = c.recv_line()
+    if resp["status"] != "oversized":
+        return fail(f"socket: oversized frame answered {resp['status']!r}")
+    # The same connection still serves real work after all three.
+    rid += 1
+    f = files[0]
+    c.send(rid, open(f).read())
+    resp = c.recv_line()
+    if check_body_identity(resp, amopt_expected(args.amopt, f),
+                           "socket post-abuse"):
+        return 1
+    c.close()
+    proc.send_signal(signal.SIGTERM)
+    if wait_exit(proc, "socket"):
+        return 1
+    info("socket: identity, bad_request x2, oversized, recovery, "
+         "drain exit 0")
+    return 0
+
+
+def mode_faults(args):
+    sock = os.path.join(args.workdir, "serve.sock")
+    f = sample_files(args.samples)[0]
+    src = open(f).read()
+    expected = amopt_expected(args.amopt, f)
+    matrix = [
+        ("svc-worker-throw", [], "error"),
+        ("svc-bad-alloc", [], "resource_exhausted"),
+        ("svc-slow-request", ["--deadline-ms=150"], "timeout"),
+    ]
+    for cls, extra, want in matrix:
+        proc = start_daemon(
+            args, [f"--socket={sock}", f"--inject={cls}"] + extra)
+        c = SocketClient(sock)
+        c.send(1, src)
+        resp = c.recv_line()
+        if resp["status"] != want:
+            return fail(f"faults {cls}: answered {resp['status']!r}, "
+                        f"expected {want!r}")
+        if resp["instrs_after"] != resp["instrs_before"]:
+            return fail(f"faults {cls}: contained failure must return the "
+                        "input program unchanged")
+        if not resp.get("error") and want != "timeout":
+            return fail(f"faults {cls}: no error text")
+        # The fault fired once; the daemon must still serve correctly.
+        c.send(2, src)
+        resp = c.recv_line()
+        if check_body_identity(resp, expected, f"faults {cls} recovery"):
+            return 1
+        c.close()
+        proc.send_signal(signal.SIGTERM)
+        if wait_exit(proc, f"faults {cls}"):
+            return 1
+        info(f"faults {cls}: -> {want}, input intact, daemon survived")
+    return 0
+
+
+def mode_overload(args):
+    sock = os.path.join(args.workdir, "serve.sock")
+    f = sample_files(args.samples)[0]
+    src = open(f).read()
+    # One worker, one admission slot, one wedged request (the injected
+    # slow request holds the slot until the 2s deadline or the drain).
+    proc = start_daemon(args, [f"--socket={sock}", "--threads=1",
+                               "--queue=1", "--deadline-ms=2000",
+                               "--inject=svc-slow-request"])
+    a = SocketClient(sock)
+    a.send(1, src)
+    time.sleep(0.3)  # let request 1 occupy the only slot
+    b = SocketClient(sock)
+    b.send(2, src)
+    shed = b.recv_line()
+    if shed["status"] != "overloaded":
+        return fail(f"overload: concurrent request answered "
+                    f"{shed['status']!r}, expected 'overloaded'")
+    if shed.get("retry_after_ms", 0) <= 0:
+        return fail("overload: overloaded response carries no "
+                    "retry_after_ms hint")
+    wedged = a.recv_line()  # times out at the 2s deadline
+    if wedged["status"] != "timeout":
+        return fail(f"overload: wedged request answered "
+                    f"{wedged['status']!r}, expected 'timeout'")
+    # The slot is free again; the retry the hint asked for now succeeds.
+    time.sleep(shed["retry_after_ms"] / 1000.0)
+    b.send(3, src)
+    retry = b.recv_line()
+    if check_body_identity(retry, amopt_expected(args.amopt, f),
+                           "overload retry"):
+        return 1
+    a.close()
+    b.close()
+    proc.send_signal(signal.SIGTERM)
+    if wait_exit(proc, "overload"):
+        return 1
+    info(f"overload: shed with retry_after_ms={shed['retry_after_ms']}, "
+         "wedged request timed out, retry served")
+    return 0
+
+
+def mode_sigterm(args):
+    sock = os.path.join(args.workdir, "serve.sock")
+    events = os.path.join(args.workdir, "serve_events.jsonl")
+    files = sample_files(args.samples)
+    proc = start_daemon(args, [f"--socket={sock}", "--threads=2"],
+                        events=events)
+    c = SocketClient(sock)
+    sent = answered = shed = 0
+    # Three synchronous rounds: each request is answered before the next,
+    # so the daemon is demonstrably serving when the signal lands.
+    for _ in range(3):
+        for f in files:
+            sent += 1
+            c.send(sent, open(f).read())
+            resp = c.recv_line()
+            if resp["status"] != "ok":
+                return fail(f"sigterm: pre-drain request answered "
+                            f"{resp['status']!r}")
+            answered += 1
+    # Then a burst with SIGTERM in the middle of it: some frames are in
+    # flight, some still unread when the drain begins.  Once the drain
+    # closes the connection's read side the kernel may RST it, so sends
+    # past that point can fail with EPIPE — those frames were never
+    # delivered (the client's retry problem), not an error.
+    aborted = False
+    for round_ in range(3):
+        for f in files:
+            try:
+                c.send(sent + 1, open(f).read())
+                sent += 1
+            except OSError:
+                aborted = True
+                break
+        if round_ == 0:
+            proc.send_signal(signal.SIGTERM)  # mid-load
+        if aborted:
+            break
+    try:
+        c.sock.shutdown(socket.SHUT_WR)
+    except OSError:
+        pass  # already reset by the drain
+    while True:
+        try:
+            resp = c.recv_line()
+        except (OSError, json.JSONDecodeError):
+            break
+        if resp is None:
+            break
+        if resp["status"] == "overloaded":
+            shed += 1
+        elif resp["status"] == "ok":
+            answered += 1
+        else:
+            return fail(f"sigterm: unexpected status {resp['status']!r}")
+    c.close()
+    if wait_exit(proc, "sigterm"):
+        return 1
+    if answered == 0:
+        return fail("sigterm: no request completed before the drain")
+    # Every frame the daemon read got an answer of some kind; frames
+    # never read (sent after the reader stopped) are the client's retry
+    # problem, exactly like a crashed peer.
+    if answered + shed > sent:
+        return fail(f"sigterm: {answered + shed} responses for {sent} sent")
+    check = subprocess.run(
+        [sys.executable,
+         os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "batch_check.py"),
+         "--events", events, "--jobs", str(answered)])
+    if check.returncode != 0:
+        return fail("sigterm: drained event log failed batch_check")
+    info(f"sigterm: {answered} served, {shed} shed of {sent} sent; "
+         "exit 0; event log validates")
+    return 0
+
+
+def mode_connect(args):
+    if not args.ambatch:
+        raise SystemExit("serve_check: --mode connect needs --ambatch")
+    sock = os.path.join(args.workdir, "serve.sock")
+    events = os.path.join(args.workdir, "serve_events.jsonl")
+    cold = os.path.join(args.workdir, "agg_cold.json")
+    warm = os.path.join(args.workdir, "agg_warm.json")
+    proc = start_daemon(args, [f"--socket={sock}", "--threads=4"],
+                        events=events)
+    SocketClient(sock).close()  # wait for the listener
+    n_jobs = len(sample_files(args.samples))
+    for agg in (cold, warm):
+        p = subprocess.run([args.ambatch, "--quiet", f"--connect={sock}",
+                            f"--aggregate={agg}", args.samples])
+        if p.returncode != 0:
+            return fail(f"connect: ambatch exited {p.returncode}")
+    if open(cold, "rb").read() != open(warm, "rb").read():
+        return fail("connect: warm (cache-served) aggregate differs from "
+                    "the cold one")
+    proc.send_signal(signal.SIGTERM)
+    if wait_exit(proc, "connect"):
+        return 1
+    check = subprocess.run(
+        [sys.executable,
+         os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "batch_check.py"),
+         "--events", events, "--aggregate", cold,
+         "--jobs", str(2 * n_jobs)])
+    # The aggregate holds one run (n_jobs); the event log holds both.
+    if check.returncode == 0:
+        return fail("connect: batch_check accepted mismatched job counts")
+    check = subprocess.run(
+        [sys.executable,
+         os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "batch_check.py"),
+         "--events", events, "--jobs", str(2 * n_jobs)])
+    if check.returncode != 0:
+        return fail("connect: drained event log failed batch_check")
+    check = subprocess.run(
+        [sys.executable,
+         os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "batch_check.py"),
+         "--aggregate", cold, "--jobs", str(n_jobs)])
+    if check.returncode != 0:
+        return fail("connect: cold aggregate failed batch_check")
+    info(f"connect: cold and warm aggregates byte-identical over "
+         f"{n_jobs} jobs; event log validates")
+    return 0
+
+
+MODES = {
+    "roundtrip": mode_roundtrip,
+    "socket": mode_socket,
+    "faults": mode_faults,
+    "overload": mode_overload,
+    "sigterm": mode_sigterm,
+    "connect": mode_connect,
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--mode", required=True, choices=sorted(MODES))
+    ap.add_argument("--amserved", required=True)
+    ap.add_argument("--amopt", required=True)
+    ap.add_argument("--ambatch")
+    ap.add_argument("--samples", required=True)
+    ap.add_argument("--workdir", required=True)
+    args = ap.parse_args()
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    os.makedirs(args.workdir, exist_ok=True)
+    return MODES[args.mode](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
